@@ -1,0 +1,83 @@
+"""Microbenchmarks of the performance-critical kernels.
+
+Unlike the experiment benchmarks (one timed run each), these use
+pytest-benchmark's statistical timing: the learner on one suffix, the
+congruence classifier, the Damerau-Levenshtein kernel, radix-trie
+lookups, routing-model construction and traceroute expansion.
+"""
+
+import pytest
+
+from repro.core.evaluate import evaluate_regex
+from repro.core.hoiho import learn_suffix
+from repro.core.regex_model import Regex
+from repro.core.types import SuffixDataset, TrainingItem
+from repro.topology.world import WorldConfig, generate_world
+from repro.traceroute.campaign import CampaignConfig, run_campaign
+from repro.traceroute.routing import RoutingModel
+from repro.util.ipaddr import IPv4Prefix
+from repro.util.radix import RadixTrie
+from repro.util.strings import damerau_levenshtein
+
+
+@pytest.fixture(scope="module")
+def suffix_dataset():
+    asns = [1000 + 37 * i for i in range(60)]
+    items = [TrainingItem("as%d-10ge-pop%d.example.net" % (asn, i % 7), asn)
+             for i, asn in enumerate(asns)]
+    items += [TrainingItem("lo0.cr%d.pop%d.example.net" % (i, i % 7), 1000)
+              for i in range(20)]
+    return SuffixDataset("example.net", items)
+
+
+def test_learn_one_suffix(benchmark, suffix_dataset):
+    convention = benchmark(learn_suffix, suffix_dataset)
+    assert convention is not None
+    assert convention.score.tp == 60
+
+
+def test_evaluate_regex(benchmark, suffix_dataset):
+    regex = Regex.raw(r"^as(\d+)-10ge-pop\d+\.example\.net$")
+    score = benchmark(evaluate_regex, regex, suffix_dataset)
+    assert score.tp == 60
+
+
+def test_damerau_levenshtein(benchmark):
+    result = benchmark(damerau_levenshtein, "2021531997", "2021351997")
+    assert result == 1
+
+
+def test_radix_lookup(benchmark):
+    trie = RadixTrie()
+    for i in range(2000):
+        trie.insert(IPv4Prefix((i * 7919) % 0xFFFF << 16, 16), i)
+    probe = (1234 * 7919) % 0xFFFF << 16 | 99
+
+    def lookups():
+        total = 0
+        for offset in range(100):
+            value = trie.lookup(probe + offset)
+            total += 0 if value is None else 1
+        return total
+
+    assert benchmark(lookups) >= 0
+
+
+@pytest.fixture(scope="module")
+def tiny_world():
+    return generate_world(42, WorldConfig.tiny())
+
+
+def test_routing_model_build(benchmark, tiny_world):
+    model = benchmark(RoutingModel, tiny_world.graph)
+    asns = tiny_world.graph.asns()
+    assert model.as_path(asns[0], asns[-1]) is not None
+
+
+def test_campaign(benchmark, tiny_world):
+    routing = RoutingModel(tiny_world.graph)
+    traces = benchmark.pedantic(
+        run_campaign, args=(tiny_world, routing, 3,
+                            CampaignConfig(n_vps=4)),
+        rounds=3, iterations=1)
+    assert traces

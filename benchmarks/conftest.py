@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+One :class:`~repro.eval.context.ExperimentContext` is shared by every
+benchmark so the expensive artifacts (world, routing, the 19-snapshot
+timeline, learned conventions) are built once and the per-experiment
+benchmarks measure their own work.
+
+Environment knobs:
+
+* ``REPRO_SCALE``  -- tiny | small | full  (default small)
+* ``REPRO_SEED``   -- world seed           (default 2020)
+"""
+
+import os
+
+import pytest
+
+from repro.eval import ExperimentContext, Scale
+
+
+@pytest.fixture(scope="session")
+def context():
+    scale = Scale(os.environ.get("REPRO_SCALE", "small"))
+    seed = int(os.environ.get("REPRO_SEED", "2020"))
+    return ExperimentContext(seed=seed, scale=scale)
+
+
+def run_once(benchmark, func, *args):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, rounds=1, iterations=1)

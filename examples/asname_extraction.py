@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Section-7 future work: extracting AS *names* without a dictionary.
+
+Figure 1 of the paper shows telia.net and seabone.net embedding the
+neighbor's AS *name* rather than its number.  The paper's preliminary
+investigation found at least 3x more suffixes embed names than numbers.
+This example runs the dictionary-free name learner on a synthetic ITDK:
+it finds, per suffix, a regex position whose alphabetic token
+consistently identifies one training ASN, and derives the token-to-ASN
+mapping from the data itself.
+
+Run:  python examples/asname_extraction.py
+"""
+
+from repro import METHOD_BDRMAPIT, Hoiho, SnapshotSpec, WorldConfig, \
+    generate_world, run_snapshot
+from repro.core.asname import NameHoiho
+from repro.traceroute.routing import RoutingModel
+
+
+def main() -> None:
+    world = generate_world(2020, WorldConfig.small())
+    routing = RoutingModel(world.graph)
+    snapshot_result = run_snapshot(
+        world, SnapshotSpec(label="2020-01", year=2020.0,
+                            method=METHOD_BDRMAPIT, n_vps=30, seed=11),
+        routing)
+
+    asn_result = Hoiho().run(snapshot_result.training)
+    name_conventions = NameHoiho().run(snapshot_result.training)
+    asn_suffixes = {c.suffix for c in asn_result.usable()}
+
+    print("suffixes with ASN conventions:      %d" % len(asn_suffixes))
+    print("suffixes with AS-name conventions:  %d (of which %d have no "
+          "ASN convention)\n"
+          % (len(name_conventions),
+             len(set(name_conventions) - asn_suffixes)))
+
+    slug_of = {node.asn: node.slug for node in world.graph.nodes.values()}
+    for suffix, convention in sorted(name_conventions.items()):
+        print("%s" % suffix)
+        print("  regex: %s" % convention.regex.pattern)
+        print("  learned mapping (token -> ASN [true operator name]):")
+        for token, asn in sorted(convention.mapping.items()):
+            print("    %-12s -> AS%-7d [%s]"
+                  % (token, asn, slug_of.get(asn, "?")))
+        print("  purity %.0f%%, %d distinct ASNs"
+              % (100 * convention.score.purity,
+                 convention.score.distinct_asns))
+
+    # Apply a learned convention to hostnames from the snapshot.
+    print("\nextraction demo:")
+    shown = 0
+    for item in snapshot_result.training:
+        for suffix, convention in name_conventions.items():
+            if item.hostname.endswith("." + suffix):
+                extracted = convention.extract(item.hostname)
+                if extracted is not None:
+                    print("  %-44s -> AS%d" % (item.hostname, extracted))
+                    shown += 1
+                break
+        if shown >= 5:
+            break
+
+
+if __name__ == "__main__":
+    main()

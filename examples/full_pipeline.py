@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""The paper's full pipeline over a synthetic Internet.
+
+Stages (the production analog in brackets):
+
+1. generate a synthetic Internet [the Internet];
+2. assign hostnames per operator conventions, with stale/typo hazards
+   [operators' reverse DNS];
+3. run a traceroute campaign and build an ITDK snapshot with bdrmapIT
+   router-ownership annotations [CAIDA Ark + ITDK];
+4. learn ASN-extracting conventions from the snapshot [Hoiho, section 3];
+5. feed extractions back into bdrmapIT and measure how agreement and
+   ground-truth accuracy improve [section 5].
+
+Run:  python examples/full_pipeline.py [seed]
+"""
+
+import sys
+
+from repro import (
+    METHOD_BDRMAPIT,
+    Hoiho,
+    SnapshotSpec,
+    WorldConfig,
+    generate_world,
+    run_snapshot,
+)
+from repro.bdrmapit.hints import apply_hints, hints_from_conventions
+from repro.bdrmapit.metrics import accuracy_against_truth, agreement_metrics
+from repro.traceroute.routing import RoutingModel
+
+
+def main(seed: int = 2020) -> None:
+    print("== 1. generating world")
+    world = generate_world(seed, WorldConfig.small())
+    for key, value in world.stats().items():
+        print("   %-18s %d" % (key, value))
+
+    print("== 2-3. campaign + ITDK + bdrmapIT (January 2020 analog)")
+    routing = RoutingModel(world.graph)
+    spec = SnapshotSpec(label="2020-01", year=2020.0,
+                        method=METHOD_BDRMAPIT, n_vps=30, seed=seed + 1)
+    snapshot_result = run_snapshot(world, spec, routing)
+    print("   %d traces -> %d inferred routers, %d named addresses"
+          % (len(snapshot_result.training),
+             len(snapshot_result.snapshot.resolution.nodes),
+             len(snapshot_result.snapshot.hostnames)))
+
+    print("== 4. learning conventions")
+    learned = Hoiho().run(snapshot_result.training)
+    counts = learned.class_counts()
+    print("   %d suffixes examined; conventions: %d good, %d promising, "
+          "%d poor" % (learned.suffixes_examined, counts["good"],
+                       counts["promising"], counts["poor"]))
+    for convention in learned.usable()[:6]:
+        print("   %-20s %s" % (convention.suffix,
+                               " | ".join(convention.patterns())))
+
+    print("== 5. feeding extractions back into bdrmapIT")
+    hints = hints_from_conventions(snapshot_result.snapshot,
+                                   learned.conventions)
+    before = agreement_metrics(snapshot_result.annotations, hints,
+                               world.graph.orgs)
+    outcome = apply_hints(snapshot_result.graph,
+                          snapshot_result.annotations, hints,
+                          world.graph.relationships, world.graph.orgs)
+    after = agreement_metrics(outcome.annotations, hints, world.graph.orgs)
+    print("   agreement: %s -> %s" % (before.describe(), after.describe()))
+
+    labeled = {h.node_id for h in hints}
+    acc_before = accuracy_against_truth(
+        snapshot_result.annotations, snapshot_result.snapshot.resolution,
+        world.graph.orgs, nodes=labeled)
+    acc_after = accuracy_against_truth(
+        outcome.annotations, snapshot_result.snapshot.resolution,
+        world.graph.orgs, nodes=labeled)
+    print("   ground truth accuracy on labelled routers: "
+          "%.1f%% -> %.1f%%" % (100 * acc_before.rate,
+                                100 * acc_after.rate))
+    incongruent = outcome.incongruent()
+    used = sum(1 for d in incongruent if d.used)
+    print("   extraction != inference for %d interfaces; used %d"
+          % (len(incongruent), used))
+    for nc_class, (u, t) in sorted(outcome.used_rate_by_class().items()):
+        print("     %-10s used %d/%d" % (nc_class, u, t))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 2020)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""DRoP-style geolocation hints, validated by delay (section 2.2).
+
+Operators embed metro codes in router names (``xe0.cr1.fra2.example.net``).
+DRoP (Huffaker et al. 2014) learns which hostname position carries the
+code and keeps only hints consistent with physics: a router cannot
+answer a vantage point faster than light crosses the claimed distance.
+This example learns geo conventions from a synthetic ITDK, shows a
+hostname whose (stale) code the delay test catches, and measures
+accuracy against the world's true router locations.
+
+Run:  python examples/geolocation.py
+"""
+
+from repro import METHOD_BDRMAPIT, SnapshotSpec, WorldConfig, \
+    generate_world, run_snapshot
+from repro.core.geohint import geo_items_from_traces, learn_geo_conventions
+from repro.topology import geo
+from repro.traceroute.routing import RoutingModel
+
+
+def main() -> None:
+    world = generate_world(2020, WorldConfig.small())
+    routing = RoutingModel(world.graph)
+    result = run_snapshot(world, SnapshotSpec(
+        label="2020-01", year=2020.0, method=METHOD_BDRMAPIT, n_vps=25,
+        seed=11), routing)
+
+    conventions = learn_geo_conventions(result.snapshot.hostnames,
+                                        result.traces)
+    print("learned %d geolocation conventions\n" % len(conventions))
+    for suffix, convention in sorted(conventions.items())[:5]:
+        print("%-22s %s" % (suffix, convention.regex.pattern))
+        print("   %d location codes, consistency %.0f%%"
+              % (len(convention.codes),
+                 100 * convention.score.consistency))
+
+    # Accuracy against ground truth.
+    checked = correct = 0
+    wrong_examples = []
+    for address, hostname in result.snapshot.named_addresses():
+        iface = world.topology.interfaces_by_address.get(address)
+        if iface is None:
+            continue
+        for suffix, convention in conventions.items():
+            if hostname.endswith("." + suffix):
+                located = convention.locate(hostname)
+                if located is not None:
+                    checked += 1
+                    if located == iface.router.loc:
+                        correct += 1
+                    elif len(wrong_examples) < 3:
+                        wrong_examples.append(
+                            (hostname, located, iface.router.loc))
+                break
+    print("\nlocated %d hostnames; %.1f%% match the true router metro"
+          % (checked, 100.0 * correct / checked if checked else 0.0))
+    items = geo_items_from_traces(result.snapshot.hostnames,
+                                  result.traces)
+    rtt_of = {item.hostname: item.rtt_samples for item in items}
+    for hostname, claimed, actual in wrong_examples:
+        distance = geo.distance_km(claimed, actual)
+        samples = rtt_of.get(hostname, ())
+        refutable = any(not geo.feasible(vp_loc, claimed, rtt)
+                        for vp_loc, rtt in samples)
+        print("  stale metro code: %s claims %s, router is in %s "
+              "(%.0f km apart; delay evidence %s refute it)"
+              % (hostname, claimed, actual, distance or 0,
+                 "could" if refutable else "cannot"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: learn an ASN-extracting naming convention from hostnames.
+
+This walks the paper's figure-4 worked example through the public API:
+sixteen Equinix hostnames with training ASNs go in, the learned naming
+convention (the paper's NC #7) comes out, and we use it to extract ASNs
+from new hostnames.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Hoiho, TrainingItem
+
+# Training data: (hostname, ASN believed to operate the router).  In
+# production these pairs come from an ITDK snapshot or PeeringDB; here
+# they are the paper's figure-4 rows.
+TRAINING = [
+    TrainingItem("109.sgw.equinix.com", 109),
+    TrainingItem("714.os.equinix.com", 714),
+    TrainingItem("714.me1.equinix.com", 714),
+    TrainingItem("p714.sgw.equinix.com", 714),
+    TrainingItem("s714.sgw.equinix.com", 714),
+    TrainingItem("p24115.mel.equinix.com", 24115),
+    TrainingItem("s24115.tyo.equinix.com", 24115),
+    TrainingItem("22822-2.tyo.equinix.com", 22282),     # typo in PTR
+    TrainingItem("24482-fr5-ix.equinix.com", 24482),
+    TrainingItem("54827-dc5-ix2.equinix.com", 54827),
+    TrainingItem("55247-ch3-ix.equinix.com", 55247),
+    TrainingItem("netflix.zh2.corp.eu.equinix.com", 2906),
+    TrainingItem("ipv4.dosarrest.eqix.equinix.com", 19324),
+    TrainingItem("8069.tyo.equinix.com", 8075),         # sibling ASN
+    TrainingItem("8074.hkg.equinix.com", 8075),         # sibling ASN
+    TrainingItem("45437-sy1-ix.equinix.com", 55923),    # stale PTR
+]
+
+
+def main() -> None:
+    hoiho = Hoiho()
+    result = hoiho.run(TRAINING)
+
+    for suffix, convention in sorted(result.conventions.items()):
+        print("suffix %s -- %s convention (ATP %d, PPV %.0f%%, "
+              "%d distinct ASNs)" % (suffix, convention.nc_class.value,
+                                     convention.score.atp,
+                                     100 * convention.score.ppv,
+                                     convention.score.distinct))
+        for pattern in convention.patterns():
+            print("  regex: %s" % pattern)
+
+    # Apply the learned convention to hostnames we have never seen.
+    print("\nextractions on fresh hostnames:")
+    for hostname in ("p64500.sv5.equinix.com",
+                     "64500-sv5-ix.equinix.com",
+                     "lo0.core1.equinix.com",
+                     "as3356.some-other-domain.net"):
+        print("  %-32s -> %s" % (hostname, result.extract(hostname)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,146 @@
+"""MIDAR-style alias resolution simulation.
+
+Real alias resolution sees only a subset of a router's interfaces and
+sometimes fails to tie them together.  :func:`resolve_aliases` groups the
+observed addresses by ground-truth router and then:
+
+* with probability ``split_rate`` per multi-interface router, partitions
+  its observed interfaces into two inferred nodes (false negatives);
+* with probability ``merge_rate``, merges two inferred nodes of the same
+  AS into one (false positives; rare in practice, default 0).
+
+Destination addresses that answered traceroute but belong to no router
+become singleton nodes, as in the real ITDK.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.topology.world import World
+from repro.util.rand import substream
+
+
+@dataclass
+class InferredNode:
+    """One inferred router (an ITDK "node")."""
+
+    node_id: str
+    addresses: List[int] = field(default_factory=list)
+    # Ground truth for evaluation: the operating AS(es) of the underlying
+    # router(s); more than one only after a bad merge.
+    true_asns: Set[int] = field(default_factory=set)
+
+    @property
+    def true_asn(self) -> Optional[int]:
+        """The unique ground-truth operator, when unambiguous."""
+        if len(self.true_asns) == 1:
+            return next(iter(self.true_asns))
+        return None
+
+
+@dataclass
+class AliasResolution:
+    """Mapping between observed addresses and inferred nodes."""
+
+    nodes: Dict[str, InferredNode] = field(default_factory=dict)
+    node_of_address: Dict[int, str] = field(default_factory=dict)
+
+    def node_for(self, address: int) -> Optional[InferredNode]:
+        """The inferred node holding ``address``, if any."""
+        node_id = self.node_of_address.get(address)
+        return self.nodes.get(node_id) if node_id is not None else None
+
+
+def resolve_aliases(world: World, observed: Iterable[int], seed: int,
+                    split_rate: float = 0.10,
+                    merge_rate: float = 0.0,
+                    augment_rate: float = 0.65) -> AliasResolution:
+    """Group ``observed`` addresses into inferred routers.
+
+    ``augment_rate`` models MIDAR's active alias probing: for that
+    fraction of observed routers, one of the router's *own* addresses
+    (a loopback or internal interface) joins the node even though no
+    traceroute crossed it -- which is how real ITDK nodes for customer
+    border routers come to carry customer-space addresses alongside the
+    provider-supplied interconnect address.
+    """
+    rng = substream(seed, "alias")
+    by_router: Dict[str, List[int]] = defaultdict(list)
+    orphans: List[int] = []
+    for address in sorted(set(observed)):
+        iface = world.topology.interfaces_by_address.get(address)
+        if iface is None:
+            orphans.append(address)
+        else:
+            by_router[iface.router.rid].append(address)
+
+    if augment_rate > 0:
+        router_by_rid = {router.rid: router
+                         for router in world.topology.routers}
+        for rid in sorted(by_router):
+            if rng.random() >= augment_rate:
+                continue
+            router = router_by_rid[rid]
+            known = set(by_router[rid])
+            own = [iface.address for iface in router.interfaces
+                   if iface.supplier_asn == router.asn
+                   and iface.address not in known]
+            if own:
+                by_router[rid].append(min(own))
+
+    resolution = AliasResolution()
+    counter = 0
+
+    def new_node(addresses: List[int], true_asn: Optional[int]) -> None:
+        nonlocal counter
+        node = InferredNode(node_id="N%d" % counter,
+                            addresses=list(addresses))
+        if true_asn is not None:
+            node.true_asns.add(true_asn)
+        counter += 1
+        resolution.nodes[node.node_id] = node
+        for address in addresses:
+            resolution.node_of_address[address] = node.node_id
+
+    for rid in sorted(by_router):
+        addresses = by_router[rid]
+        true_asn = world.topology.interfaces_by_address[
+            addresses[0]].router.asn
+        if len(addresses) > 1 and rng.random() < split_rate:
+            cut = rng.randint(1, len(addresses) - 1)
+            new_node(addresses[:cut], true_asn)
+            new_node(addresses[cut:], true_asn)
+        else:
+            new_node(addresses, true_asn)
+
+    for address in orphans:
+        origin = world.origin(address)
+        new_node([address], origin if origin > 0 else None)
+
+    if merge_rate > 0:
+        _merge_noise(world, resolution, rng, merge_rate)
+    return resolution
+
+
+def _merge_noise(world: World, resolution: AliasResolution, rng,
+                 merge_rate: float) -> None:
+    """Merge pairs of same-AS nodes to simulate false-positive aliases."""
+    by_asn: Dict[int, List[InferredNode]] = defaultdict(list)
+    for node in resolution.nodes.values():
+        if node.true_asn is not None:
+            by_asn[node.true_asn].append(node)
+    for asn in sorted(by_asn):
+        nodes = by_asn[asn]
+        if len(nodes) < 2 or rng.random() >= merge_rate:
+            continue
+        a, b = rng.sample(nodes, 2)
+        if a.node_id == b.node_id or b.node_id not in resolution.nodes:
+            continue
+        a.addresses.extend(b.addresses)
+        a.true_asns.update(b.true_asns)
+        for address in b.addresses:
+            resolution.node_of_address[address] = a.node_id
+        del resolution.nodes[b.node_id]

@@ -1,0 +1,166 @@
+"""AS relationship dataset in the style of CAIDA's serial-1 files.
+
+Stores provider-customer and peer-peer links and answers the queries the
+router-ownership heuristics rely on: provider/customer/peer sets, transit
+degree, and valley-free step legality.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+
+
+class Relationship(enum.IntEnum):
+    """Relationship of a neighbor from the perspective of the first AS."""
+
+    PROVIDER = -1
+    PEER = 0
+    CUSTOMER = 1
+
+
+class ASRelationships:
+    """Provider/customer and peer links between ASNs.
+
+    The serialization format matches CAIDA's serial-1 relationship files:
+    ``provider|customer|-1`` and ``peer|peer|0`` lines, ``#`` comments.
+
+    >>> rels = ASRelationships()
+    >>> rels.add_p2c(3356, 64500)
+    >>> rels.add_p2p(3356, 1299)
+    >>> rels.relationship(64500, 3356) is Relationship.PROVIDER
+    True
+    >>> sorted(rels.providers(64500))
+    [3356]
+    """
+
+    def __init__(self) -> None:
+        self._providers: Dict[int, Set[int]] = defaultdict(set)
+        self._customers: Dict[int, Set[int]] = defaultdict(set)
+        self._peers: Dict[int, Set[int]] = defaultdict(set)
+
+    # -- construction ----------------------------------------------------
+
+    def add_p2c(self, provider: int, customer: int) -> None:
+        """Record that ``provider`` sells transit to ``customer``."""
+        if provider == customer:
+            raise ValueError("self relationship for AS%d" % provider)
+        self._providers[customer].add(provider)
+        self._customers[provider].add(customer)
+
+    def add_p2p(self, a: int, b: int) -> None:
+        """Record a settlement-free peering between ``a`` and ``b``."""
+        if a == b:
+            raise ValueError("self peering for AS%d" % a)
+        self._peers[a].add(b)
+        self._peers[b].add(a)
+
+    @classmethod
+    def from_lines(cls, lines: Iterable[str]) -> "ASRelationships":
+        """Parse serial-1 format lines."""
+        rels = cls()
+        for raw in lines:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split("|")
+            if len(fields) < 3:
+                raise ValueError("malformed relationship line: %r" % raw)
+            a, b, kind = int(fields[0]), int(fields[1]), int(fields[2])
+            if kind == -1:
+                rels.add_p2c(a, b)
+            elif kind == 0:
+                rels.add_p2p(a, b)
+            else:
+                raise ValueError("unknown relationship %d in %r" % (kind, raw))
+        return rels
+
+    def to_lines(self) -> Iterator[str]:
+        """Serialize to serial-1 format lines (sorted, deterministic)."""
+        for provider in sorted(self._customers):
+            for customer in sorted(self._customers[provider]):
+                yield "%d|%d|-1" % (provider, customer)
+        emitted = set()
+        for a in sorted(self._peers):
+            for b in sorted(self._peers[a]):
+                key = (min(a, b), max(a, b))
+                if key in emitted:
+                    continue
+                emitted.add(key)
+                yield "%d|%d|0" % key
+
+    # -- queries ---------------------------------------------------------
+
+    def providers(self, asn: int) -> Set[int]:
+        """ASNs selling transit to ``asn``."""
+        return self._providers.get(asn, set())
+
+    def customers(self, asn: int) -> Set[int]:
+        """ASNs buying transit from ``asn``."""
+        return self._customers.get(asn, set())
+
+    def peers(self, asn: int) -> Set[int]:
+        """ASNs peering settlement-free with ``asn``."""
+        return self._peers.get(asn, set())
+
+    def neighbors(self, asn: int) -> Set[int]:
+        """All ASNs adjacent to ``asn`` in the relationship graph."""
+        return (self.providers(asn) | self.customers(asn) | self.peers(asn))
+
+    def relationship(self, asn: int,
+                     neighbor: int) -> Optional[Relationship]:
+        """How ``neighbor`` relates to ``asn`` (or None if not adjacent)."""
+        if neighbor in self._providers.get(asn, ()):
+            return Relationship.PROVIDER
+        if neighbor in self._customers.get(asn, ()):
+            return Relationship.CUSTOMER
+        if neighbor in self._peers.get(asn, ()):
+            return Relationship.PEER
+        return None
+
+    def degree(self, asn: int) -> int:
+        """Total number of relationship neighbors of ``asn``."""
+        return len(self.neighbors(asn))
+
+    def transit_degree(self, asn: int) -> int:
+        """Number of customers -- a proxy for how much transit AS sells."""
+        return len(self.customers(asn))
+
+    def asns(self) -> Set[int]:
+        """Every ASN appearing in any relationship."""
+        out: Set[int] = set()
+        out.update(self._providers)
+        out.update(self._customers)
+        out.update(self._peers)
+        return out
+
+    def is_transit_free(self, asn: int) -> bool:
+        """True when ``asn`` has no providers (tier-1-like)."""
+        return not self.providers(asn) and bool(self.customers(asn))
+
+    # -- path legality ---------------------------------------------------
+
+    def valley_free(self, path: Tuple[int, ...]) -> bool:
+        """Check the Gao valley-free property for an AS path.
+
+        A legal path is zero or more customer-to-provider steps, at most
+        one peer step, then zero or more provider-to-customer steps.
+        Unknown adjacencies make a path illegal.
+        """
+        # phase 0: uphill, phase 1: after peer/downhill start
+        phase = 0
+        for a, b in zip(path, path[1:]):
+            rel = self.relationship(a, b)
+            if rel is None:
+                return False
+            if rel is Relationship.PROVIDER:  # a -> its provider: uphill
+                if phase != 0:
+                    return False
+            elif rel is Relationship.PEER:
+                if phase != 0:
+                    return False
+                phase = 1
+            else:  # a -> its customer: downhill
+                phase = 1
+        return True

@@ -1,0 +1,41 @@
+"""bdrmapIT-style router ownership inference, plus the paper's extension.
+
+* :mod:`repro.bdrmapit.graph` builds per-node topological state from
+  traceroutes: interface origins, *subsequent* ASN sets (origins of the
+  next interfaces observed after the node) and *destination* ASN sets;
+* :mod:`repro.bdrmapit.algorithm` runs the iterative annotation loop
+  (election plus relationship heuristics, with the /30 link-mate rule and
+  IXP resolution);
+* :mod:`repro.bdrmapit.hints` implements the paper's section-5
+  modification: evaluating ASNs extracted from hostnames against the
+  node's topological constraints to decide whether a hostname is stale
+  or the initial inference was wrong;
+* :mod:`repro.bdrmapit.metrics` computes the agreement/error-rate
+  numbers the paper reports.
+"""
+
+from repro.bdrmapit.graph import NodeState, RouterGraph, build_router_graph
+from repro.bdrmapit.algorithm import AnnotationConfig, annotate
+from repro.bdrmapit.hints import (
+    ExtractionHint,
+    HintDecision,
+    HintsOutcome,
+    apply_hints,
+    hints_from_conventions,
+)
+from repro.bdrmapit.metrics import agreement_metrics, accuracy_against_truth
+
+__all__ = [
+    "NodeState",
+    "RouterGraph",
+    "build_router_graph",
+    "AnnotationConfig",
+    "annotate",
+    "ExtractionHint",
+    "HintDecision",
+    "HintsOutcome",
+    "apply_hints",
+    "hints_from_conventions",
+    "agreement_metrics",
+    "accuracy_against_truth",
+]

@@ -1,0 +1,201 @@
+"""The bdrmapIT-style annotation loop.
+
+Reasoning per node, in order:
+
+1. **Subsequent-interface votes.**  Each *distinct* subsequent interface
+   casts one vote with its BGP origin.  Two kinds of subsequent
+   interfaces are excluded: the node's own *link mates* (an address in
+   the same /30 as one of the node's addresses is the far end of the
+   node's own link -- its origin merely repeats who supplied that link),
+   and IXP-LAN addresses (they identify the far member, not this node).
+   The winning vote is accepted when it is one of the node's origins, or
+   a customer, peer or sibling of one -- the far-side-of-a-supplied-link
+   pattern of figure 1.
+
+2. **Relationship election.**  With no usable votes and several origins,
+   prefer the origin of which every other origin is a provider or peer:
+   a multi-homed customer's border router carries each provider's
+   supplied address plus its own, and this rule picks the customer.
+
+3. **Destination heuristic** (bdrmap's edge rule).  For nodes that are
+   predominantly the last responsive hop, if most terminating traces
+   were destined into a customer (or sibling) of the election result,
+   annotate with the destination AS: the node is that customer's border
+   answering with a provider-supplied address.
+
+4. **Election.**  Majority origin of the node's own interfaces,
+   breaking ties towards the smaller ASN (RouterToAsAssignment's core).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.asn.bgp import IXP_ASN, UNKNOWN_ASN
+from repro.asn.org import ASOrgMap
+from repro.asn.relationships import ASRelationships, Relationship
+from repro.bdrmapit.graph import NodeState, RouterGraph
+
+
+@dataclass
+class AnnotationConfig:
+    """Heuristic switches (the ablation benchmarks flip these)."""
+
+    use_votes: bool = True
+    use_mate_rule: bool = True
+    use_relationship_election: bool = True
+    use_dest_heuristic: bool = True
+    last_hop_share: float = 0.5   # gate for the destination heuristic
+
+
+def _election(state: NodeState) -> Optional[int]:
+    """Majority origin of the node's own interfaces."""
+    votes = Counter({asn: count for asn, count in state.origins.items()
+                     if asn not in (IXP_ASN, UNKNOWN_ASN)})
+    if not votes:
+        return None
+    top = max(votes.values())
+    return min(asn for asn, count in votes.items() if count == top)
+
+
+def annotate(graph: RouterGraph,
+             relationships: ASRelationships,
+             orgs: Optional[ASOrgMap] = None,
+             config: Optional[AnnotationConfig] = None) -> Dict[str, int]:
+    """Infer an operating AS for every node in the graph."""
+    config = config or AnnotationConfig()
+    annotations: Dict[str, int] = {}
+    for node_id in graph.nodes():
+        decision = _annotate_node(graph.state(node_id), graph,
+                                  relationships, orgs, config)
+        if decision is not None:
+            annotations[node_id] = decision
+    return annotations
+
+
+def _vote_counter(state: NodeState, graph: RouterGraph,
+                  config: AnnotationConfig) -> Counter:
+    """One vote per distinct, informative subsequent interface."""
+    votes: Counter = Counter()
+    route_table = graph.route_table
+    for address in state.subsequent_ifaces:
+        if config.use_mate_rule and address in state.mates:
+            continue
+        origin = route_table.origin(address)
+        if origin in (UNKNOWN_ASN, IXP_ASN):
+            continue
+        votes[origin] += 1
+    return votes
+
+
+def _origin_set(state: NodeState) -> Set[int]:
+    return {asn for asn in state.origins
+            if asn not in (IXP_ASN, UNKNOWN_ASN)}
+
+
+def _related(origin: int, candidate: int,
+             relationships: ASRelationships,
+             orgs: Optional[ASOrgMap]) -> bool:
+    """Is ``candidate`` plausibly the far side of a link from origin?"""
+    rel = relationships.relationship(origin, candidate)
+    if rel in (Relationship.CUSTOMER, Relationship.PEER):
+        return True
+    return orgs is not None and orgs.are_siblings(origin, candidate)
+
+
+def _annotate_node(state: NodeState, graph: RouterGraph,
+                   relationships: ASRelationships,
+                   orgs: Optional[ASOrgMap],
+                   config: AnnotationConfig) -> Optional[int]:
+    origins = _origin_set(state)
+    election = _election(state)
+
+    # 1. Subsequent-interface votes.
+    if config.use_votes:
+        votes = _vote_counter(state, graph, config)
+        if votes:
+            candidate = _pick_candidate(votes, origins, relationships)
+            if candidate in origins:
+                return candidate
+            if any(_related(origin, candidate, relationships, orgs)
+                   for origin in origins):
+                return candidate
+            # Otherwise the votes are unrelated to anything the node
+            # carries; fall through to structural reasoning.
+
+    # 2. Relationship election among multiple origins.
+    if config.use_relationship_election and len(origins) > 1:
+        chosen = _relationship_election(origins, relationships, orgs)
+        if chosen is not None:
+            return chosen
+
+    # 3. Destination heuristic for predominantly-last-hop nodes.
+    if election is None:
+        return None
+    if config.use_dest_heuristic and state.last_hop_dests:
+        traversals = sum(state.dests.values())
+        terminal = sum(state.last_hop_dests.values())
+        if traversals and terminal / traversals >= config.last_hop_share:
+            top = max(state.last_hop_dests.values())
+            dest = min(asn for asn, count in state.last_hop_dests.items()
+                       if count == top and asn > 0)
+            if dest != election:
+                rel = relationships.relationship(election, dest)
+                if rel is Relationship.CUSTOMER:
+                    return dest
+                if orgs is not None and orgs.are_siblings(election, dest):
+                    return dest
+
+    # 4. Election.
+    return election
+
+
+def _relationship_election(origins: Set[int],
+                           relationships: ASRelationships,
+                           orgs: Optional[ASOrgMap]) -> Optional[int]:
+    """The origin every other origin supplies (provider/peer of it)."""
+    candidates: List[int] = []
+    for candidate in sorted(origins):
+        others = origins - {candidate}
+        if not others:
+            continue
+        ok = True
+        for other in others:
+            rel = relationships.relationship(candidate, other)
+            if rel in (Relationship.PROVIDER, Relationship.PEER):
+                continue
+            if orgs is not None and orgs.are_siblings(candidate, other):
+                continue
+            ok = False
+            break
+        if ok:
+            candidates.append(candidate)
+    if not candidates:
+        return None
+    if len(candidates) == 1:
+        return candidates[0]
+    # Several qualify (e.g. mutual peers): the structurally smaller
+    # network is the likelier customer-side operator.
+    return min(candidates,
+               key=lambda asn: (relationships.transit_degree(asn),
+                                relationships.degree(asn), asn))
+
+
+def _pick_candidate(votes: Counter, origins: Set[int],
+                    relationships: ASRelationships) -> int:
+    """Top-voted AS with deterministic, relationship-aware tie-breaks."""
+    top = max(votes.values())
+    leaders = sorted(asn for asn, count in votes.items() if count == top)
+    if len(leaders) == 1:
+        return leaders[0]
+    customers = [asn for asn in leaders
+                 if any(relationships.relationship(origin, asn)
+                        is Relationship.CUSTOMER for origin in origins)]
+    if customers:
+        return customers[0]
+    in_origins = [asn for asn in leaders if asn in origins]
+    if in_origins:
+        return in_origins[0]
+    return min(leaders, key=lambda asn: (relationships.degree(asn), asn))

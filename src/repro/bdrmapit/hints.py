@@ -1,0 +1,169 @@
+"""The paper's section-5 modification: using extracted ASNs in bdrmapIT.
+
+Learned conventions extract an ASN from each hostname.  When the
+extraction disagrees with bdrmapIT's initial inference, either the
+hostname is stale (or a typo) or the inference was wrong.  The modified
+bdrmapIT accepts the extracted ASN as *reasonable* -- and re-annotates
+the node with it -- iff the extracted ASN matches, or is a sibling of, an
+ASN in the node's subsequent or destination ASN sets, or is a provider
+of one of those ASNs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.asn.org import ASOrgMap
+from repro.asn.relationships import ASRelationships
+from repro.bdrmapit.graph import RouterGraph
+from repro.core.select import LearnedConvention, NCClass
+from repro.itdk.snapshot import ITDKSnapshot
+from repro.psl import PublicSuffixList, default_psl
+
+
+@dataclass(frozen=True)
+class ExtractionHint:
+    """One hostname's extracted ASN, attached to a node."""
+
+    node_id: str
+    address: int
+    hostname: str
+    suffix: str
+    extracted_asn: int
+    nc_class: NCClass
+
+
+@dataclass
+class HintDecision:
+    """What the modified bdrmapIT did with one hint."""
+
+    hint: ExtractionHint
+    initial_asn: Optional[int]
+    congruent: bool        # extraction agreed with the initial inference
+    used: bool             # node re-annotated with the extracted ASN
+    final_asn: Optional[int] = None
+
+
+@dataclass
+class HintsOutcome:
+    """Aggregate result of applying hints to an annotation."""
+
+    annotations: Dict[str, int]
+    decisions: List[HintDecision] = field(default_factory=list)
+
+    def incongruent(self) -> List[HintDecision]:
+        """Decisions where extraction differed from the initial ASN."""
+        return [d for d in self.decisions if not d.congruent]
+
+    def used_rate_by_class(self) -> Dict[str, Tuple[int, int]]:
+        """{class: (used, total)} over incongruent hints."""
+        out: Dict[str, List[int]] = defaultdict(lambda: [0, 0])
+        for decision in self.incongruent():
+            bucket = out[decision.hint.nc_class.value]
+            bucket[1] += 1
+            if decision.used:
+                bucket[0] += 1
+        return {key: (used, total) for key, (used, total) in out.items()}
+
+
+def hints_from_conventions(snapshot: ITDKSnapshot,
+                           conventions: Mapping[str, LearnedConvention],
+                           psl: Optional[PublicSuffixList] = None,
+                           ) -> List[ExtractionHint]:
+    """Extract ASNs from every named interface covered by a convention."""
+    psl = psl or default_psl()
+    hints: List[ExtractionHint] = []
+    for address, hostname in snapshot.named_addresses():
+        node_id = snapshot.resolution.node_of_address.get(address)
+        if node_id is None:
+            continue
+        suffix = psl.registered_domain(hostname)
+        if suffix is None:
+            continue
+        convention = conventions.get(suffix)
+        if convention is None:
+            continue
+        extracted = convention.extract(hostname)
+        if extracted is None:
+            continue
+        hints.append(ExtractionHint(
+            node_id=node_id, address=address, hostname=hostname,
+            suffix=suffix, extracted_asn=extracted,
+            nc_class=convention.nc_class))
+    return hints
+
+
+def _reasonable(extracted: int, constraint_asns: Set[int],
+                relationships: ASRelationships,
+                orgs: Optional[ASOrgMap]) -> bool:
+    """The section-5 reasonableness test."""
+    if extracted in constraint_asns:
+        return True
+    if orgs is not None:
+        for asn in constraint_asns:
+            if orgs.are_siblings(extracted, asn):
+                return True
+    for customer in relationships.customers(extracted):
+        if customer in constraint_asns:
+            return True
+    return False
+
+
+_CLASS_PRIORITY = {NCClass.GOOD: 0, NCClass.PROMISING: 1, NCClass.POOR: 2}
+
+
+def apply_hints(graph: RouterGraph, annotations: Mapping[str, int],
+                hints: Iterable[ExtractionHint],
+                relationships: ASRelationships,
+                orgs: Optional[ASOrgMap] = None) -> HintsOutcome:
+    """Re-annotate nodes whose extracted ASNs pass the topology test.
+
+    When several hostnames on one node extract different ASNs, the
+    majority wins, with good conventions outranking promising and poor
+    ones -- mirroring how the paper weighs convention quality.
+    """
+    by_node: Dict[str, List[ExtractionHint]] = defaultdict(list)
+    for hint in hints:
+        by_node[hint.node_id].append(hint)
+
+    outcome = HintsOutcome(annotations=dict(annotations))
+    for node_id in sorted(by_node):
+        node_hints = by_node[node_id]
+        initial = annotations.get(node_id)
+        state = graph.states.get(node_id)
+        chosen = _choose_extraction(node_hints)
+        constraint: Set[int] = set()
+        if state is not None:
+            constraint = (state.subsequent_asns(graph.route_table)
+                          | state.dest_asns())
+        def agrees(asn: int) -> bool:
+            if initial is None:
+                return False
+            return asn == initial or (orgs is not None
+                                      and orgs.are_siblings(asn, initial))
+
+        used = False
+        if not agrees(chosen) and _reasonable(chosen, constraint,
+                                              relationships, orgs):
+            outcome.annotations[node_id] = chosen
+            used = True
+        final = outcome.annotations.get(node_id)
+        for hint in node_hints:
+            outcome.decisions.append(HintDecision(
+                hint=hint, initial_asn=initial,
+                congruent=agrees(hint.extracted_asn),
+                used=used and hint.extracted_asn == chosen,
+                final_asn=final))
+    return outcome
+
+
+def _choose_extraction(node_hints: List[ExtractionHint]) -> int:
+    """Majority extracted ASN, better convention classes first."""
+    votes: Counter = Counter()
+    for hint in node_hints:
+        weight = 100 - _CLASS_PRIORITY[hint.nc_class]
+        votes[hint.extracted_asn] += weight
+    top = max(votes.values())
+    return min(asn for asn, count in votes.items() if count == top)

@@ -1,0 +1,179 @@
+"""Command-line driver: ``repro-hoiho <command> [options]``.
+
+Experiment commands regenerate the paper's tables and figures::
+
+    repro-hoiho figure5 --scale small --seed 2020
+    repro-hoiho section5
+    repro-hoiho all --scale tiny
+
+Workflow commands run the learner on user data::
+
+    repro-hoiho learn  --hostnames names.txt --save conv.json
+    repro-hoiho report --hostnames names.txt
+    repro-hoiho apply  --conventions conv.json --hostnames more.txt
+
+Hostname files carry one ``hostname asn`` pair per line for learn/report
+(`#` comments allowed); for apply, a bare hostname per line suffices.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Tuple
+
+from repro.core.hoiho import Hoiho
+from repro.core.io import conventions_from_json, conventions_to_json
+from repro.core.report import render_result
+from repro.core.types import TrainingItem, group_by_suffix
+from repro.eval import (
+    ExperimentContext,
+    Scale,
+    ablation,
+    appendix_a,
+    figure5,
+    figure6,
+    section5,
+    section7,
+    sensitivity,
+    table1,
+    table2,
+)
+
+_EXPERIMENTS = {
+    "figure5": figure5,
+    "figure6": figure6,
+    "table1": table1,
+    "table2": table2,
+    "section5": section5,
+    "section7": section7,
+    "sensitivity": sensitivity,
+    "appendix-a": appendix_a,
+    "ablation": ablation,
+}
+
+_WORKFLOWS = ("learn", "report", "apply")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-hoiho",
+        description="Reproduce 'Learning to Extract and Use ASNs in "
+                    "Hostnames' (IMC 2020) on a synthetic Internet, or "
+                    "run the learner on your own hostname data.")
+    parser.add_argument("command",
+                        choices=sorted(_EXPERIMENTS) + ["all"]
+                        + list(_WORKFLOWS),
+                        help="experiment to reproduce, or workflow verb")
+    parser.add_argument("--seed", type=int, default=2020,
+                        help="master seed for the synthetic world")
+    parser.add_argument("--scale", choices=[s.value for s in Scale],
+                        default=Scale.SMALL.value,
+                        help="world size (tiny/small/full)")
+    parser.add_argument("--hostnames", metavar="FILE",
+                        help="input file ('hostname asn' lines for "
+                             "learn/report; bare hostnames for apply)")
+    parser.add_argument("--save", metavar="FILE",
+                        help="learn: write conventions JSON here")
+    parser.add_argument("--conventions", metavar="FILE",
+                        help="apply: conventions JSON from a prior learn")
+    return parser
+
+
+def _read_training(path: str) -> List[TrainingItem]:
+    items: List[TrainingItem] = []
+    with open(path, encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            if len(fields) < 2:
+                print("skipping malformed line: %r" % raw,
+                      file=sys.stderr)
+                continue
+            items.append(TrainingItem(hostname=fields[0],
+                                      train_asn=int(fields[1])))
+    return items
+
+
+def _read_hostnames(path: str) -> List[str]:
+    with open(path, encoding="utf-8") as handle:
+        return [line.strip().split()[0] for line in handle
+                if line.strip() and not line.startswith("#")]
+
+
+def _run_experiment(name: str, context: ExperimentContext) -> str:
+    module = _EXPERIMENTS[name]
+    result = module.run(context)
+    return module.render(result)
+
+
+def _cmd_learn(args: argparse.Namespace) -> int:
+    if args.hostnames is None:
+        print("learn requires --hostnames FILE", file=sys.stderr)
+        return 2
+    items = _read_training(args.hostnames)
+    result = Hoiho().run(items)
+    for suffix in sorted(result.conventions):
+        convention = result.conventions[suffix]
+        print("%s [%s] atp=%d ppv=%.2f" % (suffix,
+                                           convention.nc_class.value,
+                                           convention.score.atp,
+                                           convention.score.ppv))
+        for pattern in convention.patterns():
+            print("    %s" % pattern)
+    print("# %d suffixes examined, %d conventions learned"
+          % (result.suffixes_examined, len(result.conventions)))
+    if args.save:
+        with open(args.save, "w", encoding="utf-8") as handle:
+            handle.write(conventions_to_json(result))
+        print("# conventions written to %s" % args.save)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    if args.hostnames is None:
+        print("report requires --hostnames FILE", file=sys.stderr)
+        return 2
+    items = _read_training(args.hostnames)
+    result = Hoiho().run(items)
+    print(render_result(result, group_by_suffix(items)))
+    return 0
+
+
+def _cmd_apply(args: argparse.Namespace) -> int:
+    if args.conventions is None or args.hostnames is None:
+        print("apply requires --conventions FILE and --hostnames FILE",
+              file=sys.stderr)
+        return 2
+    with open(args.conventions, encoding="utf-8") as handle:
+        result = conventions_from_json(handle.read())
+    for hostname in _read_hostnames(args.hostnames):
+        extracted = result.extract(hostname)
+        print("%s\t%s" % (hostname,
+                          extracted if extracted is not None else "-"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro-hoiho`` console script."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "learn":
+        return _cmd_learn(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "apply":
+        return _cmd_apply(args)
+    context = ExperimentContext(seed=args.seed, scale=Scale(args.scale))
+    names = sorted(_EXPERIMENTS) if args.command == "all" \
+        else [args.command]
+    for index, name in enumerate(names):
+        if index:
+            print("\n" + "=" * 70 + "\n")
+        print(_run_experiment(name, context))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

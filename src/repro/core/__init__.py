@@ -1,0 +1,110 @@
+"""Hoiho-ASN: learning regexes that extract ASNs from hostnames.
+
+This package is the paper's primary contribution (sections 3 and 4):
+
+* :mod:`repro.core.types` -- training items and per-suffix datasets;
+* :mod:`repro.core.congruence` -- apparent ASNs, the guarded
+  edit-distance-one rule, the embedded-IP false-positive rule, and the
+  TP/FP/FN/ATP bookkeeping of section 3.1;
+* :mod:`repro.core.regex_model` -- a structured regex AST that renders to
+  the anchored patterns the paper shows;
+* :mod:`repro.core.phase1` .. :mod:`repro.core.phase4` -- the four
+  learning phases (base regexes, merging, character classes, regex sets);
+* :mod:`repro.core.select` -- best-convention selection (section 3.6) and
+  the good/promising/poor classification (section 4);
+* :mod:`repro.core.taxonomy` -- the Table-1 placement taxonomy;
+* :mod:`repro.core.hoiho` -- the end-to-end learner.
+"""
+
+from repro.core.types import TrainingItem, SuffixDataset, group_by_suffix
+from repro.core.asname import (
+    NameConvention,
+    NameHoiho,
+    NameLearnerConfig,
+    learn_name_suffix,
+)
+from repro.core.routername import (
+    RouterItem,
+    RouterNameConvention,
+    learn_router_names,
+    learn_router_suffix,
+)
+from repro.core.io import (
+    conventions_from_json,
+    conventions_to_json,
+    training_from_jsonl,
+    training_to_jsonl,
+)
+from repro.core.report import render_convention, render_result
+from repro.core.congruence import (
+    Outcome,
+    apparent_asn_runs,
+    classify_extraction,
+    congruent,
+)
+from repro.core.regex_model import (
+    Alt,
+    Any_,
+    Cap,
+    ClassSeq,
+    Exclude,
+    Lit,
+    Regex,
+)
+from repro.core.evaluate import NCScore, evaluate_nc, evaluate_regex
+from repro.core.select import NCClass, LearnedConvention, select_best, classify_nc
+from repro.core.taxonomy import Taxonomy, taxonomy_of
+from repro.core.hoiho import (
+    Hoiho,
+    HoihoConfig,
+    HoihoResult,
+    LearnTrace,
+    learn_suffix,
+    learn_suffix_traced,
+)
+
+__all__ = [
+    "TrainingItem",
+    "SuffixDataset",
+    "group_by_suffix",
+    "NameConvention",
+    "NameHoiho",
+    "NameLearnerConfig",
+    "learn_name_suffix",
+    "RouterItem",
+    "RouterNameConvention",
+    "learn_router_names",
+    "learn_router_suffix",
+    "conventions_from_json",
+    "conventions_to_json",
+    "training_from_jsonl",
+    "training_to_jsonl",
+    "render_convention",
+    "render_result",
+    "Outcome",
+    "apparent_asn_runs",
+    "classify_extraction",
+    "congruent",
+    "Alt",
+    "Any_",
+    "Cap",
+    "ClassSeq",
+    "Exclude",
+    "Lit",
+    "Regex",
+    "NCScore",
+    "evaluate_nc",
+    "evaluate_regex",
+    "NCClass",
+    "LearnedConvention",
+    "select_best",
+    "classify_nc",
+    "Taxonomy",
+    "taxonomy_of",
+    "Hoiho",
+    "HoihoConfig",
+    "HoihoResult",
+    "LearnTrace",
+    "learn_suffix",
+    "learn_suffix_traced",
+]

@@ -1,0 +1,245 @@
+"""Learning AS-*name* conventions without a name dictionary (section 7).
+
+The paper's future-work direction: at least three times more suffixes
+embed the neighbor's AS *name* than its number (figure 1's telia.net and
+seabone.net).  This module implements the preliminary capability: learn,
+per suffix, a regex with an alphabetic capture ``([a-z]+)`` whose
+captured tokens *partition* the training ASNs -- each token consistently
+co-occurs with one training ASN.  No external name dictionary is used;
+the token-to-ASN mapping is derived from the data itself, which is
+exactly what makes such conventions shareable validation data.
+
+The learner parallels the ASN phases in miniature: candidate generation
+from punctuation structure (phase-1 style), evaluation by a purity-based
+ATP analog, and selection of the top-scoring regex.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.regex_model import (
+    AlphaCap,
+    Any_,
+    Element,
+    Exclude,
+    Lit,
+    Regex,
+)
+from repro.core.types import SuffixDataset, TrainingItem, group_by_suffix
+from repro.psl import PublicSuffixList, default_psl
+
+#: Tokens that decorate hostnames everywhere and never identify an AS.
+_STOPWORDS = {
+    "cust", "peer", "core", "edge", "bb", "gw", "ix", "static", "dyn",
+    "dia", "stat", "lo", "eth", "ge", "te", "xe", "et", "hu", "ae",
+    "as", "ip", "ipv4", "ipv6", "net", "rev",
+}
+
+_MIN_TOKEN_LEN = 4
+
+
+@dataclass
+class NameScore:
+    """Purity-based score for an alphabetic-capture regex."""
+
+    tp: int = 0                  # captures agreeing with the token's ASN
+    fp: int = 0                  # captures disagreeing
+    tokens: Dict[str, int] = field(default_factory=dict)  # token -> ASN
+
+    @property
+    def atp(self) -> int:
+        return self.tp - self.fp
+
+    @property
+    def purity(self) -> float:
+        total = self.tp + self.fp
+        return self.tp / total if total else 0.0
+
+    @property
+    def distinct_asns(self) -> int:
+        return len(set(self.tokens.values()))
+
+
+@dataclass
+class NameConvention:
+    """A learned AS-name convention for one suffix."""
+
+    suffix: str
+    regex: Regex
+    mapping: Dict[str, int]      # captured token -> ASN
+    score: NameScore
+
+    def extract(self, hostname: str) -> Optional[int]:
+        """ASN for ``hostname`` via the learned token mapping."""
+        hit = self.regex.extract(hostname.lower())
+        if hit is None:
+            return None
+        return self.mapping.get(hit[0])
+
+    def extract_name(self, hostname: str) -> Optional[str]:
+        """The raw name token, for hostnames outside the training set."""
+        hit = self.regex.extract(hostname.lower())
+        return hit[0] if hit is not None else None
+
+
+@dataclass
+class NameLearnerConfig:
+    """Gates for the name learner (mirrors the ASN thresholds)."""
+
+    min_hostnames: int = 4
+    min_tokens: int = 3          # distinct captured name tokens
+    min_tp: int = 4              # matched name hostnames overall
+    min_distinct_asns: int = 3
+    min_purity: float = 0.8
+    min_occurrences: int = 1     # a token may be seen once: operators
+                                 # often have one interface per neighbor
+    max_candidates: int = 400
+    generation_sample: int = 60
+
+
+def _segment_element(tokens: Sequence[str], index: int) -> Element:
+    text = tokens[index]
+    if not text:
+        return Lit("")
+    right = tokens[index + 1] if index + 1 < len(tokens) else "."
+    return Exclude(frozenset(right))
+
+
+def _candidates_for_item(dataset: SuffixDataset, index: int) -> List[Regex]:
+    """Alpha-capture candidates from one hostname's structure."""
+    item = dataset.items[index]
+    local = dataset.local_part(item)
+    if not local:
+        return []
+    tokens = dataset.tokens(item)
+    out: List[Regex] = []
+    for seg_index in range(0, len(tokens), 2):
+        segment = tokens[seg_index]
+        if len(segment) < _MIN_TOKEN_LEN or not segment.isalpha():
+            continue
+        if segment in _STOPWORDS:
+            continue
+        elements: List[Element] = []
+        for tok_index, token in enumerate(tokens):
+            if tok_index == seg_index:
+                elements.append(AlphaCap())
+            elif tok_index % 2 == 1:
+                elements.append(Lit(token))
+            else:
+                elements.append(_segment_element(tokens, tok_index))
+        out.append(Regex(elements, dataset.suffix))
+        # A looser variant: everything after the capture collapses.
+        if seg_index + 1 < len(tokens):
+            loose: List[Element] = []
+            for tok_index, token in enumerate(tokens[:seg_index + 1]):
+                if tok_index == seg_index:
+                    loose.append(AlphaCap())
+                elif tok_index % 2 == 1:
+                    loose.append(Lit(token))
+                else:
+                    loose.append(_segment_element(tokens, tok_index))
+            loose.append(Lit(tokens[seg_index + 1]))
+            loose.append(Any_())
+            out.append(Regex(loose, dataset.suffix))
+    return out
+
+
+def evaluate_name_regex(regex: Regex, dataset: SuffixDataset,
+                        min_occurrences: int = 1) -> NameScore:
+    """Score an alpha-capture regex by token/ASN co-occurrence purity."""
+    by_token: Dict[str, Counter] = defaultdict(Counter)
+    for item in dataset.items:
+        hit = regex.extract(item.hostname)
+        if hit is None:
+            continue
+        token = hit[0]
+        if token in _STOPWORDS or len(token) < _MIN_TOKEN_LEN:
+            continue
+        by_token[token][item.train_asn] += 1
+    score = NameScore()
+    for token, counts in by_token.items():
+        asn, majority = counts.most_common(1)[0]
+        total = sum(counts.values())
+        if total < min_occurrences:
+            # Singletons neither help nor hurt: no evidence either way.
+            continue
+        score.tp += majority
+        score.fp += total - majority
+        score.tokens[token] = asn
+    return score
+
+
+def learn_name_suffix(dataset: SuffixDataset,
+                      config: Optional[NameLearnerConfig] = None,
+                      ) -> Optional[NameConvention]:
+    """Learn an AS-name convention for one suffix, or None."""
+    config = config or NameLearnerConfig()
+    if len(dataset) < config.min_hostnames:
+        return None
+    if dataset.distinct_train_asns < config.min_distinct_asns:
+        return None
+
+    seen: Set[str] = set()
+    candidates: List[Regex] = []
+    visited = 0
+    for index in range(len(dataset.items)):
+        if visited >= config.generation_sample:
+            break
+        fresh = _candidates_for_item(dataset, index)
+        if fresh:
+            visited += 1
+        for regex in fresh:
+            if regex.pattern not in seen:
+                seen.add(regex.pattern)
+                candidates.append(regex)
+                if len(candidates) >= config.max_candidates:
+                    break
+        if len(candidates) >= config.max_candidates:
+            break
+    if not candidates:
+        return None
+
+    best: Optional[Tuple[NameScore, Regex]] = None
+    for regex in candidates:
+        score = evaluate_name_regex(regex, dataset,
+                                    config.min_occurrences)
+        if len(score.tokens) < config.min_tokens:
+            continue
+        if score.tp < config.min_tp:
+            continue
+        if score.distinct_asns < config.min_distinct_asns:
+            continue
+        if score.purity < config.min_purity:
+            continue
+        key = (score.atp, score.distinct_asns, -regex.specificity_cost())
+        if best is None or key > (best[0].atp, best[0].distinct_asns,
+                                  -best[1].specificity_cost()):
+            best = (score, regex)
+    if best is None:
+        return None
+    score, regex = best
+    return NameConvention(suffix=dataset.suffix, regex=regex,
+                          mapping=dict(score.tokens), score=score)
+
+
+class NameHoiho:
+    """Driver: learn AS-name conventions over a whole training set."""
+
+    def __init__(self, config: Optional[NameLearnerConfig] = None,
+                 psl: Optional[PublicSuffixList] = None) -> None:
+        self.config = config or NameLearnerConfig()
+        self.psl = psl or default_psl()
+
+    def run(self, items: Iterable[TrainingItem]
+            ) -> Dict[str, NameConvention]:
+        """Learn a name convention per suffix where one exists."""
+        datasets = group_by_suffix(items, self.psl)
+        conventions: Dict[str, NameConvention] = {}
+        for suffix in sorted(datasets):
+            convention = learn_name_suffix(datasets[suffix], self.config)
+            if convention is not None:
+                conventions[suffix] = convention
+        return conventions

@@ -1,0 +1,283 @@
+"""The end-to-end Hoiho-ASN learner.
+
+:func:`learn_suffix` runs the four phases over one suffix dataset and
+returns the selected convention; :class:`Hoiho` runs over a whole
+training set (any iterable of :class:`~repro.core.types.TrainingItem`),
+grouping by public suffix first.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.congruence import apparent_asn_runs
+from repro.core.evaluate import NCScore, evaluate_regex
+from repro.core.phase1 import generate_base_regexes
+from repro.core.phase2 import merge_regexes
+from repro.core.phase3 import specialise_regex
+from repro.core.phase4 import build_regex_sets
+from repro.core.regex_model import Regex
+from repro.core.select import (
+    LearnedConvention,
+    NCClass,
+    classify_nc,
+    select_best,
+)
+from repro.core.taxonomy import Taxonomy, taxonomy_of
+from repro.core.types import SuffixDataset, TrainingItem, group_by_suffix
+from repro.psl import PublicSuffixList, default_psl
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class HoihoConfig:
+    """Learner knobs.
+
+    The defaults mirror the paper's behaviour; the phase switches exist
+    for the ablation benchmarks.
+    """
+
+    min_hostnames: int = 4          # smallest suffix worth learning
+    min_apparent: int = 2           # hostnames with apparent ASNs required
+    min_distinct_asns: int = 2      # figure-2 rule: >=2 distinct extractions
+    min_tp: int = 3                 # minimum congruent extractions
+    max_candidates: int = 800       # phase-1 pool cap
+    generation_sample: int = 80     # items seeding phase-1 generation
+    eval_pool: int = 120            # candidates kept (by ATP) after phase 1
+    set_pool: int = 25              # phase-4 ranking window
+    n_seeds: int = 6                # phase-4 seed count
+    enable_merge: bool = True       # phase 2
+    enable_classes: bool = True     # phase 3
+    enable_sets: bool = True        # phase 4
+
+
+@dataclass
+class LearnTrace:
+    """How a convention came to be: per-phase bookkeeping.
+
+    Produced by :func:`learn_suffix_traced`; lets callers render a
+    figure-4 style walkthrough (base regexes, merges, class embeddings,
+    set building, and the selection outcome).
+    """
+
+    suffix: str = ""
+    phase1_generated: int = 0
+    phase1_scored: List[Tuple[Regex, NCScore]] = field(
+        default_factory=list)
+    phase2_added: List[Tuple[Regex, NCScore]] = field(
+        default_factory=list)
+    phase3_added: List[Tuple[Regex, NCScore]] = field(
+        default_factory=list)
+    conventions: List[Tuple[Tuple[Regex, ...], NCScore]] = field(
+        default_factory=list)
+    rejected_reason: Optional[str] = None
+
+    def best_phase1(self, n: int = 5) -> List[Tuple[Regex, NCScore]]:
+        """Top-n base regexes by rank."""
+        return sorted(self.phase1_scored,
+                      key=lambda pair: pair[1].rank_key())[:n]
+
+
+@dataclass
+class HoihoResult:
+    """Learned conventions for every suffix that yielded one."""
+
+    conventions: Dict[str, LearnedConvention] = field(default_factory=dict)
+    suffixes_examined: int = 0
+
+    def by_class(self, nc_class: NCClass) -> List[LearnedConvention]:
+        """Conventions of one class, sorted by suffix."""
+        return [self.conventions[s] for s in sorted(self.conventions)
+                if self.conventions[s].nc_class is nc_class]
+
+    def usable(self) -> List[LearnedConvention]:
+        """Good + promising conventions, sorted by suffix."""
+        return [self.conventions[s] for s in sorted(self.conventions)
+                if self.conventions[s].usable]
+
+    def class_counts(self) -> Dict[str, int]:
+        """{'good': n, 'promising': n, 'poor': n} summary."""
+        counts = {c.value: 0 for c in NCClass}
+        for convention in self.conventions.values():
+            counts[convention.nc_class.value] += 1
+        return counts
+
+    def taxonomy_of(self, suffix: str) -> Taxonomy:
+        """Table-1 class of the convention learned for ``suffix``."""
+        return taxonomy_of(self.conventions[suffix].regexes)
+
+    def extract(self, hostname: str,
+                psl: Optional[PublicSuffixList] = None) -> Optional[int]:
+        """Extract an ASN from an arbitrary hostname, if a learned
+        convention covers its suffix."""
+        psl = psl or default_psl()
+        suffix = psl.registered_domain(hostname.lower())
+        if suffix is None:
+            return None
+        convention = self.conventions.get(suffix)
+        if convention is None:
+            return None
+        return convention.extract(hostname)
+
+
+def _has_enough_apparent(dataset: SuffixDataset, config: HoihoConfig) -> bool:
+    """Cheap pre-check: does the suffix contain enough apparent ASNs?
+
+    Suffixes that embed AS names, geography, or nothing fail here without
+    paying for regex generation -- the bulk of real suffixes.
+    """
+    count = 0
+    distinct = set()
+    for index, item in enumerate(dataset.items):
+        runs = apparent_asn_runs(item.hostname, item.train_asn,
+                                 dataset.ip_spans(index))
+        if runs:
+            count += 1
+            distinct.add(item.train_asn)
+            if count >= config.min_apparent and len(distinct) >= 2:
+                return True
+    return count >= config.min_apparent and len(distinct) >= 2
+
+
+def learn_suffix(dataset: SuffixDataset,
+                 config: Optional[HoihoConfig] = None,
+                 ) -> Optional[LearnedConvention]:
+    """Learn a naming convention for one suffix, or None.
+
+    Runs phase 1 (base regexes), phase 2 (merging), phase 3 (character
+    classes) and phase 4 (regex sets), then applies the section-3.6
+    selection rule and the section-4 usability gates.
+    """
+    convention, _ = learn_suffix_traced(dataset, config, trace=False)
+    return convention
+
+
+def learn_suffix_traced(dataset: SuffixDataset,
+                        config: Optional[HoihoConfig] = None,
+                        trace: bool = True,
+                        ) -> Tuple[Optional[LearnedConvention],
+                                   Optional[LearnTrace]]:
+    """Like :func:`learn_suffix`, optionally recording a
+    :class:`LearnTrace` of every phase (figure-4 style walkthrough)."""
+    config = config or HoihoConfig()
+    record = LearnTrace(suffix=dataset.suffix) if trace else None
+
+    def reject(reason: str):
+        if record is not None:
+            record.rejected_reason = reason
+        return None, record
+
+    if len(dataset) < config.min_hostnames:
+        return reject("too few hostnames")
+    if dataset.distinct_train_asns < config.min_distinct_asns:
+        return reject("single training ASN")
+    if not _has_enough_apparent(dataset, config):
+        return reject("not enough apparent ASNs")
+
+    candidates = generate_base_regexes(
+        dataset, max_candidates=config.max_candidates,
+        sample=config.generation_sample)
+    if record is not None:
+        record.phase1_generated = len(candidates)
+    if not candidates:
+        return reject("no base regexes")
+
+    scored: Dict[Regex, NCScore] = {}
+    for regex in candidates:
+        score = evaluate_regex(regex, dataset)
+        if score.tp > 0:
+            scored[regex] = score
+    if record is not None:
+        record.phase1_scored = list(scored.items())
+    if not scored:
+        return reject("no base regex extracts a congruent ASN")
+
+    # Trim to the strongest candidates before the quadratic phases.
+    ranked = sorted(scored, key=lambda r: scored[r].rank_key()
+                    + (r.specificity_cost(), r.pattern))
+    scored = {regex: scored[regex] for regex in ranked[:config.eval_pool]}
+
+    if config.enable_merge:
+        for regex in merge_regexes(list(scored)):
+            score = evaluate_regex(regex, dataset)
+            if score.tp > 0:
+                scored[regex] = score
+                if record is not None:
+                    record.phase2_added.append((regex, score))
+
+    if config.enable_classes:
+        for regex in list(scored):
+            specialised = specialise_regex(regex, dataset)
+            if specialised is None or specialised in scored:
+                continue
+            score = evaluate_regex(specialised, dataset)
+            if score.atp >= scored[regex].atp:
+                scored[specialised] = score
+                if record is not None:
+                    record.phase3_added.append((specialised, score))
+
+    if config.enable_sets:
+        conventions = build_regex_sets(scored, dataset,
+                                       pool_size=config.set_pool,
+                                       n_seeds=config.n_seeds)
+    else:
+        ranked = sorted(scored,
+                        key=lambda r: scored[r].rank_key()
+                        + (r.specificity_cost(), r.pattern))
+        conventions = [((regex,), scored[regex])
+                       for regex in ranked[:config.set_pool]]
+    if record is not None:
+        record.conventions = conventions[:10]
+
+    selection = select_best(conventions)
+    if selection is None:
+        return reject("no convention selected")
+    regexes, score = selection
+    if score.distinct < config.min_distinct_asns or score.tp < config.min_tp:
+        return reject("below usability gates "
+                      "(distinct=%d tp=%d)" % (score.distinct, score.tp))
+    convention = LearnedConvention(suffix=dataset.suffix, regexes=regexes,
+                                   score=score,
+                                   nc_class=classify_nc(score))
+    return convention, record
+
+
+class Hoiho:
+    """Convenience driver over an arbitrary training set.
+
+    >>> hoiho = Hoiho()
+    >>> items = [TrainingItem("as%d.lon%d.example.com" % (a, i % 3), a)
+    ...          for i, a in enumerate([3356, 1299, 174, 2914, 6453])]
+    >>> result = hoiho.run(items)
+    >>> result.conventions["example.com"].patterns()
+    ['^as(\\\\d+)\\\\.lon\\\\d+\\\\.example\\\\.com$']
+    """
+
+    def __init__(self, config: Optional[HoihoConfig] = None,
+                 psl: Optional[PublicSuffixList] = None) -> None:
+        self.config = config or HoihoConfig()
+        self.psl = psl or default_psl()
+
+    def run(self, items: Iterable[TrainingItem]) -> HoihoResult:
+        """Group items by suffix and learn a convention per suffix."""
+        datasets = group_by_suffix(items, self.psl)
+        return self.run_datasets(datasets.values())
+
+    def run_datasets(self,
+                     datasets: Iterable[SuffixDataset]) -> HoihoResult:
+        """Learn over pre-grouped datasets."""
+        result = HoihoResult()
+        for dataset in sorted(datasets, key=lambda d: d.suffix):
+            result.suffixes_examined += 1
+            convention = learn_suffix(dataset, self.config)
+            if convention is not None:
+                result.conventions[dataset.suffix] = convention
+                logger.debug("learned %s convention for %s: %s",
+                             convention.nc_class.value, dataset.suffix,
+                             convention.patterns())
+        logger.info("examined %d suffixes, learned %d conventions",
+                    result.suffixes_examined, len(result.conventions))
+        return result

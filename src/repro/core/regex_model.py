@@ -1,0 +1,315 @@
+"""Structured regex representation for the learner.
+
+The learner never manipulates pattern strings directly; it composes
+*elements* -- literals, the ASN capture, punctuation-exclusion components,
+character classes, ``.+`` and or-groups -- and renders them into the
+anchored patterns the paper presents (e.g.
+``^(?:p|s)?(\\d+)\\.[a-z\\d]+\\.equinix\\.com$``).  Element identity is
+what phases 2 and 3 transform, so each element exposes a hashable
+``key()``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+
+_SPECIALS = set(".^$*+?()[]{}|\\")
+
+
+def escape_literal(text: str) -> str:
+    """Escape regex metacharacters, leaving '-' bare (as the paper does)."""
+    return "".join("\\" + ch if ch in _SPECIALS else ch for ch in text)
+
+
+def escape_class_char(ch: str) -> str:
+    """Escape one character for use inside a character class."""
+    if ch in "\\]^-":
+        return "\\" + ch
+    return ch
+
+
+class Element:
+    """Base class for regex elements."""
+
+    #: True for elements that consume a variable amount of text.
+    variable = False
+
+    def render(self) -> str:
+        """The element's regex source."""
+        raise NotImplementedError
+
+    def key(self) -> Tuple:
+        """Hashable identity used for comparing/merging regexes."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Element) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        return "%s(%s)" % (type(self).__name__, self.render())
+
+
+@dataclass(frozen=True, eq=False)
+class Lit(Element):
+    """A literal string (an alphanumeric token or punctuation)."""
+
+    text: str
+
+    def render(self) -> str:
+        return escape_literal(self.text)
+
+    def key(self) -> Tuple:
+        return ("lit", self.text)
+
+    @property
+    def is_punct(self) -> bool:
+        """True when the literal is purely punctuation."""
+        return bool(self.text) and all(not c.isalnum() for c in self.text)
+
+    @property
+    def is_simple(self) -> bool:
+        """A 'simple string' in the paper's merging sense: alnum only."""
+        return bool(self.text) and self.text.isalnum()
+
+
+@dataclass(frozen=True, eq=False)
+class Cap(Element):
+    """The ASN capture, ``(\\d+)``."""
+
+    def render(self) -> str:
+        return "(\\d+)"
+
+    def key(self) -> Tuple:
+        return ("cap",)
+
+
+@dataclass(frozen=True, eq=False)
+class AlphaCap(Element):
+    """An alphabetic capture ``([a-z]+)``, used by the AS-name learner
+    (the paper's section-7 future direction)."""
+
+    def render(self) -> str:
+        return "([a-z]+)"
+
+    def key(self) -> Tuple:
+        return ("acap",)
+
+
+@dataclass(frozen=True, eq=False)
+class Exclude(Element):
+    """A punctuation-exclusion component such as ``[^\\.]+``."""
+
+    chars: FrozenSet[str]
+    variable = True
+
+    def render(self) -> str:
+        body = "".join(escape_class_char(c) if c not in "."
+                       else "\\." for c in sorted(self.chars))
+        return "[^%s]+" % body
+
+    def key(self) -> Tuple:
+        return ("exclude", tuple(sorted(self.chars)))
+
+
+@dataclass(frozen=True, eq=False)
+class Any_(Element):
+    """The match-anything component ``.+`` (at most one per regex)."""
+
+    variable = True
+
+    def render(self) -> str:
+        return ".+"
+
+    def key(self) -> Tuple:
+        return ("any",)
+
+
+#: Orderable atoms a character class may contain.
+CLASS_ALPHA = "a-z"
+CLASS_DIGIT = "\\d"
+
+
+@dataclass(frozen=True, eq=False)
+class ClassSeq(Element):
+    """A character-class component such as ``[a-z\\d]+`` or ``\\d+``."""
+
+    atoms: FrozenSet[str]
+    variable = True
+
+    def render(self) -> str:
+        atoms = set(self.atoms)
+        parts: List[str] = []
+        if CLASS_ALPHA in atoms:
+            parts.append(CLASS_ALPHA)
+            atoms.discard(CLASS_ALPHA)
+        if CLASS_DIGIT in atoms:
+            parts.append(CLASS_DIGIT)
+            atoms.discard(CLASS_DIGIT)
+        extras = sorted(atoms - {"-"})
+        parts.extend(escape_class_char(c) if c != "." else "\\."
+                     for c in extras)
+        if "-" in self.atoms:
+            parts.append("-")
+        if parts == [CLASS_DIGIT]:
+            return "\\d+"
+        return "[%s]+" % "".join(parts)
+
+    def key(self) -> Tuple:
+        return ("class", tuple(sorted(self.atoms)))
+
+
+@dataclass(frozen=True, eq=False)
+class Alt(Element):
+    """An or-group over simple literals, e.g. ``(?:p|s)?``."""
+
+    options: Tuple[str, ...]
+    optional: bool = False
+
+    def render(self) -> str:
+        body = "|".join(escape_literal(o) for o in self.options)
+        return "(?:%s)%s" % (body, "?" if self.optional else "")
+
+    def key(self) -> Tuple:
+        return ("alt", self.options, self.optional)
+
+
+@lru_cache(maxsize=65536)
+def _compile(pattern: str) -> "re.Pattern[str]":
+    return re.compile(pattern)
+
+
+class Regex:
+    """An anchored regex assembled from elements.
+
+    Equality and hashing follow the rendered pattern, so structurally
+    different but textually identical candidates deduplicate.
+
+    >>> r = Regex([Lit("as"), Cap(), Lit("."), Exclude(frozenset("."))],
+    ...           suffix="example.com")
+    >>> r.pattern
+    '^as(\\\\d+)\\\\.[^\\\\.]+\\\\.example\\\\.com$'
+    >>> r.extract("as64500.lon.example.com")
+    ('64500', (2, 7))
+    """
+
+    __slots__ = ("elements", "suffix", "_pattern", "_hash")
+
+    def __init__(self, elements: Sequence[Element], suffix: str) -> None:
+        self.elements: Tuple[Element, ...] = tuple(elements)
+        self.suffix = suffix
+        body = "".join(el.render() for el in self.elements)
+        tail = escape_literal("." + suffix) if suffix else ""
+        self._pattern = "^" + body + tail + "$"
+        self._hash = hash(self._pattern)
+
+    @classmethod
+    def raw(cls, pattern: str) -> "Regex":
+        """Wrap a hand-written pattern (e.g. from the paper's figures).
+
+        The result supports matching/extraction and scoring but not the
+        structural transformations (it has no elements).  The pattern
+        must contain exactly one capturing group over the ASN digits.
+        """
+        regex = cls.__new__(cls)
+        regex.elements = ()
+        regex.suffix = ""
+        regex._pattern = pattern
+        regex._hash = hash(pattern)
+        return regex
+
+    @property
+    def pattern(self) -> str:
+        """The rendered anchored pattern."""
+        return self._pattern
+
+    @property
+    def compiled(self) -> "re.Pattern[str]":
+        """Compiled form (process-wide cached)."""
+        return _compile(self._pattern)
+
+    def extract(self, hostname: str) -> Optional[Tuple[str, Tuple[int, int]]]:
+        """Extract the ASN capture from ``hostname``.
+
+        Returns (digits, span) or None when the regex does not match.
+        """
+        match = self.compiled.match(hostname)
+        if match is None:
+            return None
+        return match.group(1), match.span(1)
+
+    def with_elements(self, elements: Iterable[Element]) -> "Regex":
+        """A copy of this regex with different elements."""
+        return Regex(tuple(elements), self.suffix)
+
+    def specificity_cost(self) -> int:
+        """How loose the regex is; lower is more specific.
+
+        Literal-only regexes cost 0; each character class costs 1, each
+        punctuation-exclusion 2 and each ``.+`` 3.  Used to break ATP
+        ties in favour of the most specific pattern, mirroring the
+        paper's preference (phase 3 exists to raise specificity).
+        """
+        cost = 0
+        for el in self.elements:
+            if isinstance(el, Any_):
+                cost += 3
+            elif isinstance(el, Exclude):
+                cost += 2
+            elif isinstance(el, ClassSeq):
+                cost += 1
+        return cost
+
+    def cap_index(self) -> int:
+        """Index of the capture element (ValueError when absent)."""
+        for i, el in enumerate(self.elements):
+            if isinstance(el, Cap):
+                return i
+        raise ValueError("regex has no capture: %s" % self._pattern)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Regex) and self._pattern == other._pattern
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return "Regex(%s)" % self._pattern
+
+    def __lt__(self, other: "Regex") -> bool:
+        return self._pattern < other._pattern
+
+
+def instrumented_pattern(regex: Regex) -> Tuple["re.Pattern[str]", List[int]]:
+    """Compile ``regex`` with every variable element wrapped in a group.
+
+    Returns the compiled pattern and, for each variable element (in
+    element order), the 1-based group number capturing its text.  The ASN
+    capture keeps group 1 semantics by being counted like any group.
+    """
+    parts: List[str] = ["^"]
+    group_numbers: List[int] = []
+    next_group = 1
+    for el in regex.elements:
+        if isinstance(el, Cap):
+            parts.append(el.render())
+            next_group += 1
+        elif el.variable:
+            parts.append("(" + el.render() + ")")
+            group_numbers.append(next_group)
+            next_group += 1
+        elif isinstance(el, Alt):
+            # Non-capturing group already; renders fine inside.
+            parts.append(el.render())
+        else:
+            parts.append(el.render())
+    if regex.suffix:
+        parts.append(escape_literal("." + regex.suffix))
+    parts.append("$")
+    return _compile("".join(parts)), group_numbers

@@ -1,0 +1,108 @@
+"""Ablations: what each learning phase and each bdrmapIT heuristic buys.
+
+DESIGN.md calls out the design choices worth isolating:
+
+* Hoiho phases 2 (merging), 3 (character classes), 4 (regex sets) can be
+  disabled individually; we measure usable-NC counts and total ATP on
+  the latest ITDK training set;
+* bdrmapIT's vote rule, link-mate rule, relationship election, and
+  destination heuristic can be disabled; we measure ground-truth
+  accuracy on ASN-labelled routers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Tuple
+
+from repro.bdrmapit.algorithm import AnnotationConfig, annotate
+from repro.bdrmapit.metrics import accuracy_against_truth
+from repro.core.hoiho import Hoiho, HoihoConfig
+from repro.eval.common import pct, render_table
+from repro.eval.context import ExperimentContext
+
+
+@dataclass
+class AblationRow:
+    name: str
+    usable: int = 0
+    good: int = 0
+    total_atp: int = 0
+    accuracy: float = 0.0
+
+
+@dataclass
+class AblationResult:
+    learner_rows: List[AblationRow] = field(default_factory=list)
+    bdrmapit_rows: List[AblationRow] = field(default_factory=list)
+
+
+_LEARNER_VARIANTS: List[Tuple[str, Dict[str, bool]]] = [
+    ("full", {}),
+    ("no merging (phase 2)", {"enable_merge": False}),
+    ("no char classes (phase 3)", {"enable_classes": False}),
+    ("no regex sets (phase 4)", {"enable_sets": False}),
+    ("phase 1 only", {"enable_merge": False, "enable_classes": False,
+                      "enable_sets": False}),
+]
+
+_BDRMAPIT_VARIANTS: List[Tuple[str, Dict[str, object]]] = [
+    ("full", {}),
+    ("no subsequent votes", {"use_votes": False}),
+    ("no link-mate rule", {"use_mate_rule": False}),
+    ("no relationship election", {"use_relationship_election": False}),
+    ("no destination heuristic", {"use_dest_heuristic": False}),
+    ("election only", {"use_votes": False,
+                       "use_relationship_election": False,
+                       "use_dest_heuristic": False}),
+]
+
+
+def run(context: ExperimentContext) -> AblationResult:
+    """Run all learner and annotation ablations on the latest ITDK."""
+    result = AblationResult()
+    training_set = context.latest_itdk()
+
+    for name, overrides in _LEARNER_VARIANTS:
+        config = replace(HoihoConfig(), **overrides)
+        learned = Hoiho(config).run(training_set.items)
+        counts = learned.class_counts()
+        row = AblationRow(
+            name=name,
+            usable=counts["good"] + counts["promising"],
+            good=counts["good"],
+            total_atp=sum(c.score.atp
+                          for c in learned.conventions.values()))
+        result.learner_rows.append(row)
+
+    snapshot_result = training_set.snapshot
+    assert snapshot_result is not None
+    world = context.world
+    labeled = {
+        snapshot_result.snapshot.resolution.node_of_address[address]
+        for address, _ in snapshot_result.snapshot.named_addresses()
+        if address in snapshot_result.snapshot.resolution.node_of_address}
+    for name, overrides in _BDRMAPIT_VARIANTS:
+        config = replace(AnnotationConfig(), **overrides)
+        annotations = annotate(snapshot_result.graph,
+                               world.graph.relationships,
+                               world.graph.orgs, config)
+        accuracy = accuracy_against_truth(
+            annotations, snapshot_result.snapshot.resolution,
+            world.graph.orgs, nodes=labeled)
+        result.bdrmapit_rows.append(AblationRow(name=name,
+                                                accuracy=accuracy.rate))
+    return result
+
+
+def render(result: AblationResult) -> str:
+    learner = render_table(
+        ["learner variant", "usable NCs", "good NCs", "total ATP"],
+        [(row.name, row.usable, row.good, row.total_atp)
+         for row in result.learner_rows],
+        title="Ablation: Hoiho learning phases")
+    bdrmapit = render_table(
+        ["bdrmapIT variant", "accuracy on named routers"],
+        [(row.name, pct(row.accuracy)) for row in result.bdrmapit_rows],
+        title="Ablation: bdrmapIT heuristics")
+    return learner + "\n\n" + bdrmapit

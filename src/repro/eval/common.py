@@ -1,0 +1,51 @@
+"""Shared rendering helpers for experiment output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def pct(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string.
+
+    >>> pct(0.925)
+    '92.5%'
+    """
+    return "%.*f%%" % (digits, 100.0 * value)
+
+
+def ratio_str(value: Optional[float]) -> str:
+    """Format the paper's '1/x' error-rate style.
+
+    >>> ratio_str(7.9)
+    '1/7.9'
+    >>> ratio_str(None)
+    '1/inf'
+    """
+    return "1/inf" if value is None else "1/%.1f" % value
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [[str(cell) for cell in row]
+                                 for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i])
+                            for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)

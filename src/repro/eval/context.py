@@ -1,0 +1,102 @@
+"""Shared, lazily-computed state for the experiment harness.
+
+Experiments share one synthetic world, its routing model, the 19-set
+timeline, and the learned conventions per training set.  Everything is
+memoised, so running several experiments (or the same experiment twice
+inside pytest-benchmark) pays each cost once.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from repro.core.hoiho import Hoiho, HoihoConfig, HoihoResult
+from repro.eval.timeline import TrainingSet, build_timeline
+from repro.topology.world import World, WorldConfig, generate_world
+from repro.traceroute.routing import RoutingModel
+
+
+class Scale(enum.Enum):
+    """How big an experiment run should be."""
+
+    TINY = "tiny"        # unit-test sized
+    SMALL = "small"      # seconds; default for benchmarks
+    FULL = "full"        # the full-size world
+
+    def world_config(self) -> WorldConfig:
+        if self is Scale.TINY:
+            return WorldConfig.tiny()
+        if self is Scale.SMALL:
+            return WorldConfig.small()
+        return WorldConfig.default()
+
+
+class ExperimentContext:
+    """Memoised world + timeline + learned conventions."""
+
+    def __init__(self, seed: int = 2020,
+                 scale: Scale = Scale.SMALL,
+                 hoiho_config: Optional[HoihoConfig] = None,
+                 itdk_labels: Optional[List[str]] = None) -> None:
+        self.seed = seed
+        self.scale = scale
+        self.hoiho_config = hoiho_config or HoihoConfig()
+        self.itdk_labels = itdk_labels
+        self._world: Optional[World] = None
+        self._routing: Optional[RoutingModel] = None
+        self._timeline: Optional[List[TrainingSet]] = None
+        self._learned: Dict[str, HoihoResult] = {}
+
+    @property
+    def world(self) -> World:
+        """The shared synthetic world."""
+        if self._world is None:
+            self._world = generate_world(self.seed,
+                                         self.scale.world_config())
+        return self._world
+
+    @property
+    def routing(self) -> RoutingModel:
+        """The shared AS-level routing model."""
+        if self._routing is None:
+            self._routing = RoutingModel(self.world.graph)
+        return self._routing
+
+    @property
+    def timeline(self) -> List[TrainingSet]:
+        """All training sets (17 ITDK + 2 PeeringDB by default)."""
+        if self._timeline is None:
+            self._timeline = build_timeline(
+                self.world, self.seed, self.routing,
+                itdk_labels=self.itdk_labels)
+        return self._timeline
+
+    def training_set(self, label: str) -> TrainingSet:
+        """One training set by label (KeyError when absent)."""
+        for training_set in self.timeline:
+            if training_set.label == label:
+                return training_set
+        raise KeyError(label)
+
+    def learned(self, label: str) -> HoihoResult:
+        """Learned conventions for one training set (memoised)."""
+        if label not in self._learned:
+            training_set = self.training_set(label)
+            hoiho = Hoiho(self.hoiho_config)
+            self._learned[label] = hoiho.run(training_set.items)
+        return self._learned[label]
+
+    def latest_itdk(self) -> TrainingSet:
+        """The most recent ITDK training set in this context."""
+        itdk = [t for t in self.timeline if t.kind == "itdk"]
+        if not itdk:
+            raise RuntimeError("no ITDK sets in this context")
+        return itdk[-1]
+
+    def latest_pdb(self) -> TrainingSet:
+        """The most recent PeeringDB training set."""
+        pdb = [t for t in self.timeline if t.kind == "peeringdb"]
+        if not pdb:
+            raise RuntimeError("no PeeringDB sets in this context")
+        return pdb[-1]

@@ -1,0 +1,226 @@
+"""Table 2: validation of the modified bdrmapIT's decisions.
+
+The paper validated the incongruent-extraction decisions against ground
+truth from five operators (a transit provider, a European ISP, a large
+ISP, and two IXPs) plus PeeringDB cross-validation over 23 suffixes,
+finding the modification decided correctly for 92.5% of hostnames: it
+used 92.7% of the hostnames carrying the router's correct ASN and only
+8.4% of the incorrect (stale/typo) ones.
+
+Here ground truth comes from the synthetic world's true router owners
+(for the five operator rows) and from the synthetic PeeringDB records
+(for the cross-validation row, with the paper's exclusion of interfaces
+where training, extracted and PeeringDB ASNs are all different).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.bdrmapit.hints import HintDecision
+from repro.eval import section5
+from repro.eval.common import pct, render_table
+from repro.eval.context import ExperimentContext
+from repro.peeringdb.builder import build_peeringdb
+from repro.topology.asgraph import Tier
+from repro.util.rand import substream
+
+
+@dataclass
+class ValidationRow:
+    """One validation source's 2x2 decision counts."""
+
+    name: str
+    tp: int = 0   # correct ASN, used
+    fn: int = 0   # correct ASN, not used
+    fp: int = 0   # incorrect ASN, used
+    tn: int = 0   # incorrect ASN, not used
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fn + self.fp + self.tn
+
+    @property
+    def correct_decisions(self) -> int:
+        return self.tp + self.tn
+
+    def add(self, hostname_correct: bool, used: bool) -> None:
+        if hostname_correct:
+            if used:
+                self.tp += 1
+            else:
+                self.fn += 1
+        else:
+            if used:
+                self.fp += 1
+            else:
+                self.tn += 1
+
+
+@dataclass
+class Table2Result:
+    rows: List[ValidationRow] = field(default_factory=list)
+    excluded_all_different: int = 0
+
+    def totals(self) -> ValidationRow:
+        total = ValidationRow(name="Total")
+        for row in self.rows:
+            total.tp += row.tp
+            total.fn += row.fn
+            total.fp += row.fp
+            total.tn += row.tn
+        return total
+
+
+def _operator_domains(context: ExperimentContext,
+                      decisions_by_suffix: Dict[str, int],
+                      ) -> List[Tuple[str, str]]:
+    """Pick the five ground-truth operators, as the paper's table mixes
+    them: a transit provider, a European ISP, a large ISP, and two IXPs."""
+    world = context.world
+    eu = {"de", "fr", "ch", "at", "it", "es", "pl", "se", "no", "fi",
+          "dk", "cz", "be", "nl", "gb", "lu"}
+    ixp_domains = {ixp.domain for ixp in world.graph.ixps}
+
+    def best(filt) -> Optional[str]:
+        candidates = [(count, suffix)
+                      for suffix, count in decisions_by_suffix.items()
+                      if filt(suffix)]
+        if not candidates:
+            return None
+        return max(candidates)[1]
+
+    nodes_by_domain = {node.domain: node
+                       for node in world.graph.nodes.values()}
+    chosen: List[Tuple[str, str]] = []
+    used: Set[str] = set()
+
+    def is_tier(suffix: str, tier: Tier) -> bool:
+        node = nodes_by_domain.get(suffix)
+        return node is not None and node.tier is tier and suffix not in used
+
+    transit = best(lambda s: is_tier(s, Tier.TRANSIT))
+    if transit:
+        chosen.append(("Transit Provider", transit))
+        used.add(transit)
+    european = best(lambda s: (is_tier(s, Tier.ACCESS)
+                               and nodes_by_domain[s].country in eu))
+    if european:
+        chosen.append(("European ISP", european))
+        used.add(european)
+    large = best(lambda s: is_tier(s, Tier.ACCESS))
+    if large:
+        chosen.append(("Large ISP", large))
+        used.add(large)
+    for label in ("Regional IXP", "Second IXP"):
+        ixp = best(lambda s: s in ixp_domains and s not in used)
+        if ixp:
+            chosen.append((label, ixp))
+            used.add(ixp)
+    return chosen
+
+
+def run(context: ExperimentContext) -> Table2Result:
+    """Validate incongruent-extraction decisions against ground truth."""
+    world = context.world
+    section5_result = section5.run(context)
+    outcome = section5_result.outcome
+    assert outcome is not None
+    incongruent: List[HintDecision] = outcome.incongruent()
+
+    decisions_by_suffix: Dict[str, int] = {}
+    for decision in incongruent:
+        suffix = decision.hint.suffix
+        decisions_by_suffix[suffix] = decisions_by_suffix.get(suffix, 0) + 1
+
+    resolution = context.latest_itdk().snapshot.snapshot.resolution  # type: ignore[union-attr]
+    orgs = world.graph.orgs
+
+    def hostname_correct_vs_truth(decision: HintDecision) -> Optional[bool]:
+        node = resolution.nodes.get(decision.hint.node_id)
+        if node is None or node.true_asn is None:
+            return None
+        extracted = decision.hint.extracted_asn
+        return (extracted == node.true_asn
+                or orgs.are_siblings(extracted, node.true_asn))
+
+    result = Table2Result()
+
+    # Five operator ground-truth rows.
+    operators = _operator_domains(context, decisions_by_suffix)
+    operator_suffixes = {suffix for _, suffix in operators}
+    for name, suffix in operators:
+        row = ValidationRow(name="%s (%s)" % (name, suffix))
+        for decision in incongruent:
+            if decision.hint.suffix != suffix:
+                continue
+            correct = hostname_correct_vs_truth(decision)
+            if correct is None:
+                continue
+            row.add(correct, decision.used)
+        result.rows.append(row)
+
+    # PeeringDB cross-validation over the remaining IXP suffixes.
+    pdb_label = context.latest_pdb().label
+    pdb_seed = substream(context.seed, "snapshot", pdb_label) \
+        .randrange(1 << 30)
+    pdb = build_peeringdb(world, pdb_seed, pdb_label)
+    recorded = pdb.by_address()
+    pdb_row = ValidationRow(name="PeeringDB")
+    pdb_suffixes: Set[str] = set()
+    for decision in incongruent:
+        if decision.hint.suffix in operator_suffixes:
+            continue
+        record = recorded.get(decision.hint.address)
+        if record is None:
+            continue
+        extracted = decision.hint.extracted_asn
+        training = decision.initial_asn
+        # Strict comparison, as in the paper: when the operator records
+        # the organization's main ASN but the hostname embeds the
+        # sibling actually used at the exchange, the paper scores the
+        # (used) extraction as a false positive -- its table-2 FPs were
+        # exactly this artifact.
+        agrees_pdb = extracted == record.asn
+        if not agrees_pdb and training is not None \
+                and training != record.asn and training != extracted:
+            # Paper: exclude interfaces where training, extracted and
+            # PeeringDB ASNs are all different -- no arbiter.
+            result.excluded_all_different += 1
+            continue
+        pdb_suffixes.add(decision.hint.suffix)
+        pdb_row.add(agrees_pdb, decision.used)
+    pdb_row.name = "PeeringDB (%d suffixes)" % len(pdb_suffixes)
+    result.rows.append(pdb_row)
+    return result
+
+
+def render(result: Table2Result) -> str:
+    rows = []
+    for row in result.rows + [result.totals()]:
+        rows.append((row.name, row.tp, row.fn, row.fp, row.tn))
+    table = render_table(
+        ["source", "correct+used(TP)", "correct+unused(FN)",
+         "incorrect+used(FP)", "incorrect+unused(TN)"],
+        rows,
+        title="Table 2: validation of modified bdrmapIT decisions")
+    totals = result.totals()
+    lines = [table]
+    if totals.total:
+        lines.append("")
+        lines.append("correct decisions: %d/%d (%s)" % (
+            totals.correct_decisions, totals.total,
+            pct(totals.correct_decisions / totals.total)))
+        correct_hostnames = totals.tp + totals.fn
+        incorrect_hostnames = totals.fp + totals.tn
+        if correct_hostnames:
+            lines.append("used %s of correct hostnames" %
+                         pct(totals.tp / correct_hostnames))
+        if incorrect_hostnames:
+            lines.append("used %s of incorrect hostnames" %
+                         pct(totals.fp / incorrect_hostnames))
+    if result.excluded_all_different:
+        lines.append("excluded (training/extracted/PeeringDB all "
+                     "different): %d" % result.excluded_all_different)
+    return "\n".join(lines)

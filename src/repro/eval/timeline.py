@@ -1,0 +1,131 @@
+"""The 19 training sets of the paper (section 4).
+
+Seventeen ITDK snapshots span July 2010 to January 2020: the first
+twelve annotated with RouterToAsAssignment, the last five with bdrmapIT
+(matching the real ITDK history).  Two PeeringDB snapshots complete the
+set.  Three growth factors play out along the timeline, as in the paper:
+vantage points increase, more operators adopt ASN-embedding conventions
+(their adoption years are world properties), and the annotation method
+improves in 2017.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.types import TrainingItem
+from repro.itdk.builder import BuildConfig
+from repro.naming.assigner import NamingConfig
+from repro.traceroute.campaign import CampaignConfig
+from repro.pipeline import (
+    METHOD_BDRMAPIT,
+    METHOD_RTAA,
+    SnapshotResult,
+    SnapshotSpec,
+    run_peeringdb_snapshot,
+    run_snapshot,
+)
+from repro.topology.world import World
+from repro.traceroute.routing import RoutingModel
+from repro.util.rand import substream
+
+logger = logging.getLogger(__name__)
+
+KIND_ITDK = "itdk"
+KIND_PDB = "peeringdb"
+
+#: (label, year, method) for the 17 ITDK snapshots.
+ITDK_TIMELINE = [
+    ("2010-07", 2010.5, METHOD_RTAA),
+    ("2011-04", 2011.3, METHOD_RTAA),
+    ("2011-10", 2011.8, METHOD_RTAA),
+    ("2012-07", 2012.5, METHOD_RTAA),
+    ("2013-04", 2013.3, METHOD_RTAA),
+    ("2013-07", 2013.5, METHOD_RTAA),
+    ("2014-04", 2014.3, METHOD_RTAA),
+    ("2014-12", 2014.9, METHOD_RTAA),
+    ("2015-08", 2015.6, METHOD_RTAA),
+    ("2016-03", 2016.2, METHOD_RTAA),
+    ("2016-09", 2016.7, METHOD_RTAA),
+    ("2017-02", 2017.1, METHOD_RTAA),
+    ("2017-08", 2017.6, METHOD_BDRMAPIT),
+    ("2018-03", 2018.2, METHOD_BDRMAPIT),
+    ("2019-01", 2019.0, METHOD_BDRMAPIT),
+    ("2019-04", 2019.3, METHOD_BDRMAPIT),
+    ("2020-01", 2020.0, METHOD_BDRMAPIT),
+]
+
+#: (label, year) for the PeeringDB snapshots.
+PDB_TIMELINE = [
+    ("2019-08-pdb", 2019.6),
+    ("2020-02-pdb", 2020.1),
+]
+
+
+def vps_for_year(year: float) -> int:
+    """Vantage-point count grows roughly linearly over the study period."""
+    return max(6, int(round(8 + (year - 2010.0) * 2.6)))
+
+
+def alias_augment_for_year(year: float) -> float:
+    """Alias-resolution completeness improves over the study period.
+
+    MIDAR-era active alias probing got better between 2010 and 2020;
+    lower completeness means more routers are seen only through their
+    supplier-addressed interface, which is what degrades the
+    RouterToAsAssignment-era training quality visible in figure 6.
+    """
+    return min(0.75, max(0.63, 0.63 + (year - 2010.0) * 0.012))
+
+
+@dataclass
+class TrainingSet:
+    """One training set: label, provenance, and the items themselves."""
+
+    label: str
+    kind: str                      # itdk | peeringdb
+    method: str                    # rtaa | bdrmapit | operator
+    year: float
+    items: List[TrainingItem]
+    snapshot: Optional[SnapshotResult] = None
+
+
+def build_timeline(world: World, seed: int,
+                   routing: Optional[RoutingModel] = None,
+                   itdk_labels: Optional[List[str]] = None,
+                   include_pdb: bool = True) -> List[TrainingSet]:
+    """Produce all training sets for ``world``.
+
+    ``itdk_labels`` restricts which ITDK snapshots run (useful for
+    scaled-down benchmarks); default is all seventeen.
+    """
+    if routing is None:
+        routing = RoutingModel(world.graph)
+    sets: List[TrainingSet] = []
+    wanted = set(itdk_labels) if itdk_labels is not None else None
+    for index, (label, year, method) in enumerate(ITDK_TIMELINE):
+        if wanted is not None and label not in wanted:
+            continue
+        spec = SnapshotSpec(
+            label=label, year=year, method=method,
+            n_vps=vps_for_year(year),
+            seed=substream(seed, "snapshot", label).randrange(1 << 30),
+            build=BuildConfig(
+                campaign=CampaignConfig(n_vps=vps_for_year(year)),
+                alias_augment_rate=alias_augment_for_year(year)))
+        result = run_snapshot(world, spec, routing)
+        logger.info("built %s (%s): %d training items", label, method,
+                    len(result.training))
+        sets.append(TrainingSet(label=label, kind=KIND_ITDK, method=method,
+                                year=year, items=result.training,
+                                snapshot=result))
+    if include_pdb:
+        for label, year in PDB_TIMELINE:
+            pdb_seed = substream(seed, "snapshot", label).randrange(1 << 30)
+            items = run_peeringdb_snapshot(world, pdb_seed, label, year=year)
+            sets.append(TrainingSet(label=label, kind=KIND_PDB,
+                                    method="operator", year=year,
+                                    items=items))
+    return sets

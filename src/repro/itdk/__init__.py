@@ -1,0 +1,14 @@
+"""Internet Topology Data Kit (ITDK) snapshots.
+
+An ITDK snapshot bundles what CAIDA publishes: inferred routers (nodes)
+with their interface addresses, per-address hostnames from PTR lookups,
+and per-node AS annotations produced by RouterToAsAssignment or bdrmapIT.
+:mod:`repro.itdk.snapshot` defines the data model with ITDK-flavoured
+text serialization; :mod:`repro.itdk.builder` assembles snapshots from
+traceroute campaigns over a synthetic world.
+"""
+
+from repro.itdk.snapshot import ITDKSnapshot
+from repro.itdk.builder import BuildConfig, build_snapshot
+
+__all__ = ["ITDKSnapshot", "BuildConfig", "build_snapshot"]

@@ -1,0 +1,75 @@
+"""Assemble an ITDK snapshot from a traceroute campaign.
+
+The builder is the measurement-side glue: run (or accept) a campaign's
+traces, collect every observed address, resolve aliases, and attach the
+PTR names the naming layer assigned.  AS annotation is done separately by
+:mod:`repro.rtaa` or :mod:`repro.bdrmapit` so the same snapshot can carry
+either method's inferences (as the real ITDKs did across eras).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.alias.midar import resolve_aliases
+from repro.itdk.snapshot import ITDKSnapshot
+from repro.naming.assigner import NamingOutcome, host_hostname
+from repro.topology.world import World
+from repro.traceroute.campaign import CampaignConfig, run_campaign
+from repro.traceroute.probe import Trace
+from repro.traceroute.routing import RoutingModel
+
+
+@dataclass
+class BuildConfig:
+    """Knobs for ITDK assembly."""
+
+    campaign: CampaignConfig = field(default_factory=CampaignConfig)
+    alias_split_rate: float = 0.10
+    alias_merge_rate: float = 0.0
+    alias_augment_rate: float = 0.65
+
+
+def build_snapshot(world: World, naming: NamingOutcome, seed: int,
+                   label: str,
+                   routing: Optional[RoutingModel] = None,
+                   config: Optional[BuildConfig] = None,
+                   traces: Optional[List[Trace]] = None,
+                   ) -> "BuiltSnapshot":
+    """Run a campaign (unless ``traces`` given) and build the snapshot."""
+    config = config or BuildConfig()
+    if traces is None:
+        if routing is None:
+            routing = RoutingModel(world.graph)
+        traces = run_campaign(world, routing, seed, config.campaign)
+
+    observed: Set[int] = set()
+    for trace in traces:
+        observed.update(trace.responsive_hops())
+
+    resolution = resolve_aliases(world, observed, seed,
+                                 split_rate=config.alias_split_rate,
+                                 merge_rate=config.alias_merge_rate,
+                                 augment_rate=config.alias_augment_rate)
+    snapshot = ITDKSnapshot(label=label, resolution=resolution)
+    for address in sorted(resolution.node_of_address):
+        record = naming.record(address)
+        if record is None:
+            # Destination hosts may still have (IP-derived) PTR names.
+            record = host_hostname(world, address, naming, seed)
+        if record is not None:
+            snapshot.hostnames[address] = record.hostname
+    return BuiltSnapshot(snapshot=snapshot, traces=traces)
+
+
+@dataclass
+class BuiltSnapshot:
+    """A snapshot plus the raw traces it was built from.
+
+    The traces feed the annotation methods (they need the hop sequences,
+    which the published ITDK files do not carry).
+    """
+
+    snapshot: ITDKSnapshot
+    traces: List[Trace]

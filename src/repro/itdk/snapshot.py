@@ -1,0 +1,128 @@
+"""ITDK snapshot data model and ITDK-flavoured serialization.
+
+The text formats mirror CAIDA's published files closely enough that a
+reader familiar with the real ITDK will recognise them:
+
+* nodes:      ``node N1:  4.1.2.3 4.1.2.9``
+* node-AS:    ``node.AS N1 64500 bdrmapit``
+* DNS names:  ``1579823999 4.1.2.3 ae2.cr1.fra.example.net``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.alias.midar import AliasResolution, InferredNode
+from repro.util.ipaddr import int_to_ip, ip_to_int
+
+
+@dataclass
+class ITDKSnapshot:
+    """One ITDK release: nodes, hostnames, and AS annotations."""
+
+    label: str                                   # e.g. "2020-01"
+    resolution: AliasResolution
+    hostnames: Dict[int, str] = field(default_factory=dict)
+    annotations: Dict[str, int] = field(default_factory=dict)
+    method: str = ""                             # rtaa / bdrmapit / ...
+
+    # -- accessors ---------------------------------------------------------
+
+    def nodes(self) -> List[InferredNode]:
+        """All inferred routers, by node id."""
+        return [self.resolution.nodes[node_id]
+                for node_id in sorted(self.resolution.nodes)]
+
+    def hostname(self, address: int) -> Optional[str]:
+        """PTR name for ``address``, if one was observed."""
+        return self.hostnames.get(address)
+
+    def annotation(self, node_id: str) -> Optional[int]:
+        """Inferred operator ASN for a node, if annotated."""
+        return self.annotations.get(node_id)
+
+    def annotation_of_address(self, address: int) -> Optional[int]:
+        """Inferred operator ASN for the node holding ``address``."""
+        node_id = self.resolution.node_of_address.get(address)
+        return self.annotations.get(node_id) if node_id else None
+
+    def set_annotations(self, annotations: Dict[str, int],
+                        method: str) -> None:
+        """Install per-node AS annotations from an inference method."""
+        self.annotations = dict(annotations)
+        self.method = method
+
+    def named_addresses(self) -> Iterator[Tuple[int, str]]:
+        """(address, hostname) pairs, sorted by address."""
+        for address in sorted(self.hostnames):
+            yield address, self.hostnames[address]
+
+    # -- serialization -------------------------------------------------------
+
+    def nodes_lines(self) -> Iterator[str]:
+        """ITDK .nodes format."""
+        yield "# ITDK nodes (%s)" % self.label
+        for node in self.nodes():
+            addresses = " ".join(int_to_ip(a) for a in node.addresses)
+            yield "node %s:  %s" % (node.node_id, addresses)
+
+    def node_as_lines(self) -> Iterator[str]:
+        """ITDK .nodes.as format."""
+        yield "# ITDK node-AS (%s, %s)" % (self.label, self.method)
+        for node_id in sorted(self.annotations):
+            yield "node.AS %s %d %s" % (node_id,
+                                        self.annotations[node_id],
+                                        self.method or "unknown")
+
+    def dns_lines(self, timestamp: int = 0) -> Iterator[str]:
+        """ITDK .addrs.dns-ish format."""
+        yield "# ITDK DNS names (%s)" % self.label
+        for address, hostname in self.named_addresses():
+            yield "%d\t%s\t%s" % (timestamp, int_to_ip(address), hostname)
+
+    @classmethod
+    def from_lines(cls, label: str, nodes_lines: Iterable[str],
+                   node_as_lines: Iterable[str],
+                   dns_lines: Iterable[str]) -> "ITDKSnapshot":
+        """Parse the three text files back into a snapshot.
+
+        Ground-truth fields of the alias resolution are not representable
+        in ITDK formats and are left empty.
+        """
+        resolution = AliasResolution()
+        for raw in nodes_lines:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if not line.startswith("node "):
+                raise ValueError("malformed nodes line: %r" % raw)
+            head, _, rest = line[len("node "):].partition(":")
+            node = InferredNode(node_id=head.strip())
+            for text in rest.split():
+                address = ip_to_int(text)
+                node.addresses.append(address)
+                resolution.node_of_address[address] = node.node_id
+            resolution.nodes[node.node_id] = node
+
+        snapshot = cls(label=label, resolution=resolution)
+        for raw in node_as_lines:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            if len(fields) < 3 or fields[0] != "node.AS":
+                raise ValueError("malformed node.AS line: %r" % raw)
+            snapshot.annotations[fields[1]] = int(fields[2])
+            if len(fields) > 3:
+                snapshot.method = fields[3]
+
+        for raw in dns_lines:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split("\t")
+            if len(fields) != 3:
+                raise ValueError("malformed dns line: %r" % raw)
+            snapshot.hostnames[ip_to_int(fields[1])] = fields[2]
+        return snapshot

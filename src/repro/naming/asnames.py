@@ -1,0 +1,33 @@
+"""AS-name tokens for conventions that embed names instead of numbers.
+
+The paper's future-work section (section 7) observes that at least three
+times more suffixes embed AS *names* than AS numbers.  Our synthetic
+operators with :class:`~repro.naming.conventions.EmbedKind.NAME`
+conventions embed one of the tokens produced here, so a future extraction
+method has realistic material, and so that these suffixes correctly fail
+to yield ASN conventions in the ASN learner.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def as_name_tokens(slug: str) -> List[str]:
+    """Plausible hostname tokens an operator might use for AS ``slug``.
+
+    >>> as_name_tokens("seabone")
+    ['seabone', 'seabon', 'sbn', 'sea']
+    """
+    tokens = [slug]
+    if len(slug) > 6:
+        tokens.append(slug[:6])
+    if len(slug) > 4:
+        # Drop interior vowels after the first character: "seabone"->"sbone"
+        head, tail = slug[0], slug[1:]
+        squeezed = head + "".join(c for c in tail if c not in "aeiou")
+        if squeezed not in tokens and len(squeezed) >= 3:
+            tokens.append(squeezed)
+    if len(slug) >= 3 and slug[:3] not in tokens:
+        tokens.append(slug[:3])
+    return tokens

@@ -1,0 +1,278 @@
+"""Per-operator hostname conventions.
+
+Each AS that runs reverse DNS gets a deterministic
+:class:`ConventionProfile` describing *whether* it embeds ASNs (or AS
+names, or nothing) and *how* (the Table-1 taxonomy: simple, start, end,
+bare, complex).  IXPs get a :class:`IXPNamingMode` describing who labels
+the peering LAN addresses.  Profiles are pure functions of the world seed
+and the ASN, so every snapshot of the same world sees the same operator
+behaving the same way -- only adoption (year) and data hazards vary.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.naming.asnames import as_name_tokens
+from repro.topology.asgraph import ASNode, IXPSpec, Tier
+from repro.util.rand import choice_weighted, substream
+
+
+class EmbedKind(enum.Enum):
+    """What (if anything) the operator encodes about the router's AS."""
+
+    NEIGHBOR_ASN = "neighbor-asn"   # ASN of the neighbor the address serves
+    OWN_DECOR = "own-decor"         # operator's own ASN on every hostname
+    NAME = "as-name"                # neighbor's AS *name*, no number
+    GEO = "geo"                     # location-only names
+    IP_DERIVED = "ip"               # hostnames derived from the address
+    NONE = "none"                   # no PTR records at all
+
+
+class Style(enum.Enum):
+    """Where/how a neighbor ASN appears (Table 1 of the paper)."""
+
+    SIMPLE = "simple"     # ^as(\d+)\.example\.com$
+    START = "start"       # as(\d+)-10ge-fra2.example.com
+    END = "end"           # fra2.cust.as(\d+).example.com
+    BARE = "bare"         # (\d+).fra2.example.com
+    COMPLEX = "complex"   # mid-hostname, odd annotation, or mixed formats
+
+
+class IXPNamingMode(enum.Enum):
+    """Who assigns hostnames on an IXP peering LAN."""
+
+    OPERATOR_BARE = "operator-bare"   # 24115.mel.equinix.com
+    OPERATOR_AS = "operator-as"       # as24940.akl-ix.nz
+    MEMBER = "member"                 # member-chosen labels, mixed formats
+    NONE = "none"                     # no PTR records
+
+
+_BANDWIDTH_TOKENS = ["10ge", "100ge", "40ge", "1ge", "10g", "100g", "ge", "te"]
+_ROLE_TOKENS = ["cust", "peer", "ix", "bb", "core", "edge", "gw", "cr", "br"]
+_COMPLEX_ANNOT = ["a", "asn", "as-", "n"]
+
+
+@dataclass
+class ConventionProfile:
+    """The naming behaviour of one operator's reverse zone."""
+
+    asn: int
+    domain: str
+    embed: EmbedKind
+    style: Style                 # meaningful when embed is NEIGHBOR_ASN
+    asn_prefix: str              # "as", "asn", "a", or "" (bare)
+    sep: str                     # "-" or "."
+    bw_token: Optional[str]      # bandwidth decoration, if any
+    adoption_year: float         # year the ASN convention went live
+    mixed_formats: bool          # complex conventions with 2 format families
+    names_near_side: bool        # also label its own side with neighbor ASN
+
+    def embeds_asn_in(self, year: float) -> bool:
+        """Whether the operator embeds neighbor ASNs as of ``year``."""
+        return (self.embed is EmbedKind.NEIGHBOR_ASN
+                and year >= self.adoption_year)
+
+
+# Tier-dependent mix of what operators encode.  Tuned so that roughly a
+# third of infrastructure suffixes embed neighbor ASNs (the paper finds
+# 55 good NCs among hundreds of observed suffixes), AS names are at least
+# as common as numbers (section 7), and consumer access networks produce
+# the IP-derived hostnames of figure 3b.
+_EMBED_WEIGHTS = {
+    Tier.CLIQUE: {
+        EmbedKind.NEIGHBOR_ASN: 0.40, EmbedKind.NAME: 0.35,
+        EmbedKind.GEO: 0.15, EmbedKind.OWN_DECOR: 0.05,
+        EmbedKind.NONE: 0.05, EmbedKind.IP_DERIVED: 0.0,
+    },
+    Tier.TRANSIT: {
+        EmbedKind.NEIGHBOR_ASN: 0.38, EmbedKind.NAME: 0.32,
+        EmbedKind.GEO: 0.15, EmbedKind.OWN_DECOR: 0.08,
+        EmbedKind.NONE: 0.07, EmbedKind.IP_DERIVED: 0.0,
+    },
+    Tier.ACCESS: {
+        EmbedKind.NEIGHBOR_ASN: 0.22, EmbedKind.NAME: 0.25,
+        EmbedKind.GEO: 0.17, EmbedKind.OWN_DECOR: 0.06,
+        EmbedKind.NONE: 0.10, EmbedKind.IP_DERIVED: 0.20,
+    },
+    Tier.CONTENT: {
+        EmbedKind.NEIGHBOR_ASN: 0.15, EmbedKind.NAME: 0.30,
+        EmbedKind.GEO: 0.25, EmbedKind.OWN_DECOR: 0.05,
+        EmbedKind.NONE: 0.25, EmbedKind.IP_DERIVED: 0.0,
+    },
+    Tier.STUB: {
+        EmbedKind.NEIGHBOR_ASN: 0.02, EmbedKind.NAME: 0.08,
+        EmbedKind.GEO: 0.20, EmbedKind.OWN_DECOR: 0.02,
+        EmbedKind.NONE: 0.58, EmbedKind.IP_DERIVED: 0.10,
+    },
+}
+
+# Neighbor-ASN placement mix, tuned towards Table 1's "usable" column
+# (simple 17.7%, start 50.8%, end 10.8%, bare 5.4%, complex 15.4%).
+_STYLE_WEIGHTS = {
+    Style.SIMPLE: 0.15,
+    Style.START: 0.53,
+    Style.END: 0.13,
+    Style.BARE: 0.05,
+    Style.COMPLEX: 0.14,
+}
+
+_IXP_MODE_WEIGHTS = {
+    IXPNamingMode.OPERATOR_BARE: 0.30,
+    IXPNamingMode.OPERATOR_AS: 0.30,
+    IXPNamingMode.MEMBER: 0.30,
+    IXPNamingMode.NONE: 0.10,
+}
+
+
+def profile_for_as(world_seed: int, node: ASNode) -> ConventionProfile:
+    """The deterministic naming profile of operator ``node``.
+
+    Uses a substream keyed by the world seed and the ASN, so the profile
+    is stable across snapshots and independent of generation order.
+    """
+    rng = substream(world_seed, "convention", node.asn)
+    embed = choice_weighted(rng, _EMBED_WEIGHTS[node.tier])
+    # Style comes from its own substream so that the embed draw and the
+    # style draw cannot correlate across the operator population.
+    style = choice_weighted(substream(world_seed, "style", node.asn),
+                            _STYLE_WEIGHTS)
+    prefix_roll = rng.random()
+    if prefix_roll < 0.88:
+        asn_prefix = "as"
+    elif prefix_roll < 0.95:
+        asn_prefix = "asn"
+    else:
+        asn_prefix = "a"
+    if style is Style.BARE:
+        asn_prefix = ""
+    sep = "-" if rng.random() < 0.6 else "."
+    bw_token = rng.choice(_BANDWIDTH_TOKENS) if rng.random() < 0.4 else None
+    # Adoption: conventions go live between 2004 and 2019, weighted so the
+    # population of ASN-embedding suffixes grows over the study period
+    # (one of the three growth factors behind figure 5).
+    adoption_year = 2004.0 + 16.0 * (rng.random() ** 0.75)
+    mixed = style is Style.COMPLEX and rng.random() < 0.5
+    names_near = rng.random() < 0.10
+    return ConventionProfile(
+        asn=node.asn, domain=node.domain, embed=embed, style=style,
+        asn_prefix=asn_prefix, sep=sep, bw_token=bw_token,
+        adoption_year=adoption_year, mixed_formats=mixed,
+        names_near_side=names_near,
+    )
+
+
+def ixp_mode_for(world_seed: int, ixp: IXPSpec) -> IXPNamingMode:
+    """Deterministic LAN-naming mode of an exchange."""
+    rng = substream(world_seed, "ixp-mode", ixp.ixp_id)
+    return choice_weighted(rng, _IXP_MODE_WEIGHTS)
+
+
+# ---------------------------------------------------------------------------
+# Label rendering.  All functions return the part *before* the domain.
+# ---------------------------------------------------------------------------
+
+
+def _asn_token(profile: ConventionProfile, asn_text: str) -> str:
+    return "%s%s" % (profile.asn_prefix, asn_text)
+
+
+def neighbor_label(profile: ConventionProfile, asn_text: str, loc: str,
+                   port: str, unit: int, rng) -> str:
+    """Label for an address supplied to a neighbor, embedding its ASN.
+
+    ``asn_text`` is the (possibly stale or typo-carrying) digit string to
+    embed; ``loc``/``port``/``unit`` decorate according to the style.
+    """
+    token = _asn_token(profile, asn_text)
+    sep = profile.sep
+    style = profile.style
+    if style is Style.SIMPLE:
+        return token
+    if style is Style.START:
+        if profile.bw_token is not None:
+            return "%s%s%s%s%s%d" % (token, sep, profile.bw_token, sep,
+                                     loc, unit % 4 + 1)
+        return "%s%s%s%d" % (token, sep, loc, unit % 4 + 1)
+    if style is Style.END:
+        return "%s%d.%s.%s" % (loc, unit % 4 + 1, "cust", token)
+    if style is Style.BARE:
+        return "%s.%s%d" % (asn_text, loc, unit % 4 + 1)
+    # COMPLEX: either a mid-hostname ASN or an unusual annotation; mixed
+    # profiles alternate between two format families per neighbor.
+    if profile.mixed_formats and unit % 2 == 1:
+        return "%s%s%s%s%s" % (loc, sep, token, sep, port)
+    annot = _COMPLEX_ANNOT[profile.asn % len(_COMPLEX_ANNOT)]
+    return "%s%s%s%s%d" % (annot, asn_text, sep, loc, unit % 4 + 1)
+
+
+def plain_label(loc: str, router_name: str, port: str, style_roll: float) -> str:
+    """Infrastructure label without ASN information."""
+    if style_roll < 0.45:
+        return "%s.%s.%s" % (port, router_name, loc)
+    if style_roll < 0.8:
+        return "%s-%s" % (router_name, loc)
+    return "lo0.%s.%s" % (router_name, loc)
+
+
+def own_decor_label(profile: ConventionProfile, own_asn: int, loc: str,
+                    router_name: str, port: str, cust_slug: Optional[str],
+                    unit: int) -> str:
+    """Figure-2 style label: every hostname carries the operator's ASN."""
+    own = _asn_token(profile, str(own_asn)) if profile.asn_prefix else \
+        "as%d" % own_asn
+    if cust_slug is not None:
+        return "%02d.r.%s.%s.cust.%s" % (unit % 89 + 1, loc, cust_slug, own)
+    return "%s.%s.%s.%s" % (port, router_name, loc, own)
+
+
+def asname_label(neighbor_slug: str, loc: str, unit: int, rng,
+                 token: Optional[str] = None) -> str:
+    """Label embedding the neighbor's AS *name* (no number).
+
+    ``token`` lets the caller pin the name variant; operators use one
+    consistent name per neighbor, so the assigner derives a stable token
+    per (operator, neighbor) pair.
+    """
+    if token is None:
+        token = rng.choice(as_name_tokens(neighbor_slug))
+    if rng.random() < 0.5:
+        return "%s-ic-%d.%s" % (token, 300000 + rng.randint(1, 99999), loc)
+    return "%s.%s%d" % (token, loc, unit % 4 + 1)
+
+
+def geo_label(loc: str, router_name: str, port: str, unit: int) -> str:
+    """Geography-flavoured infrastructure label."""
+    return "%s.%s%d.%s" % (port, loc, unit % 9 + 1, router_name)
+
+
+def ip_label(ip_text: str, rng) -> str:
+    """Figure-3b style label derived from the interface address."""
+    dashed = ip_text.replace(".", "-")
+    if rng.random() < 0.5:
+        return "%s-static" % dashed
+    return "%s.dia.stat" % dashed
+
+
+def member_ixp_label(member_slug: str, asn_text: str, variant: int) -> str:
+    """Member-assigned label on an IXP LAN (its own ASN, mixed formats)."""
+    if variant == 0:
+        return "%s.as%s" % (member_slug, asn_text)          # end placement
+    if variant == 1:
+        return "as%s-%s" % (asn_text, member_slug)          # start placement
+    return "gw-as%s" % asn_text                             # init7 style
+
+
+def operator_ixp_label(mode: IXPNamingMode, asn_text: str, metro: str,
+                       unit: int) -> str:
+    """IXP-operator-assigned label for a member port."""
+    if mode is IXPNamingMode.OPERATOR_BARE:
+        return "%s.%s%d" % (asn_text, metro, unit % 3 + 1)
+    return "as%s" % asn_text
+
+
+def list_styles() -> List[Style]:
+    """All Table-1 styles (for tests and reports)."""
+    return list(Style)

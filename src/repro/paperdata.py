@@ -1,0 +1,76 @@
+"""The paper's published example datasets, as library fixtures.
+
+These are the only training inputs the paper reproduces in full, so they
+double as ground truth for our tests and as ready-made demo data:
+
+* :data:`FIGURE2_ITEMS` -- nts.ch, an operator that embeds its *own*
+  ASN in every hostname (the convention Hoiho must reject);
+* :data:`FIGURE3A_PAIRS` -- apparent ASNs at Damerau-Levenshtein
+  distance one from the training ASN (typos and coincidences);
+* :data:`FIGURE3B_ITEMS` -- hostnames embedding IP addresses whose
+  octets coincide with training ASNs;
+* :data:`FIGURE4_ITEMS` -- the sixteen Equinix hostnames of the worked
+  example, from which the paper's NC #7 is learned.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.types import TrainingItem
+
+#: Figure 2: the supplying AS labels every hostname with its own ASN.
+FIGURE2_ITEMS: List[TrainingItem] = [
+    TrainingItem("ge0-2.01.p.ost.ch.as15576.nts.ch", 15576),
+    TrainingItem("lo1000.01.lns.czh.ch.as15576.nts.ch", 15576),
+    TrainingItem("te0-0-24.01.p.bre.ch.as15576.nts.ch", 15576),
+    TrainingItem("01.r.cba.ch.bl.cust.as15576.nts.ch", 44879),
+    TrainingItem("02.r.czh.ch.sda.cust.as15576.nts.ch", 51768),
+    TrainingItem("01.r.cbs.ch.wwc.cust.as15576.nts.ch", 206616),
+]
+
+#: Figure 3a: (hostname, training ASN, apparent number in the hostname).
+FIGURE3A_PAIRS: List[Tuple[str, int, str]] = [
+    ("201.atm2-0.vr1.tor2.alter.net", 701, "201"),
+    ("te-4-0-0-85.53w.ba07.mctn.nb.aliant.net", 855, "85"),
+    ("mlg4bras1-be127-605.antel.net.uy", 6057, "605"),
+    ("as24940.akl-ix.nz", 20940, "24940"),
+    ("as202073.swissix.ch", 205073, "202073"),
+    ("gw-as20732.init7.net", 207032, "20732"),
+]
+
+#: Figure 3b: hostnames embedding the interface address.
+FIGURE3B_ITEMS: List[TrainingItem] = [
+    TrainingItem("50-236-216-122-static.hfc.comcastbusiness.net", 122,
+                 address="50.236.216.122"),
+    TrainingItem("209-201-58-109.dia.stat.centurylink.net", 209,
+                 address="209.201.58.109"),
+    TrainingItem("209-206-252-105.stat.centurytel.net", 209,
+                 address="209.206.252.105"),
+]
+
+#: Figure 4: the Equinix worked example (hostnames a-p).
+FIGURE4_ITEMS: List[TrainingItem] = [
+    TrainingItem("109.sgw.equinix.com", 109),                  # a
+    TrainingItem("714.os.equinix.com", 714),                   # b
+    TrainingItem("714.me1.equinix.com", 714),                  # c
+    TrainingItem("p714.sgw.equinix.com", 714),                 # d
+    TrainingItem("s714.sgw.equinix.com", 714),                 # e
+    TrainingItem("p24115.mel.equinix.com", 24115),             # f
+    TrainingItem("s24115.tyo.equinix.com", 24115),             # g
+    TrainingItem("22822-2.tyo.equinix.com", 22282),            # h
+    TrainingItem("24482-fr5-ix.equinix.com", 24482),           # i
+    TrainingItem("54827-dc5-ix2.equinix.com", 54827),          # j
+    TrainingItem("55247-ch3-ix.equinix.com", 55247),           # k
+    TrainingItem("netflix.zh2.corp.eu.equinix.com", 2906),     # l
+    TrainingItem("ipv4.dosarrest.eqix.equinix.com", 19324),    # m
+    TrainingItem("8069.tyo.equinix.com", 8075),                # n
+    TrainingItem("8074.hkg.equinix.com", 8075),                # o
+    TrainingItem("45437-sy1-ix.equinix.com", 55923),           # p
+]
+
+#: The convention the paper's figure 4 arrives at (NC #7).
+NC7_PATTERNS: List[str] = [
+    r"^(?:p|s)?(\d+)\.[a-z\d]+\.equinix\.com$",
+    r"^(\d+)-.+\.equinix\.com$",
+]

@@ -1,0 +1,20 @@
+"""Synthetic PeeringDB snapshots.
+
+PeeringDB gives the paper a second, operator-curated source of training
+ASNs: members record which ASN sits behind each exchange-LAN address
+(netixlan objects).  The synthetic snapshot reproduces the error modes
+the paper observed -- organizations recording their main ASN while the
+hostname embeds the sibling ASN actually used at the exchange, plus a
+small rate of stale records.
+"""
+
+from repro.peeringdb.snapshot import IXRecord, NetIXLan, PeeringDBSnapshot
+from repro.peeringdb.builder import PeeringDBConfig, build_peeringdb
+
+__all__ = [
+    "IXRecord",
+    "NetIXLan",
+    "PeeringDBSnapshot",
+    "PeeringDBConfig",
+    "build_peeringdb",
+]

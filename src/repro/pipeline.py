@@ -1,0 +1,140 @@
+"""End-to-end pipeline: synthetic world to Hoiho training data.
+
+This module chains the substrates exactly the way CAIDA's production
+pipeline chains the real systems: assign hostnames to a world, run a
+traceroute campaign, build an ITDK snapshot, annotate routers with
+RouterToAsAssignment or bdrmapIT, and emit (hostname, training ASN)
+items for the learner.  PeeringDB training sets come straight from the
+synthetic netixlan records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.asn.org import ASOrgMap
+from repro.bdrmapit.algorithm import AnnotationConfig, annotate
+from repro.bdrmapit.graph import RouterGraph, build_router_graph
+from repro.core.types import TrainingItem
+from repro.itdk.builder import BuildConfig, BuiltSnapshot, build_snapshot
+from repro.itdk.snapshot import ITDKSnapshot
+from repro.naming.assigner import NamingConfig, NamingOutcome, assign_hostnames
+from repro.peeringdb.builder import PeeringDBConfig, build_peeringdb
+from repro.peeringdb.snapshot import PeeringDBSnapshot
+from repro.rtaa.rtaa import assign_asns as rtaa_assign
+from repro.topology.world import World
+from repro.traceroute.campaign import CampaignConfig
+from repro.traceroute.probe import Trace
+from repro.traceroute.routing import RoutingModel
+from repro.util.ipaddr import int_to_ip
+
+METHOD_RTAA = "rtaa"
+METHOD_BDRMAPIT = "bdrmapit"
+
+
+@dataclass
+class SnapshotSpec:
+    """One training-set snapshot: a point on the paper's 2010-2020 axis."""
+
+    label: str                       # e.g. "2020-01"
+    year: float = 2020.0
+    method: str = METHOD_BDRMAPIT    # rtaa | bdrmapit
+    n_vps: int = 20
+    seed: int = 0                    # snapshot-specific randomness
+    naming: Optional[NamingConfig] = None
+    build: Optional[BuildConfig] = None
+
+    def naming_config(self) -> NamingConfig:
+        """Naming config with the snapshot year filled in."""
+        if self.naming is not None:
+            return self.naming
+        return NamingConfig(year=self.year)
+
+    def build_config(self) -> BuildConfig:
+        """ITDK build config with the VP count filled in."""
+        if self.build is not None:
+            return self.build
+        return BuildConfig(campaign=CampaignConfig(n_vps=self.n_vps))
+
+
+@dataclass
+class SnapshotResult:
+    """Everything produced for one snapshot."""
+
+    spec: SnapshotSpec
+    world: World
+    naming: NamingOutcome
+    snapshot: ITDKSnapshot
+    graph: RouterGraph
+    annotations: Dict[str, int]
+    training: List[TrainingItem] = field(default_factory=list)
+    traces: List["Trace"] = field(default_factory=list)
+
+
+def run_snapshot(world: World, spec: SnapshotSpec,
+                 routing: Optional[RoutingModel] = None) -> SnapshotResult:
+    """Produce one snapshot's ITDK, annotations, and training items."""
+    if routing is None:
+        routing = RoutingModel(world.graph)
+    naming = assign_hostnames(world, spec.seed, spec.naming_config())
+    built: BuiltSnapshot = build_snapshot(
+        world, naming, spec.seed, spec.label, routing=routing,
+        config=spec.build_config())
+    snapshot = built.snapshot
+    graph = build_router_graph(snapshot.resolution, built.traces,
+                               world.plan.route_table)
+
+    if spec.method == METHOD_RTAA:
+        annotations = rtaa_assign(snapshot.resolution,
+                                  world.plan.route_table,
+                                  world.graph.relationships)
+    elif spec.method == METHOD_BDRMAPIT:
+        annotations = annotate(graph, world.graph.relationships,
+                               world.graph.orgs, AnnotationConfig())
+    else:
+        raise ValueError("unknown method %r" % spec.method)
+    snapshot.set_annotations(annotations, spec.method)
+
+    training = training_items_from_itdk(snapshot)
+    return SnapshotResult(spec=spec, world=world, naming=naming,
+                          snapshot=snapshot, graph=graph,
+                          annotations=annotations, training=training,
+                          traces=built.traces)
+
+
+def training_items_from_itdk(snapshot: ITDKSnapshot) -> List[TrainingItem]:
+    """(hostname, inferred ASN) items for every annotated named address."""
+    items: List[TrainingItem] = []
+    for address, hostname in snapshot.named_addresses():
+        asn = snapshot.annotation_of_address(address)
+        if asn is None or asn <= 0:
+            continue
+        items.append(TrainingItem(hostname=hostname, train_asn=asn,
+                                  address=int_to_ip(address)))
+    return items
+
+
+def training_items_from_peeringdb(pdb: PeeringDBSnapshot,
+                                  naming: NamingOutcome) -> List[TrainingItem]:
+    """(hostname, recorded ASN) items from netixlan records."""
+    items: List[TrainingItem] = []
+    for record in pdb.netixlans:
+        hostname = naming.hostname(record.ipaddr4)
+        if hostname is None:
+            continue
+        items.append(TrainingItem(hostname=hostname, train_asn=record.asn,
+                                  address=record.ip))
+    return items
+
+
+def run_peeringdb_snapshot(world: World, seed: int, label: str,
+                           year: float = 2020.0,
+                           naming: Optional[NamingOutcome] = None,
+                           config: Optional[PeeringDBConfig] = None,
+                           ) -> List[TrainingItem]:
+    """Produce a PeeringDB training set (hostnames + recorded ASNs)."""
+    if naming is None:
+        naming = assign_hostnames(world, seed, NamingConfig(year=year))
+    pdb = build_peeringdb(world, seed, label, config)
+    return training_items_from_peeringdb(pdb, naming)

@@ -1,0 +1,111 @@
+"""Embedded snapshot of public suffix list rules.
+
+The real Mozilla list has thousands of rules; this snapshot carries the
+effective TLDs that appear in the paper's examples, the generic TLDs our
+synthetic domain generator uses, and a handful of multi-label and
+wildcard/exception rules so the parser's full rule semantics are exercised.
+The file format matches https://publicsuffix.org/list/ so a user can point
+:class:`repro.psl.PublicSuffixList` at the real list instead.
+"""
+
+EMBEDDED_PSL = """\
+// ===BEGIN ICANN DOMAINS===
+
+// generic TLDs
+com
+org
+net
+edu
+gov
+int
+biz
+info
+io
+
+// country TLDs used by the paper's examples and the synthetic world
+ch
+de
+fr
+at
+it
+es
+pl
+se
+no
+fi
+dk
+cz
+ru
+br
+mx
+ca
+au
+jp
+kr
+cn
+in
+za
+ar
+cl
+us
+uy
+be
+nl
+lu
+
+// multi-label public suffixes
+co.uk
+org.uk
+ac.uk
+net.uk
+gov.uk
+co.nz
+org.nz
+net.nz
+ac.nz
+geek.nz
+govt.nz
+com.au
+net.au
+org.au
+edu.au
+co.jp
+ne.jp
+or.jp
+ad.jp
+com.br
+net.br
+org.br
+net.uy
+com.uy
+co.za
+net.za
+org.za
+com.ar
+net.ar
+com.mx
+net.mx
+com.sg
+net.sg
+com.hk
+net.hk
+com.tw
+net.tw
+com.cn
+net.cn
+nsw.au
+
+// wildcard and exception rules (exercise full PSL semantics)
+*.ck
+!www.ck
+*.bd
+*.er
+
+// ===END ICANN DOMAINS===
+
+// ===BEGIN PRIVATE DOMAINS===
+// (representative private-section rules)
+blogspot.com
+github.io
+// ===END PRIVATE DOMAINS===
+"""

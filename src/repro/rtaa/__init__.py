@@ -1,0 +1,5 @@
+"""RouterToAsAssignment: the 2010-2017 ITDK annotation baseline."""
+
+from repro.rtaa.rtaa import assign_asns
+
+__all__ = ["assign_asns"]

@@ -1,0 +1,26 @@
+"""Traceroute simulation over the synthetic Internet.
+
+* :mod:`repro.traceroute.routing` computes AS-level forwarding under the
+  standard Gao-Rexford policy model (prefer customer routes over peer
+  routes over provider routes, then shortest AS path, with valley-free
+  export rules);
+* :mod:`repro.traceroute.probe` expands AS paths to router-level hop
+  sequences, reporting the *ingress* interface of every router -- which
+  is how supplier-addressed interconnects end up attributed to the wrong
+  AS by naive IP-to-AS mapping;
+* :mod:`repro.traceroute.campaign` runs measurement campaigns from
+  configurable vantage points, producing the trace sets ITDK snapshots
+  are built from.
+"""
+
+from repro.traceroute.routing import RoutingModel
+from repro.traceroute.probe import Prober, Trace
+from repro.traceroute.campaign import CampaignConfig, run_campaign
+
+__all__ = [
+    "RoutingModel",
+    "Prober",
+    "Trace",
+    "CampaignConfig",
+    "run_campaign",
+]

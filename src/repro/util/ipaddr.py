@@ -1,0 +1,218 @@
+"""IPv4 helpers and detection of IP addresses embedded in hostnames.
+
+The synthetic Internet in :mod:`repro.topology` allocates IPv4 prefixes and
+point-to-point subnets; this module provides the arithmetic.  It also
+implements the paper's figure-3b rule: a number extracted from a hostname
+is a false positive when it is part of an IP address embedded in the
+hostname (for example ``209-201-58-109.dia.stat.centurylink.net``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.util.strings import digit_runs
+
+
+def ip_to_int(text: str) -> int:
+    """Parse dotted-quad ``text`` into a 32-bit integer.
+
+    Raises ``ValueError`` on malformed input.
+
+    >>> ip_to_int("10.0.0.1")
+    167772161
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError("not a dotted quad: %r" % (text,))
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise ValueError("bad octet %r in %r" % (part, text))
+        octet = int(part)
+        if octet > 255:
+            raise ValueError("octet out of range in %r" % (text,))
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Render a 32-bit integer as a dotted quad.
+
+    >>> int_to_ip(167772161)
+    '10.0.0.1'
+    """
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError("address out of range: %r" % (value,))
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@dataclass(frozen=True, order=True)
+class IPv4Prefix:
+    """An IPv4 prefix (network address plus length), e.g. ``10.0.0.0/8``."""
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise ValueError("bad prefix length %d" % self.length)
+        if self.network & ~self.mask & 0xFFFFFFFF:
+            raise ValueError("host bits set below /%d in %s"
+                             % (self.length, int_to_ip(self.network)))
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Prefix":
+        """Parse ``a.b.c.d/len`` notation."""
+        addr, _, length = text.partition("/")
+        if not length:
+            raise ValueError("missing prefix length in %r" % (text,))
+        return cls(ip_to_int(addr), int(length))
+
+    @property
+    def mask(self) -> int:
+        """The netmask as a 32-bit integer."""
+        if self.length == 0:
+            return 0
+        return (0xFFFFFFFF << (32 - self.length)) & 0xFFFFFFFF
+
+    @property
+    def size(self) -> int:
+        """Number of addresses covered by the prefix."""
+        return 1 << (32 - self.length)
+
+    def contains(self, address: int) -> bool:
+        """True when ``address`` falls inside the prefix."""
+        return (address & self.mask) == self.network
+
+    def contains_prefix(self, other: "IPv4Prefix") -> bool:
+        """True when ``other`` is equal to or more specific than this."""
+        return other.length >= self.length and self.contains(other.network)
+
+    def subnets(self, new_length: int) -> Iterator["IPv4Prefix"]:
+        """Yield the subdivisions of this prefix at ``new_length``."""
+        if new_length < self.length:
+            raise ValueError("cannot widen %s to /%d" % (self, new_length))
+        step = 1 << (32 - new_length)
+        for network in range(self.network, self.network + self.size, step):
+            yield IPv4Prefix(network, new_length)
+
+    def addresses(self) -> Iterator[int]:
+        """Yield every address inside the prefix (including network/bcast)."""
+        return iter(range(self.network, self.network + self.size))
+
+    def host(self, index: int) -> int:
+        """Return the ``index``-th address inside the prefix."""
+        if not 0 <= index < self.size:
+            raise ValueError("host index %d outside %s" % (index, self))
+        return self.network + index
+
+    def __str__(self) -> str:
+        return "%s/%d" % (int_to_ip(self.network), self.length)
+
+
+def _octets_ok(parts: List[str]) -> bool:
+    return all(p.isdigit() and int(p) <= 255 and len(p) <= 3 for p in parts)
+
+
+def embedded_ip_spans(hostname: str,
+                      address: Optional[str] = None) -> List[Tuple[int, int]]:
+    """Locate IP-address-like substrings embedded in ``hostname``.
+
+    Returns character ranges ``(start, end)`` covering the digits of each
+    embedded address.  Two families are detected:
+
+    * four consecutive digit runs separated by a consistent single
+      punctuation character, each a valid octet, e.g. ``50-236-216-122`` or
+      ``209.201.58.109`` -- the generic dotted/dashed quad;
+    * when the interface ``address`` is known, any occurrence of its four
+      octets in order (separated by consistent punctuation), and any
+      zero-padded concatenation such as ``050236216122``.
+
+    The caller treats any extracted number overlapping one of these spans
+    as a false positive (figure 3b of the paper).
+
+    >>> embedded_ip_spans("209-201-58-109.dia.example.net")
+    [(0, 14)]
+    >>> embedded_ip_spans("p24115.mel.example.com")
+    []
+    """
+    spans: List[Tuple[int, int]] = []
+    runs = digit_runs(hostname)
+
+    # Generic quad detection over maximal digit runs.
+    for i in range(len(runs) - 3):
+        window = runs[i:i + 4]
+        parts = [r.text for r in window]
+        if not _octets_ok(parts):
+            continue
+        seps = set()
+        contiguous = True
+        for a, b in zip(window, window[1:]):
+            sep = hostname[a.end:b.start]
+            if len(sep) != 1 or sep.isalnum():
+                contiguous = False
+                break
+            seps.add(sep)
+        if not contiguous or len(seps) != 1:
+            continue
+        spans.append((window[0].start, window[3].end))
+
+    if address is not None:
+        spans.extend(_known_address_spans(hostname, address))
+
+    return _merge_spans(spans)
+
+
+def _known_address_spans(hostname: str, address: str) -> List[Tuple[int, int]]:
+    """Spans where the specific interface address appears in the hostname."""
+    spans: List[Tuple[int, int]] = []
+    octets = address.split(".")
+    if len(octets) != 4:
+        return spans
+    # Zero-padded concatenation, e.g. 050236216122.
+    padded = "".join(o.zfill(3) for o in octets)
+    start = hostname.find(padded)
+    while start != -1:
+        spans.append((start, start + len(padded)))
+        start = hostname.find(padded, start + 1)
+    # Octets in order, possibly reversed PTR-style, separated by one char.
+    for order in (octets, octets[::-1]):
+        spans.extend(_ordered_octet_spans(hostname, order))
+    return spans
+
+
+def _ordered_octet_spans(hostname: str,
+                         octets: List[str]) -> List[Tuple[int, int]]:
+    runs = digit_runs(hostname)
+    spans: List[Tuple[int, int]] = []
+    values = [int(o) for o in octets]
+    for i in range(len(runs) - 3):
+        window = runs[i:i + 4]
+        if [r.value for r in window if r.text.isdigit()] != values:
+            continue
+        ok = True
+        for a, b in zip(window, window[1:]):
+            sep = hostname[a.end:b.start]
+            if len(sep) != 1 or sep.isalnum():
+                ok = False
+                break
+        if ok:
+            spans.append((window[0].start, window[3].end))
+    return spans
+
+
+def _merge_spans(spans: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Merge overlapping/adjacent spans and sort them."""
+    if not spans:
+        return []
+    spans = sorted(spans)
+    merged = [spans[0]]
+    for start, end in spans[1:]:
+        last_start, last_end = merged[-1]
+        if start <= last_end:
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged

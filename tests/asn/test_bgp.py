@@ -1,0 +1,58 @@
+"""Unit tests for the route table / IP-to-AS substrate."""
+
+import pytest
+
+from repro.asn.bgp import IXP_ASN, UNKNOWN_ASN, RouteTable
+from repro.util.ipaddr import IPv4Prefix, ip_to_int
+
+
+@pytest.fixture
+def table():
+    t = RouteTable()
+    t.announce(IPv4Prefix.parse("10.0.0.0/8"), 3356)
+    t.announce(IPv4Prefix.parse("10.1.0.0/16"), 64500)
+    t.add_ixp_prefix(IPv4Prefix.parse("206.0.0.0/24"))
+    return t
+
+
+class TestOrigin:
+    def test_longest_match(self, table):
+        assert table.origin(ip_to_int("10.1.2.3")) == 64500
+        assert table.origin(ip_to_int("10.2.2.3")) == 3356
+
+    def test_unrouted(self, table):
+        assert table.origin(ip_to_int("192.0.2.1")) == UNKNOWN_ASN
+
+    def test_ixp(self, table):
+        assert table.origin(ip_to_int("206.0.0.5")) == IXP_ASN
+        assert table.is_ixp(ip_to_int("206.0.0.5"))
+        assert not table.is_ixp(ip_to_int("10.0.0.1"))
+
+    def test_origin_prefix(self, table):
+        prefix, origin = table.origin_prefix(ip_to_int("10.1.2.3"))
+        assert str(prefix) == "10.1.0.0/16"
+        assert origin == 64500
+
+    def test_prefixes_of(self, table):
+        assert [str(p) for p in table.prefixes_of(3356)] == ["10.0.0.0/8"]
+        assert table.prefixes_of(999) == []
+
+    def test_ixp_prefixes(self, table):
+        assert [str(p) for p in table.ixp_prefixes()] == ["206.0.0.0/24"]
+
+    def test_len(self, table):
+        assert len(table) == 3
+
+
+class TestSerialization:
+    def test_round_trip(self, table):
+        parsed = RouteTable.from_lines(table.to_lines())
+        assert parsed.origin(ip_to_int("10.1.2.3")) == 64500
+        assert parsed.origin(ip_to_int("206.0.0.9")) == IXP_ASN
+        assert len(parsed) == len(table)
+
+    def test_describe(self, table):
+        text = table.describe(ip_to_int("10.1.2.3"))
+        assert "10.1.0.0/16" in text and "AS64500" in text
+        assert "unrouted" in table.describe(ip_to_int("192.0.2.1"))
+        assert "IXP" in table.describe(ip_to_int("206.0.0.1"))

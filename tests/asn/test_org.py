@@ -1,0 +1,75 @@
+"""Unit tests for the AS-to-organization map."""
+
+import pytest
+
+from repro.asn.org import ASOrgMap
+
+
+@pytest.fixture
+def orgs():
+    m = ASOrgMap()
+    m.assign(8075, "ORG-MSFT", "Microsoft")
+    m.assign(8069, "ORG-MSFT")
+    m.assign(12076, "ORG-MSFT")
+    m.assign(3356, "ORG-LUMEN", "Lumen")
+    return m
+
+
+class TestSiblings:
+    def test_siblings_include_self(self, orgs):
+        assert orgs.siblings(8075) == {8075, 8069, 12076}
+
+    def test_unknown_asn_is_own_sibling(self, orgs):
+        assert orgs.siblings(65000) == {65000}
+
+    def test_are_siblings(self, orgs):
+        assert orgs.are_siblings(8075, 8069)
+        assert orgs.are_siblings(8069, 12076)
+        assert not orgs.are_siblings(8075, 3356)
+
+    def test_self_is_sibling(self, orgs):
+        assert orgs.are_siblings(999, 999)
+
+    def test_unknown_pair_not_siblings(self, orgs):
+        assert not orgs.are_siblings(65000, 65001)
+
+
+class TestAssignment:
+    def test_org_of(self, orgs):
+        assert orgs.org_of(3356) == "ORG-LUMEN"
+        assert orgs.org_of(65000) is None
+
+    def test_org_name(self, orgs):
+        assert orgs.org_name("ORG-MSFT") == "Microsoft"
+        assert orgs.org_name("ORG-NONE") is None
+
+    def test_reassignment_moves(self, orgs):
+        orgs.assign(8069, "ORG-OTHER")
+        assert not orgs.are_siblings(8075, 8069)
+        assert orgs.members("ORG-MSFT") == {8075, 12076}
+
+    def test_reassignment_cleans_empty_org(self):
+        m = ASOrgMap()
+        m.assign(1, "A")
+        m.assign(1, "B")
+        assert dict(m.organizations()) == {"B": {1}}
+
+    def test_members_copy(self, orgs):
+        members = orgs.members("ORG-MSFT")
+        members.add(9999)
+        assert 9999 not in orgs.members("ORG-MSFT")
+
+
+class TestSerialization:
+    def test_round_trip(self, orgs):
+        parsed = ASOrgMap.from_lines(orgs.to_lines())
+        assert parsed.siblings(8075) == orgs.siblings(8075)
+        assert parsed.org_name("ORG-LUMEN") == "Lumen"
+
+    def test_malformed(self):
+        with pytest.raises(ValueError):
+            ASOrgMap.from_lines(["justonefield"])
+
+    def test_comments_skipped(self):
+        parsed = ASOrgMap.from_lines(["# header", "1|ORG-A|Alpha"])
+        assert parsed.org_of(1) == "ORG-A"

@@ -1,0 +1,115 @@
+"""Unit tests for AS relationships."""
+
+import pytest
+
+from repro.asn.relationships import ASRelationships, Relationship
+
+
+@pytest.fixture
+def rels():
+    r = ASRelationships()
+    r.add_p2c(3356, 64500)      # 3356 provides transit to 64500
+    r.add_p2c(3356, 64501)
+    r.add_p2c(64500, 64510)     # 64500 resells to 64510
+    r.add_p2p(3356, 1299)
+    return r
+
+
+class TestQueries:
+    def test_providers(self, rels):
+        assert rels.providers(64500) == {3356}
+        assert rels.providers(3356) == set()
+
+    def test_customers(self, rels):
+        assert rels.customers(3356) == {64500, 64501}
+
+    def test_peers(self, rels):
+        assert rels.peers(3356) == {1299}
+        assert rels.peers(1299) == {3356}
+
+    def test_relationship(self, rels):
+        assert rels.relationship(64500, 3356) is Relationship.PROVIDER
+        assert rels.relationship(3356, 64500) is Relationship.CUSTOMER
+        assert rels.relationship(3356, 1299) is Relationship.PEER
+        assert rels.relationship(64500, 1299) is None
+
+    def test_neighbors_and_degree(self, rels):
+        assert rels.neighbors(3356) == {64500, 64501, 1299}
+        assert rels.degree(3356) == 3
+        assert rels.transit_degree(3356) == 2
+        assert rels.transit_degree(64510) == 0
+
+    def test_asns(self, rels):
+        assert rels.asns() == {3356, 64500, 64501, 64510, 1299}
+
+    def test_transit_free(self, rels):
+        assert rels.is_transit_free(3356)
+        assert not rels.is_transit_free(64500)   # has a provider
+        assert not rels.is_transit_free(64510)   # no customers
+
+    def test_self_relationship_rejected(self):
+        r = ASRelationships()
+        with pytest.raises(ValueError):
+            r.add_p2c(1, 1)
+        with pytest.raises(ValueError):
+            r.add_p2p(2, 2)
+
+
+class TestValleyFree:
+    def test_up_then_down(self, rels):
+        # 64510 -> 64500 -> 3356 -> 64501: up, up, down.
+        assert rels.valley_free((64510, 64500, 3356, 64501))
+
+    def test_peer_in_middle(self, rels):
+        assert rels.valley_free((64500, 3356, 1299))
+
+    def test_valley_rejected(self, rels):
+        # down then up: 3356 -> 64500 (down) -> ... back up is fine, but
+        # 64500 -> 64510 (down) then 64510 -> nothing; construct an
+        # explicit valley: provider -> customer -> provider.
+        assert not rels.valley_free((3356, 64500, 3356))
+
+    def test_two_peer_steps_rejected(self):
+        r = ASRelationships()
+        r.add_p2p(1, 2)
+        r.add_p2p(2, 3)
+        assert not r.valley_free((1, 2, 3))
+
+    def test_peer_after_down_rejected(self, rels):
+        # 3356 -> 64500 is downhill, then a peer step is illegal.
+        r = ASRelationships()
+        r.add_p2c(3356, 64500)
+        r.add_p2p(64500, 7018)
+        assert not r.valley_free((3356, 64500, 7018))
+
+    def test_unknown_adjacency_rejected(self, rels):
+        assert not rels.valley_free((3356, 9999))
+
+    def test_single_as_path(self, rels):
+        assert rels.valley_free((3356,))
+
+
+class TestSerialization:
+    def test_round_trip(self, rels):
+        lines = list(rels.to_lines())
+        parsed = ASRelationships.from_lines(lines)
+        assert parsed.asns() == rels.asns()
+        assert parsed.customers(3356) == rels.customers(3356)
+        assert parsed.peers(3356) == rels.peers(3356)
+
+    def test_serial1_format(self, rels):
+        lines = list(rels.to_lines())
+        assert "3356|64500|-1" in lines
+        assert "1299|3356|0" in lines
+
+    def test_comments_and_blank_lines(self):
+        parsed = ASRelationships.from_lines(
+            ["# comment", "", "1|2|-1", "2|3|0"])
+        assert parsed.relationship(2, 1) is Relationship.PROVIDER
+        assert parsed.relationship(2, 3) is Relationship.PEER
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            ASRelationships.from_lines(["1|2"])
+        with pytest.raises(ValueError):
+            ASRelationships.from_lines(["1|2|5"])

@@ -1,0 +1,116 @@
+"""Unit tests for router-graph state construction."""
+
+import pytest
+
+from repro.alias.midar import AliasResolution, InferredNode
+from repro.asn.bgp import RouteTable
+from repro.bdrmapit.graph import build_router_graph
+from repro.traceroute.probe import Trace
+from repro.util.ipaddr import IPv4Prefix, ip_to_int
+
+
+def _resolution(nodes):
+    resolution = AliasResolution()
+    for node_id, addresses in nodes.items():
+        node = InferredNode(node_id=node_id,
+                            addresses=[ip_to_int(a) for a in addresses])
+        resolution.nodes[node_id] = node
+        for address in node.addresses:
+            resolution.node_of_address[address] = node_id
+    return resolution
+
+
+@pytest.fixture
+def scenario():
+    """Provider 3356 (10/8) supplies 10.0.1.0/31 to customer 64500
+    (20/8).  One trace crosses pR -> cB -> cI -> dest."""
+    table = RouteTable()
+    table.announce(IPv4Prefix.parse("10.0.0.0/8"), 3356)
+    table.announce(IPv4Prefix.parse("20.0.0.0/8"), 64500)
+    resolution = _resolution({
+        "pR": ["10.0.0.1"],                    # provider core
+        "cB": ["10.0.1.1", "20.0.0.1"],        # customer border (far side)
+        "cI": ["20.0.0.5"],                    # customer internal
+    })
+    trace = Trace(vp_asn=1, dst_address=ip_to_int("20.0.9.9"),
+                  dst_asn=64500,
+                  hops=[ip_to_int("10.0.0.1"), ip_to_int("10.0.1.1"),
+                        ip_to_int("20.0.0.5"), ip_to_int("20.0.9.9")],
+                  reached=True)
+    graph = build_router_graph(resolution, [trace], table)
+    return graph, table
+
+
+class TestGraphState:
+    def test_origins(self, scenario):
+        graph, table = scenario
+        assert dict(graph.state("cB").origins) == {3356: 1, 64500: 1}
+        assert dict(graph.state("pR").origins) == {3356: 1}
+
+    def test_subsequent_interfaces(self, scenario):
+        graph, _ = scenario
+        assert set(graph.state("pR").subsequent_ifaces) == \
+            {ip_to_int("10.0.1.1")}
+        assert set(graph.state("cB").subsequent_ifaces) == \
+            {ip_to_int("20.0.0.5")}
+
+    def test_destination_sets(self, scenario):
+        graph, _ = scenario
+        for node_id in ("pR", "cB", "cI"):
+            assert graph.state(node_id).dest_asns() == {64500}
+
+    def test_last_hop_tracking(self, scenario):
+        graph, _ = scenario
+        # The destination host became its own implicit last node; cI is
+        # not last.  Destination address has no node here, so cI is last
+        # among *known* nodes only if the dest hop is unmapped.
+        state = graph.state("cI")
+        assert sum(state.last_hop_dests.values()) in (0, 1)
+
+    def test_subsequent_asns(self, scenario):
+        graph, table = scenario
+        assert graph.state("cB").subsequent_asns(table) == {64500}
+        assert graph.state("pR").subsequent_asns(table) == {3356}
+
+    def test_consecutive_same_node_collapses(self):
+        table = RouteTable()
+        table.announce(IPv4Prefix.parse("10.0.0.0/8"), 3356)
+        resolution = _resolution({"N": ["10.0.0.1", "10.0.0.2"]})
+        trace = Trace(vp_asn=1, dst_address=ip_to_int("10.9.9.9"),
+                      dst_asn=3356,
+                      hops=[ip_to_int("10.0.0.1"), ip_to_int("10.0.0.2")])
+        graph = build_router_graph(resolution, [trace], table)
+        assert not graph.state("N").subsequent_ifaces
+
+    def test_mate_detection(self):
+        """A subsequent address in the same /30 as an own address is a
+        link mate."""
+        table = RouteTable()
+        table.announce(IPv4Prefix.parse("10.0.0.0/8"), 3356)
+        resolution = _resolution({
+            "A": ["10.0.1.0"],      # near side of the /31
+            "B": ["10.0.1.1"],      # far side (mate)
+        })
+        trace = Trace(vp_asn=1, dst_address=ip_to_int("10.9.9.9"),
+                      dst_asn=3356,
+                      hops=[ip_to_int("10.0.1.0"), ip_to_int("10.0.1.1")])
+        graph = build_router_graph(resolution, [trace], table)
+        assert ip_to_int("10.0.1.1") in graph.state("A").mates
+
+    def test_no_mate_across_subnets(self, scenario):
+        graph, _ = scenario
+        assert not graph.state("cB").mates
+
+    def test_anonymous_hops_skipped(self):
+        table = RouteTable()
+        table.announce(IPv4Prefix.parse("10.0.0.0/8"), 3356)
+        table.announce(IPv4Prefix.parse("20.0.0.0/8"), 64500)
+        resolution = _resolution({"A": ["10.0.0.1"], "B": ["20.0.0.1"]})
+        trace = Trace(vp_asn=1, dst_address=ip_to_int("20.9.9.9"),
+                      dst_asn=64500,
+                      hops=[ip_to_int("10.0.0.1"), None,
+                            ip_to_int("20.0.0.1")])
+        graph = build_router_graph(resolution, [trace], table)
+        # The anonymous hop is invisible: A's subsequent is B's address.
+        assert set(graph.state("A").subsequent_ifaces) == \
+            {ip_to_int("20.0.0.1")}

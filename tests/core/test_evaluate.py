@@ -1,0 +1,68 @@
+"""Unit tests for NC scoring."""
+
+import pytest
+
+from repro.core.evaluate import evaluate_nc, evaluate_regex, matched_indices
+from repro.core.regex_model import Regex
+from repro.core.types import SuffixDataset, TrainingItem
+
+
+@pytest.fixture
+def dataset():
+    return SuffixDataset("x.com", [
+        TrainingItem("as100.pop.x.com", 100),
+        TrainingItem("as200.pop.x.com", 200),
+        TrainingItem("as300.pop.x.com", 999),       # wrong training -> FP
+        TrainingItem("lo0.cr1.x.com", 100),         # no apparent ASN
+        TrainingItem("unmatched-as400.x.com", 400),  # FN for the regex
+    ])
+
+
+class TestScoring:
+    def test_counts(self, dataset):
+        regex = Regex.raw(r"^as(\d+)\.pop\.x\.com$")
+        score = evaluate_regex(regex, dataset)
+        assert score.tp == 2
+        assert score.fp == 1
+        assert score.fn == 1
+        assert score.matches == 3
+        assert score.atp == 0
+        assert score.ppv == pytest.approx(2 / 3)
+
+    def test_distinct(self, dataset):
+        regex = Regex.raw(r"^as(\d+)\.pop\.x\.com$")
+        score = evaluate_regex(regex, dataset)
+        assert score.distinct == 2
+        assert score.distinct_asns == {100, 200}
+
+    def test_keep_outcomes(self, dataset):
+        regex = Regex.raw(r"^as(\d+)\.pop\.x\.com$")
+        score = evaluate_regex(regex, dataset, keep_outcomes=True)
+        assert len(score.outcomes) == len(dataset)
+
+    def test_empty_nc(self, dataset):
+        score = evaluate_nc((), dataset)
+        assert score.tp == 0
+        assert score.matches == 0
+        assert score.fn == 3   # every apparent-ASN hostname unmatched
+
+    def test_ppv_zero_when_no_extractions(self, dataset):
+        score = evaluate_nc((), dataset)
+        assert score.ppv == 0.0
+
+    def test_set_ordering_first_match(self, dataset):
+        specific = Regex.raw(r"^as(\d+)\.pop\.x\.com$")
+        rescue = Regex.raw(r"^.+-as(\d+)\.x\.com$")
+        score = evaluate_nc((specific, rescue), dataset)
+        assert score.tp == 3
+        assert score.fn == 0
+
+    def test_rank_key_orders_by_atp(self):
+        from repro.core.evaluate import NCScore
+        high = NCScore(tp=5)
+        low = NCScore(tp=5, fp=3)
+        assert high.rank_key() < low.rank_key()
+
+    def test_matched_indices(self, dataset):
+        regex = Regex.raw(r"^as(\d+)\.pop\.x\.com$")
+        assert matched_indices(regex, dataset) == [0, 1, 2]

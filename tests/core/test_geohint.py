@@ -1,0 +1,159 @@
+"""Tests for the DRoP-style geolocation hint learner."""
+
+import pytest
+
+from repro.core.geohint import (
+    GeoItem,
+    GeoLearnerConfig,
+    evaluate_geo_regex,
+    geo_items_from_traces,
+    learn_geo_conventions,
+    learn_geo_suffix,
+    rtt_table_from_traces,
+)
+from repro.core.regex_model import Regex
+from repro.topology import geo
+from repro.traceroute.probe import Trace
+
+
+def _item(hostname, samples):
+    return GeoItem(hostname=hostname, rtt_samples=tuple(samples))
+
+
+def _truthful_items():
+    """Hostnames whose embedded codes agree with physics."""
+    items = []
+    for code in ("fra", "lon", "nyc", "syd"):
+        rtt_from_ams = geo.min_rtt_ms("ams", code) + 1.0
+        items.append(_item("xe0.cr1.%s1.example.net" % code,
+                           [("ams", rtt_from_ams)]))
+    return items
+
+
+class TestGeoSubstrate:
+    def test_distance_symmetry(self):
+        assert geo.distance_km("fra", "nyc") == geo.distance_km("nyc",
+                                                                "fra")
+
+    def test_known_distance_scale(self):
+        # Frankfurt to New York is roughly 6200 km.
+        distance = geo.distance_km("fra", "nyc")
+        assert 5800 < distance < 6600
+
+    def test_unknown_code(self):
+        assert geo.distance_km("fra", "zzz") is None
+        assert geo.propagation_ms("fra", "zzz") == 0.0
+
+    def test_same_city(self):
+        assert geo.distance_km("fra", "fra") == 0.0
+        assert geo.min_rtt_ms("fra", "fra") == 0.0
+
+    def test_feasibility(self):
+        floor = geo.min_rtt_ms("fra", "nyc")
+        assert not geo.feasible("fra", "nyc", floor / 2.0)
+        assert geo.feasible("fra", "nyc", floor + 1.0)
+        assert geo.feasible("fra", "fra", 0.5)
+
+
+class TestRttTable:
+    def test_min_per_vp_location(self):
+        traces = [
+            Trace(vp_asn=1, dst_address=9, dst_asn=2, vp_loc="ams",
+                  hops=[100], rtts=[12.0]),
+            Trace(vp_asn=1, dst_address=9, dst_asn=2, vp_loc="ams",
+                  hops=[100], rtts=[8.0]),
+            Trace(vp_asn=3, dst_address=9, dst_asn=2, vp_loc="nyc",
+                  hops=[100], rtts=[90.0]),
+        ]
+        table = rtt_table_from_traces(traces)
+        assert table[100] == {"ams": 8.0, "nyc": 90.0}
+
+    def test_anonymous_hops_skipped(self):
+        traces = [Trace(vp_asn=1, dst_address=9, dst_asn=2, vp_loc="ams",
+                        hops=[None, 100], rtts=[None, 5.0])]
+        table = rtt_table_from_traces(traces)
+        assert set(table) == {100}
+
+    def test_geo_items(self):
+        traces = [Trace(vp_asn=1, dst_address=9, dst_asn=2, vp_loc="ams",
+                        hops=[100], rtts=[5.0])]
+        items = geo_items_from_traces({100: "xe0.cr1.fra1.example.net",
+                                       200: "never.observed.example.net"},
+                                      traces)
+        assert len(items) == 1
+        assert items[0].rtt_samples == (("ams", 5.0),)
+
+
+class TestEvaluate:
+    def test_truthful_codes_consistent(self):
+        regex = Regex.raw(
+            r"^[^\.]+\.[^\.]+\.([a-z]+)\d+\.example\.net$")
+        score, codes = evaluate_geo_regex(regex, _truthful_items())
+        assert score.consistent == 4
+        assert score.violated == 0
+        assert codes == {"fra", "lon", "nyc", "syd"}
+
+    def test_impossible_codes_violate(self):
+        # A hostname claiming Sydney answering Amsterdam in 3 ms.
+        items = [_item("xe0.cr1.syd1.example.net", [("ams", 3.0)])]
+        regex = Regex.raw(
+            r"^[^\.]+\.[^\.]+\.([a-z]+)\d+\.example\.net$")
+        score, codes = evaluate_geo_regex(regex, items)
+        assert score.violated == 1
+        assert codes == set()
+
+    def test_unknown_tokens_tracked(self):
+        items = [_item("xe0.cr1.zzzz1.example.net", [("ams", 3.0)])]
+        regex = Regex.raw(
+            r"^[^\.]+\.[^\.]+\.([a-z]+)\d+\.example\.net$")
+        score, _ = evaluate_geo_regex(regex, items)
+        assert score.unknown == 1
+
+
+class TestLearn:
+    def test_learns_location_position(self):
+        convention = learn_geo_suffix("example.net", _truthful_items())
+        assert convention is not None
+        assert convention.locate("hu9.cr7.lon3.example.net") == "lon"
+        assert convention.score.consistency == 1.0
+
+    def test_rejects_lying_suffix(self):
+        """Codes systematically violating delay constraints are refused."""
+        items = []
+        for code in ("syd", "tyo", "scl", "akl"):
+            # All claim far-away cities while answering Amsterdam fast.
+            items.append(_item("xe0.cr1.%s1.example.net" % code,
+                               [("ams", 2.0)]))
+        assert learn_geo_suffix("example.net", items,
+                                GeoLearnerConfig()) is None
+
+    def test_min_codes_gate(self):
+        items = _truthful_items()[:2]
+        config = GeoLearnerConfig(min_hostnames=2, min_codes=3)
+        assert learn_geo_suffix("example.net", items, config) is None
+
+    def test_end_to_end_on_world(self):
+        """Learned geo conventions recover true router locations."""
+        from repro import METHOD_BDRMAPIT, SnapshotSpec, WorldConfig, \
+            generate_world, run_snapshot
+        world = generate_world(77, WorldConfig.tiny())
+        result = run_snapshot(world, SnapshotSpec(
+            label="t", year=2020.0, method=METHOD_BDRMAPIT, n_vps=8,
+            seed=5))
+        conventions = learn_geo_conventions(result.snapshot.hostnames,
+                                            result.traces)
+        checked = correct = 0
+        for address, hostname in result.snapshot.named_addresses():
+            iface = world.topology.interfaces_by_address.get(address)
+            if iface is None:
+                continue
+            for suffix, convention in conventions.items():
+                if hostname.endswith("." + suffix):
+                    located = convention.locate(hostname)
+                    if located is not None:
+                        checked += 1
+                        correct += located == iface.router.loc
+                    break
+        if checked < 10:
+            pytest.skip("tiny world gave too few located hostnames")
+        assert correct / checked > 0.9

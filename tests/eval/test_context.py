@@ -1,0 +1,53 @@
+"""Unit tests for the experiment context."""
+
+import pytest
+
+from repro.eval.context import ExperimentContext, Scale
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(seed=11, scale=Scale.TINY,
+                             itdk_labels=["2020-01"])
+
+
+class TestScale:
+    def test_world_configs_ordered(self):
+        tiny = Scale.TINY.world_config().asgraph
+        small = Scale.SMALL.world_config().asgraph
+        full = Scale.FULL.world_config().asgraph
+        assert tiny.n_stub < small.n_stub < full.n_stub
+
+    def test_values(self):
+        assert Scale("tiny") is Scale.TINY
+        assert Scale("full") is Scale.FULL
+
+
+class TestContext:
+    def test_world_memoised(self, context):
+        assert context.world is context.world
+
+    def test_routing_memoised(self, context):
+        assert context.routing is context.routing
+
+    def test_timeline_restricted(self, context):
+        labels = [t.label for t in context.timeline]
+        assert labels == ["2020-01", "2019-08-pdb", "2020-02-pdb"]
+
+    def test_training_set_lookup(self, context):
+        assert context.training_set("2020-01").label == "2020-01"
+        with pytest.raises(KeyError):
+            context.training_set("1999-01")
+
+    def test_learned_memoised(self, context):
+        assert context.learned("2020-01") is context.learned("2020-01")
+
+    def test_latest_helpers(self, context):
+        assert context.latest_itdk().kind == "itdk"
+        assert context.latest_pdb().kind == "peeringdb"
+
+    def test_no_itdk_raises(self):
+        empty = ExperimentContext(seed=11, scale=Scale.TINY,
+                                  itdk_labels=[])
+        with pytest.raises(RuntimeError):
+            empty.latest_itdk()

@@ -1,0 +1,169 @@
+"""Tests for the experiment harness on a tiny shared context.
+
+These run the real experiment code end-to-end at TINY scale (a few dozen
+ASes, three ITDK snapshots) and assert structural invariants; the
+full-shape assertions live in the integration tests and benchmarks.
+"""
+
+import pytest
+
+from repro.eval import (
+    ExperimentContext,
+    Scale,
+    ablation,
+    appendix_a,
+    figure5,
+    figure6,
+    section5,
+    table1,
+    table2,
+)
+from repro.eval.common import pct, ratio_str, render_table
+from repro.eval.timeline import ITDK_TIMELINE, PDB_TIMELINE, vps_for_year
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(
+        seed=2020, scale=Scale.TINY,
+        itdk_labels=["2013-04", "2017-08", "2020-01"])
+
+
+class TestCommon:
+    def test_pct(self):
+        assert pct(0.925) == "92.5%"
+        assert pct(1.0) == "100.0%"
+
+    def test_ratio(self):
+        assert ratio_str(7.9) == "1/7.9"
+        assert ratio_str(None) == "1/inf"
+
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bee"], [(1, 2), (333, 4)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bee" in lines[1]
+        assert len(lines) == 5
+
+
+class TestTimeline:
+    def test_seventeen_itdks_two_pdbs(self):
+        assert len(ITDK_TIMELINE) == 17
+        assert len(PDB_TIMELINE) == 2
+        methods = [m for _, _, m in ITDK_TIMELINE]
+        assert methods.count("rtaa") == 12
+        assert methods.count("bdrmapit") == 5
+
+    def test_methods_switch_in_2017(self):
+        for label, year, method in ITDK_TIMELINE:
+            if year < 2017.5:
+                assert method == "rtaa", label
+            else:
+                assert method == "bdrmapit", label
+
+    def test_vps_grow(self):
+        assert vps_for_year(2010.5) < vps_for_year(2015.0) \
+            < vps_for_year(2020.0)
+
+    def test_context_builds_requested_sets(self, context):
+        labels = [t.label for t in context.timeline]
+        assert labels == ["2013-04", "2017-08", "2020-01",
+                          "2019-08-pdb", "2020-02-pdb"]
+
+    def test_training_items_nonempty(self, context):
+        for training_set in context.timeline:
+            assert training_set.items, training_set.label
+
+
+class TestFigure5:
+    def test_rows_cover_timeline(self, context):
+        result = figure5.run(context)
+        assert len(result.rows) == len(context.timeline)
+
+    def test_counts_nonnegative(self, context):
+        result = figure5.run(context)
+        for row in result.rows:
+            assert row.good >= 0 and row.promising >= 0 and row.poor >= 0
+            assert row.usable == row.good + row.promising
+
+    def test_render(self, context):
+        text = figure5.render(figure5.run(context))
+        assert "Figure 5" in text
+        assert "usable suffixes across all sets" in text
+
+
+class TestFigure6:
+    def test_ppv_bounds(self, context):
+        result = figure6.run(context)
+        for row in result.rows:
+            assert 0.0 <= row.ppv <= 1.0
+            assert row.ppv_with_siblings >= row.ppv
+
+    def test_render(self, context):
+        assert "PPV" in figure6.render(figure6.run(context))
+
+
+class TestTable1:
+    def test_totals_consistent(self, context):
+        result = table1.run(context)
+        assert sum(result.usable.values()) == result.n_usable
+        assert sum(result.single.values()) == result.n_single
+        assert result.n_single <= result.n_usable
+
+    def test_render(self, context):
+        assert "taxonomy" in table1.render(table1.run(context))
+
+
+class TestSection5:
+    def test_agreement_never_decreases(self, context):
+        result = section5.run(context)
+        assert result.agreement_after.rate >= result.agreement_before.rate
+
+    def test_used_at_most_incongruent(self, context):
+        result = section5.run(context)
+        assert 0 <= result.used <= result.n_incongruent <= result.n_hints
+
+    def test_render(self, context):
+        text = section5.render(section5.run(context))
+        assert "agreement" in text
+
+
+class TestTable2:
+    def test_decision_counts(self, context):
+        result = table2.run(context)
+        totals = result.totals()
+        assert totals.total == sum(row.total for row in result.rows)
+        assert totals.correct_decisions <= totals.total
+
+    def test_render(self, context):
+        assert "validation" in table2.render(table2.run(context))
+
+
+class TestAppendixA:
+    def test_three_equivalent_conventions_same_atp(self):
+        result = appendix_a.run()
+        atps = {score.atp for _, _, score in result.scores}
+        assert atps == {8}
+
+    def test_learner_matches_nc7(self):
+        result = appendix_a.run()
+        assert result.learned_matches_nc7
+
+    def test_render(self):
+        assert "NC #7" in appendix_a.render(appendix_a.run())
+
+
+class TestAblation:
+    def test_rows_present(self, context):
+        result = ablation.run(context)
+        assert len(result.learner_rows) == 5
+        assert len(result.bdrmapit_rows) == 6
+
+    def test_full_variants_first(self, context):
+        result = ablation.run(context)
+        assert result.learner_rows[0].name == "full"
+        assert result.bdrmapit_rows[0].name == "full"
+
+    def test_render(self, context):
+        text = ablation.render(ablation.run(context))
+        assert "Ablation" in text

@@ -1,0 +1,40 @@
+"""Tests for the section-7 experiment module."""
+
+import pytest
+
+from repro.eval import ExperimentContext, Scale, section7
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(seed=2020, scale=Scale.TINY,
+                             itdk_labels=["2020-01"])
+
+
+class TestSection7:
+    def test_runs(self, context):
+        result = section7.run(context)
+        assert result.asn_suffixes >= 0
+        assert result.observed_matches >= 0
+
+    def test_full_zone_superset(self, context):
+        """Every traceroute-observed match is also a full-zone match."""
+        result = section7.run(context)
+        assert result.full_zone_matches >= result.observed_matches
+
+    def test_accuracy_bounds(self, context):
+        result = section7.run(context)
+        assert 0.0 <= result.name_accuracy <= 1.0
+        assert result.name_correct <= result.name_checked
+
+    def test_expansion_factor(self, context):
+        result = section7.run(context)
+        if result.observed_matches:
+            assert result.expansion_factor >= 1.0
+        else:
+            assert result.expansion_factor == 0.0
+
+    def test_render(self, context):
+        text = section7.render(section7.run(context))
+        assert "AS-name conventions" in text
+        assert "Expansion beyond traceroute" in text

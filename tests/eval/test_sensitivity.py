@@ -1,0 +1,32 @@
+"""Tests for the section-6 sensitivity experiment."""
+
+import pytest
+
+from repro.eval import ExperimentContext, Scale, sensitivity
+
+
+@pytest.fixture(scope="module")
+def result():
+    context = ExperimentContext(seed=2020, scale=Scale.TINY,
+                                itdk_labels=["2020-01"])
+    return sensitivity.run(context, stale_rates=(0.02, 0.3))
+
+
+class TestSensitivity:
+    def test_one_row_per_rate(self, result):
+        assert [row.stale_rate for row in result.rows] == [0.02, 0.3]
+
+    def test_feedback_never_hurts(self, result):
+        for row in result.rows:
+            assert row.agreement_after >= row.agreement_before
+
+    def test_rates_bounded(self, result):
+        for row in result.rows:
+            assert 0.0 <= row.usable_ppv <= 1.0
+            assert 0.0 <= row.decision_rate <= 1.0
+            assert row.wrongly_used <= row.decisions
+
+    def test_render(self, result):
+        text = sensitivity.render(result)
+        assert "Sensitivity" in text
+        assert "stale rate" in text

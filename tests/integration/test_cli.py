@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_appendix_a(self, capsys):
+        assert main(["appendix-a", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "NC #7" in out
+
+    def test_learn_from_file(self, tmp_path, capsys):
+        path = tmp_path / "hostnames.txt"
+        path.write_text(
+            "# hostname asn\n"
+            "as3356.lon1.example.com 3356\n"
+            "as1299.lon2.example.com 1299\n"
+            "as174.fra1.example.com 174\n"
+            "as2914.fra2.example.com 2914\n"
+            "as6453.ams1.example.com 6453\n",
+            encoding="utf-8")
+        assert main(["learn", "--hostnames", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "example.com" in out
+        assert "as(\\d+)" in out
+
+    def test_learn_requires_file(self, capsys):
+        assert main(["learn"]) == 2
+
+    def test_learn_skips_malformed_lines(self, tmp_path, capsys):
+        path = tmp_path / "hostnames.txt"
+        path.write_text("onlyonefield\n", encoding="utf-8")
+        assert main(["learn", "--hostnames", str(path)]) == 0
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_learn_save_then_apply(self, tmp_path, capsys):
+        training = tmp_path / "train.txt"
+        training.write_text(
+            "as3356.lon1.example.com 3356\n"
+            "as1299.lon2.example.com 1299\n"
+            "as174.fra1.example.com 174\n"
+            "as2914.fra2.example.com 2914\n"
+            "as6453.ams1.example.com 6453\n",
+            encoding="utf-8")
+        saved = tmp_path / "conv.json"
+        assert main(["learn", "--hostnames", str(training),
+                     "--save", str(saved)]) == 0
+        assert saved.exists()
+        capsys.readouterr()
+
+        targets = tmp_path / "targets.txt"
+        targets.write_text("as8075.ams9.example.com\n"
+                           "unknown.other.net\n", encoding="utf-8")
+        assert main(["apply", "--conventions", str(saved),
+                     "--hostnames", str(targets)]) == 0
+        out = capsys.readouterr().out
+        assert "as8075.ams9.example.com\t8075" in out
+        assert "unknown.other.net\t-" in out
+
+    def test_apply_requires_both_files(self, capsys):
+        assert main(["apply"]) == 2
+
+    def test_report(self, tmp_path, capsys):
+        training = tmp_path / "train.txt"
+        training.write_text(
+            "as3356.lon1.example.com 3356\n"
+            "as1299.lon2.example.com 1299\n"
+            "as174.fra1.example.com 174\n"
+            "as2914.fra2.example.com 2914\n",
+            encoding="utf-8")
+        assert main(["report", "--hostnames", str(training)]) == 0
+        out = capsys.readouterr().out
+        assert "[TP]" in out
+        assert "suffix: example.com" in out
+
+    def test_report_requires_file(self, capsys):
+        assert main(["report"]) == 2

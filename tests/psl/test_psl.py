@@ -1,0 +1,89 @@
+"""Unit tests for the public suffix list implementation."""
+
+import pytest
+
+from repro.psl import PublicSuffixList, default_psl
+
+
+@pytest.fixture(scope="module")
+def psl():
+    return default_psl()
+
+
+class TestPublicSuffix:
+    def test_simple_tld(self, psl):
+        assert psl.public_suffix("example.com") == "com"
+
+    def test_multi_label_suffix(self, psl):
+        assert psl.public_suffix("foo.example.co.uk") == "co.uk"
+
+    def test_unknown_tld_default_rule(self, psl):
+        assert psl.public_suffix("foo.bar.unknowntld") == "unknowntld"
+
+    def test_wildcard_rule(self, psl):
+        # *.ck makes any second level a public suffix.
+        assert psl.public_suffix("foo.bar.ck") == "bar.ck"
+
+    def test_exception_rule(self, psl):
+        # !www.ck defeats the wildcard.
+        assert psl.public_suffix("www.ck") == "ck"
+        assert psl.registered_domain("www.ck") == "www.ck"
+
+    def test_private_section(self, psl):
+        assert psl.public_suffix("me.blogspot.com") == "blogspot.com"
+
+    def test_empty(self, psl):
+        assert psl.public_suffix("") is None
+
+    def test_case_insensitive(self, psl):
+        assert psl.public_suffix("Foo.Example.COM") == "com"
+
+
+class TestRegisteredDomain:
+    def test_paper_examples(self, psl):
+        # Suffix determination examples from section 3 of the paper.
+        assert psl.registered_domain(
+            "ge0-2.01.p.ost.ch.as15576.nts.ch") == "nts.ch"
+        assert psl.registered_domain("as24940.akl-ix.nz") == "akl-ix.nz"
+        assert psl.registered_domain(
+            "p24115.mel.equinix.com") == "equinix.com"
+        assert psl.registered_domain(
+            "201.atm2-0.vr1.tor2.alter.net") == "alter.net"
+        assert psl.registered_domain(
+            "mlg4bras1-be127-605.antel.net.uy") == "antel.net.uy"
+
+    def test_bare_suffix_has_no_registered_domain(self, psl):
+        assert psl.registered_domain("com") is None
+        assert psl.registered_domain("co.uk") is None
+
+    def test_exact_registered_domain(self, psl):
+        assert psl.registered_domain("example.com") == "example.com"
+
+    def test_deep_hostname(self, psl):
+        assert psl.registered_domain(
+            "a.b.c.d.example.org.nz") == "example.org.nz"
+
+    def test_trailing_dot(self, psl):
+        assert psl.registered_domain("host.example.com.") == "example.com"
+
+
+class TestParsing:
+    def test_from_text_ignores_comments(self):
+        psl = PublicSuffixList.from_text(
+            "// comment\ncom\n\nnet  // trailing\n")
+        assert psl.public_suffix("a.com") == "com"
+        assert psl.public_suffix("a.net") == "net"
+
+    def test_rule_count(self):
+        psl = PublicSuffixList.from_text("com\nnet\nco.uk\n")
+        assert len(psl) == 3
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "psl.dat"
+        path.write_text("com\nexample\n", encoding="utf-8")
+        psl = PublicSuffixList.from_file(str(path))
+        assert psl.public_suffix("foo.example") == "example"
+
+    def test_exception_without_wildcard_is_harmless(self):
+        psl = PublicSuffixList.from_text("!www.example\nexample\n")
+        assert psl.public_suffix("www.example") == "example"

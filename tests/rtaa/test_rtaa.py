@@ -1,0 +1,69 @@
+"""Unit tests for the RouterToAsAssignment baseline."""
+
+import pytest
+
+from repro.alias.midar import AliasResolution, InferredNode
+from repro.asn.bgp import RouteTable
+from repro.asn.relationships import ASRelationships
+from repro.rtaa.rtaa import assign_asns
+from repro.util.ipaddr import IPv4Prefix, ip_to_int
+
+
+def _resolution(nodes):
+    resolution = AliasResolution()
+    for node_id, addresses in nodes.items():
+        node = InferredNode(node_id=node_id,
+                            addresses=[ip_to_int(a) for a in addresses])
+        resolution.nodes[node_id] = node
+        for address in node.addresses:
+            resolution.node_of_address[address] = node_id
+    return resolution
+
+
+@pytest.fixture
+def table():
+    t = RouteTable()
+    t.announce(IPv4Prefix.parse("10.0.0.0/8"), 3356)     # provider
+    t.announce(IPv4Prefix.parse("20.0.0.0/8"), 64500)    # customer
+    t.add_ixp_prefix(IPv4Prefix.parse("206.0.0.0/24"))
+    return t
+
+
+class TestElection:
+    def test_majority_wins(self, table):
+        resolution = _resolution(
+            {"N1": ["10.0.0.1", "10.0.0.5", "20.0.0.1"]})
+        assert assign_asns(resolution, table)["N1"] == 3356
+
+    def test_tie_breaks_by_degree(self, table):
+        rels = ASRelationships()
+        rels.add_p2c(3356, 64500)
+        rels.add_p2c(3356, 64501)
+        # 3356 has degree 2, 64500 degree 1: tie goes to 64500.
+        resolution = _resolution({"N1": ["10.0.0.1", "20.0.0.1"]})
+        assert assign_asns(resolution, table, rels)["N1"] == 64500
+
+    def test_tie_without_relationships_uses_lower_asn(self, table):
+        resolution = _resolution({"N1": ["10.0.0.1", "20.0.0.1"]})
+        assert assign_asns(resolution, table)["N1"] == 3356
+
+    def test_ixp_addresses_ignored(self, table):
+        resolution = _resolution({"N1": ["206.0.0.1", "20.0.0.1"]})
+        assert assign_asns(resolution, table)["N1"] == 64500
+
+    def test_unrouted_only_node_unannotated(self, table):
+        resolution = _resolution({"N1": ["203.0.113.1"]})
+        assert "N1" not in assign_asns(resolution, table)
+
+    def test_all_nodes_processed(self, table):
+        resolution = _resolution({"N1": ["10.0.0.1"],
+                                  "N2": ["20.0.0.1"]})
+        annotations = assign_asns(resolution, table)
+        assert annotations == {"N1": 3356, "N2": 64500}
+
+    def test_single_interface_stub_border_error_mode(self, table):
+        """The systematic RTAA error the paper describes: a customer
+        border router observed only through the provider-supplied
+        address is annotated with the provider."""
+        resolution = _resolution({"N1": ["10.0.0.9"]})   # provider space
+        assert assign_asns(resolution, table)["N1"] == 3356

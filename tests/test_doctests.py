@@ -1,0 +1,47 @@
+"""Run the doctests embedded in the library's docstrings.
+
+The public API docstrings carry runnable examples; this keeps them
+honest without requiring a separate doctest pytest configuration.
+"""
+
+import doctest
+
+import pytest
+
+import repro.asn.bgp
+import repro.asn.org
+import repro.asn.relationships
+import repro.core.congruence
+import repro.core.regex_model
+import repro.core.types
+import repro.eval.common
+import repro.naming.asnames
+import repro.psl.psl
+import repro.util.ipaddr
+import repro.util.radix
+import repro.util.rand
+import repro.util.strings
+
+_MODULES = [
+    repro.util.strings,
+    repro.util.ipaddr,
+    repro.util.radix,
+    repro.util.rand,
+    repro.psl.psl,
+    repro.asn.relationships,
+    repro.asn.org,
+    repro.asn.bgp,
+    repro.core.congruence,
+    repro.core.regex_model,
+    repro.core.types,
+    repro.naming.asnames,
+    repro.eval.common,
+]
+
+
+@pytest.mark.parametrize("module", _MODULES,
+                         ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0
+    assert result.attempted > 0, "module has no doctests to run"

@@ -1,0 +1,91 @@
+"""Unit tests for the address plan."""
+
+import pytest
+
+from repro.asn.bgp import IXP_ASN
+from repro.topology.addressing import InfraAllocator, build_address_plan
+from repro.topology.asgraph import ASGraphConfig, generate_asgraph
+from repro.util.ipaddr import IPv4Prefix
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_asgraph(42, ASGraphConfig(
+        n_clique=2, n_transit=5, n_access=8, n_stub=12, n_content=2,
+        n_ixps=2))
+
+
+@pytest.fixture(scope="module")
+def plan(graph):
+    return build_address_plan(graph)
+
+
+class TestAllocation:
+    def test_every_as_has_prefixes(self, graph, plan):
+        for asn in graph.asns():
+            assert plan.prefixes(asn)
+
+    def test_prefixes_disjoint(self, graph, plan):
+        all_prefixes = [p for asn in graph.asns()
+                        for p in plan.prefixes(asn)]
+        all_prefixes += list(plan.ixp_lans.values())
+        for i, a in enumerate(all_prefixes):
+            for b in all_prefixes[i + 1:]:
+                assert not a.contains_prefix(b)
+                assert not b.contains_prefix(a)
+
+    def test_route_table_matches_allocation(self, graph, plan):
+        for asn in graph.asns():
+            for prefix in plan.prefixes(asn):
+                assert plan.route_table.origin(prefix.network) == asn
+
+    def test_ixp_lans_marked(self, graph, plan):
+        for ixp in graph.ixps:
+            lan = plan.ixp_lans[ixp.ixp_id]
+            assert plan.route_table.origin(lan.host(1)) == IXP_ASN
+
+    def test_edge_prefixes_avoid_infra(self, graph, plan):
+        for asn in graph.asns():
+            infra_block = plan.infra[asn].block
+            for edge in plan.edge_prefixes(asn):
+                assert not edge.contains_prefix(infra_block)
+                assert not infra_block.contains_prefix(edge)
+
+    def test_deterministic(self, graph):
+        a = build_address_plan(graph)
+        b = build_address_plan(graph)
+        assert list(a.route_table.to_lines()) == \
+            list(b.route_table.to_lines())
+
+
+class TestInfraAllocator:
+    def test_loopbacks_unique(self):
+        alloc = InfraAllocator(IPv4Prefix.parse("10.0.0.0/24"))
+        addresses = [alloc.loopback() for _ in range(10)]
+        assert len(set(addresses)) == 10
+
+    def test_p2p_subnets_disjoint(self):
+        alloc = InfraAllocator(IPv4Prefix.parse("10.0.0.0/24"))
+        subnets = [alloc.p2p_subnet() for _ in range(20)]
+        networks = {s.network for s in subnets}
+        assert len(networks) == 20
+        assert all(s.length == 31 for s in subnets)
+
+    def test_mixing_sizes_stays_aligned(self):
+        alloc = InfraAllocator(IPv4Prefix.parse("10.0.0.0/24"))
+        alloc.loopback()
+        subnet = alloc.p2p_subnet()
+        assert subnet.network % 2 == 0   # /31 aligned
+
+    def test_exhaustion(self):
+        alloc = InfraAllocator(IPv4Prefix.parse("10.0.0.0/30"))
+        alloc.p2p_subnet()
+        alloc.p2p_subnet()
+        with pytest.raises(RuntimeError):
+            alloc.p2p_subnet()
+
+    def test_inside_block(self):
+        block = IPv4Prefix.parse("10.0.0.0/26")
+        alloc = InfraAllocator(block)
+        for _ in range(8):
+            assert block.contains_prefix(alloc.p2p_subnet())

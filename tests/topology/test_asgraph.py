@@ -1,0 +1,101 @@
+"""Unit tests for synthetic AS-graph generation."""
+
+import pytest
+
+from repro.topology.asgraph import (
+    ASGraphConfig,
+    Tier,
+    generate_asgraph,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_asgraph(42, ASGraphConfig(
+        n_clique=3, n_transit=8, n_access=15, n_stub=25, n_content=4,
+        n_ixps=3))
+
+
+class TestStructure:
+    def test_counts(self, graph):
+        assert len(graph.by_tier(Tier.CLIQUE)) == 3
+        assert len(graph.by_tier(Tier.TRANSIT)) == 8
+        assert len(graph.by_tier(Tier.ACCESS)) == 15
+        assert len(graph.by_tier(Tier.STUB)) == 25
+        assert len(graph.by_tier(Tier.CONTENT)) == 4
+        assert len(graph.ixps) == 3
+
+    def test_clique_fully_meshed(self, graph):
+        clique = [n.asn for n in graph.by_tier(Tier.CLIQUE)]
+        for i, a in enumerate(clique):
+            for b in clique[i + 1:]:
+                assert b in graph.relationships.peers(a)
+
+    def test_clique_transit_free(self, graph):
+        for node in graph.by_tier(Tier.CLIQUE):
+            assert graph.relationships.providers(node.asn) == set()
+
+    def test_every_non_clique_has_provider(self, graph):
+        for node in graph.nodes.values():
+            if node.tier is not Tier.CLIQUE:
+                assert graph.relationships.providers(node.asn), node
+
+    def test_stubs_have_no_customers(self, graph):
+        for node in graph.by_tier(Tier.STUB):
+            assert graph.relationships.customers(node.asn) == set()
+
+    def test_unique_domains(self, graph):
+        domains = [n.domain for n in graph.nodes.values()]
+        assert len(domains) == len(set(domains))
+
+    def test_loc_codes_assigned(self, graph):
+        for node in graph.nodes.values():
+            assert node.loc_codes
+
+    def test_org_assigned(self, graph):
+        for node in graph.nodes.values():
+            assert graph.orgs.org_of(node.asn) is not None
+
+    def test_some_sibling_orgs_exist(self, graph):
+        assert any(len(members) > 1
+                   for _, members in graph.orgs.organizations())
+
+
+class TestIXPs:
+    def test_members_exist(self, graph):
+        for ixp in graph.ixps:
+            assert len(ixp.members) >= 3
+
+    def test_lan_peerings_are_relationships(self, graph):
+        for ixp in graph.ixps:
+            for a, b in ixp.lan_peerings:
+                assert graph.relationships.relationship(a, b) is not None
+
+    def test_ixp_of_peering(self, graph):
+        for ixp in graph.ixps:
+            if ixp.lan_peerings:
+                a, b = ixp.lan_peerings[0]
+                assert graph.ixp_of_peering(a, b) is ixp
+                assert graph.ixp_of_peering(b, a) is ixp
+
+    def test_ixp_domains_unique(self, graph):
+        domains = [ixp.domain for ixp in graph.ixps]
+        assert len(domains) == len(set(domains))
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        config = ASGraphConfig(n_clique=2, n_transit=4, n_access=6,
+                               n_stub=8, n_content=2, n_ixps=2)
+        a = generate_asgraph(7, config)
+        b = generate_asgraph(7, config)
+        assert a.asns() == b.asns()
+        assert list(a.relationships.to_lines()) == \
+            list(b.relationships.to_lines())
+
+    def test_different_seed_differs(self):
+        config = ASGraphConfig(n_clique=2, n_transit=4, n_access=6,
+                               n_stub=8, n_content=2, n_ixps=2)
+        a = generate_asgraph(7, config)
+        b = generate_asgraph(8, config)
+        assert a.asns() != b.asns()

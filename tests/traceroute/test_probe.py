@@ -1,0 +1,112 @@
+"""Unit tests for router-level traceroute expansion."""
+
+import pytest
+
+from repro.topology.routers import InterfaceKind
+from repro.topology.world import WorldConfig, generate_world
+from repro.traceroute.probe import Prober
+from repro.traceroute.routing import RoutingModel
+
+
+@pytest.fixture(scope="module")
+def setup():
+    world = generate_world(42, WorldConfig.tiny())
+    routing = RoutingModel(world.graph)
+    prober = Prober(world, routing, 5, anonymous_rate=0.0,
+                    dest_responds_rate=1.0)
+    return world, routing, prober
+
+
+def _a_destination(world, asn):
+    prefix = world.plan.edge_prefixes(asn)[0]
+    return prefix.host(9)
+
+
+class TestTrace:
+    def test_trace_reaches_destination(self, setup):
+        world, routing, prober = setup
+        src = world.graph.asns()[0]
+        dst_asn = world.graph.asns()[-1]
+        if routing.as_path(src, dst_asn) is None:
+            pytest.skip("no route in tiny world")
+        vp_router = world.topology.routers_by_asn[src][0]
+        trace = prober.trace(src, vp_router, _a_destination(world, dst_asn))
+        assert trace is not None
+        assert trace.reached
+        assert trace.hops[-1] == _a_destination(world, dst_asn)
+
+    def test_hops_are_ingress_interfaces(self, setup):
+        """Every recorded hop except the destination is an interface of
+        the router that received the probe."""
+        world, routing, prober = setup
+        src = world.graph.asns()[0]
+        vp_router = world.topology.routers_by_asn[src][0]
+        for dst_asn in world.graph.asns()[1:6]:
+            trace = prober.trace(src, vp_router,
+                                 _a_destination(world, dst_asn))
+            if trace is None:
+                continue
+            for hop in trace.hops[:-1] if trace.reached else trace.hops:
+                assert hop in world.topology.interfaces_by_address
+
+    def test_interdomain_hop_uses_supplier_address(self, setup):
+        """When a trace crosses into another AS, the first hop inside
+        carries the address of the shared subnet (figure-1 semantics)."""
+        world, routing, prober = setup
+        found = False
+        src = world.graph.asns()[0]
+        vp_router = world.topology.routers_by_asn[src][0]
+        for dst_asn in world.graph.asns()[1:]:
+            trace = prober.trace(src, vp_router,
+                                 _a_destination(world, dst_asn))
+            if trace is None:
+                continue
+            for hop in trace.responsive_hops():
+                iface = world.topology.interfaces_by_address.get(hop)
+                if iface is None:
+                    continue
+                if iface.kind is InterfaceKind.P2P \
+                        and iface.router.asn != iface.supplier_asn:
+                    found = True
+        assert found, "no supplier-addressed border hop observed"
+
+    def test_anonymous_routers_yield_none_hops(self):
+        world = generate_world(42, WorldConfig.tiny())
+        routing = RoutingModel(world.graph)
+        prober = Prober(world, routing, 5, anonymous_rate=0.5,
+                        dest_responds_rate=1.0)
+        src = world.graph.asns()[0]
+        vp_router = world.topology.routers_by_asn[src][0]
+        traces = [prober.trace(src, vp_router, _a_destination(world, d))
+                  for d in world.graph.asns()[1:10]]
+        hops = [h for t in traces if t for h in t.hops]
+        assert None in hops
+
+    def test_unresponsive_destination(self):
+        world = generate_world(42, WorldConfig.tiny())
+        routing = RoutingModel(world.graph)
+        prober = Prober(world, routing, 5, anonymous_rate=0.0,
+                        dest_responds_rate=0.0)
+        src = world.graph.asns()[0]
+        vp_router = world.topology.routers_by_asn[src][0]
+        trace = prober.trace(src, vp_router,
+                             _a_destination(world, world.graph.asns()[3]))
+        assert trace is not None
+        assert not trace.reached
+
+    def test_unrouted_destination(self, setup):
+        world, routing, prober = setup
+        src = world.graph.asns()[0]
+        vp_router = world.topology.routers_by_asn[src][0]
+        from repro.util.ipaddr import ip_to_int
+        assert prober.trace(src, vp_router,
+                            ip_to_int("203.0.113.1")) is None
+
+    def test_deterministic(self, setup):
+        world, routing, _ = setup
+        src = world.graph.asns()[0]
+        vp_router = world.topology.routers_by_asn[src][0]
+        dst = _a_destination(world, world.graph.asns()[5])
+        a = Prober(world, routing, 5).trace(src, vp_router, dst)
+        b = Prober(world, routing, 5).trace(src, vp_router, dst)
+        assert a.hops == b.hops

@@ -1,0 +1,116 @@
+"""Unit tests for the Gao-Rexford routing model."""
+
+import pytest
+
+from repro.asn.org import ASOrgMap
+from repro.asn.relationships import ASRelationships
+from repro.topology.asgraph import ASGraph
+from repro.traceroute.routing import RoutingModel
+
+
+def _graph(rels):
+    """Wrap relationships in a minimal ASGraph for routing."""
+    from repro.topology.asgraph import ASNode, Tier
+    nodes = {}
+    for asn in rels.asns():
+        nodes[asn] = ASNode(asn=asn, tier=Tier.STUB, slug="as%d" % asn,
+                            org_id="o%d" % asn, country="us",
+                            domain="as%d.net" % asn, loc_codes=["nyc"])
+    return ASGraph(nodes=nodes, relationships=rels, orgs=ASOrgMap(),
+                   ixps=[])
+
+
+@pytest.fixture
+def diamond():
+    r"""A small hierarchy::
+
+            1 ---- 2     (peers)
+           / \      \
+          3   4      5   (customers of 1/1/2)
+          |
+          6              (customer of 3)
+    """
+    rels = ASRelationships()
+    rels.add_p2p(1, 2)
+    rels.add_p2c(1, 3)
+    rels.add_p2c(1, 4)
+    rels.add_p2c(2, 5)
+    rels.add_p2c(3, 6)
+    return RoutingModel(_graph(rels)), rels
+
+
+class TestPaths:
+    def test_customer_path(self, diamond):
+        routing, _ = diamond
+        assert routing.as_path(6, 3) == [6, 3]
+        assert routing.as_path(1, 6) == [1, 3, 6]
+
+    def test_uphill_then_downhill(self, diamond):
+        routing, _ = diamond
+        assert routing.as_path(3, 4) == [3, 1, 4]
+
+    def test_peer_crossing(self, diamond):
+        routing, _ = diamond
+        assert routing.as_path(3, 5) == [3, 1, 2, 5]
+        assert routing.as_path(6, 5) == [6, 3, 1, 2, 5]
+
+    def test_self_path(self, diamond):
+        routing, _ = diamond
+        assert routing.as_path(4, 4) == [4]
+
+    def test_all_paths_valley_free(self, diamond):
+        routing, rels = diamond
+        for src in rels.asns():
+            for dst in rels.asns():
+                path = routing.as_path(src, dst)
+                assert path is not None, (src, dst)
+                assert rels.valley_free(tuple(path)), path
+
+    def test_customer_preferred_over_peer(self):
+        # 1 peers with 2 and sells to 3; 2 also sells to 3.
+        # From 1, the route to 3 must use the customer link.
+        rels = ASRelationships()
+        rels.add_p2p(1, 2)
+        rels.add_p2c(1, 3)
+        rels.add_p2c(2, 3)
+        routing = RoutingModel(_graph(rels))
+        assert routing.as_path(1, 3) == [1, 3]
+
+    def test_peer_preferred_over_provider(self):
+        # 3 buys from 1; 3 peers with 2; 2 originates d=2.
+        # 1 also reaches 2 (peer).  From 3, route to 2 via its peer.
+        rels = ASRelationships()
+        rels.add_p2c(1, 3)
+        rels.add_p2p(3, 2)
+        rels.add_p2p(1, 2)
+        routing = RoutingModel(_graph(rels))
+        assert routing.as_path(3, 2) == [3, 2]
+
+    def test_no_route_between_isolated_islands(self):
+        rels = ASRelationships()
+        rels.add_p2c(1, 2)
+        rels.add_p2c(3, 4)
+        routing = RoutingModel(_graph(rels))
+        assert routing.as_path(1, 4) is None
+        assert not routing.reachable(2, 3)
+
+    def test_peer_routes_not_exported_to_peers(self):
+        # 1-2 peers, 2-3 peers: 1 must NOT reach 3 through 2.
+        rels = ASRelationships()
+        rels.add_p2p(1, 2)
+        rels.add_p2p(2, 3)
+        routing = RoutingModel(_graph(rels))
+        assert routing.as_path(1, 3) is None
+
+    def test_provider_routes_propagate_down(self):
+        # Chain of customers under one provider sees everything.
+        rels = ASRelationships()
+        rels.add_p2c(1, 2)
+        rels.add_p2c(2, 3)
+        rels.add_p2c(1, 9)
+        routing = RoutingModel(_graph(rels))
+        assert routing.as_path(3, 9) == [3, 2, 1, 9]
+
+    def test_next_hop_terminal(self, diamond):
+        routing, _ = diamond
+        assert routing.next_hop(3, 3) == 3

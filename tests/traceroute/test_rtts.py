@@ -1,0 +1,70 @@
+"""Unit tests for the RTT model attached to traceroute output."""
+
+import pytest
+
+from repro.topology.world import WorldConfig, generate_world
+from repro.traceroute.campaign import CampaignConfig, run_campaign
+from repro.traceroute.routing import RoutingModel
+
+
+@pytest.fixture(scope="module")
+def traces():
+    world = generate_world(42, WorldConfig.tiny())
+    routing = RoutingModel(world.graph)
+    return world, run_campaign(world, routing, 9,
+                               CampaignConfig(n_vps=5))
+
+
+class TestRtts:
+    def test_rtts_parallel_to_hops(self, traces):
+        _, trace_list = traces
+        for trace in trace_list:
+            assert len(trace.rtts) == len(trace.hops)
+            for hop, rtt in zip(trace.hops, trace.rtts):
+                assert (hop is None) == (rtt is None)
+
+    def test_rtts_positive(self, traces):
+        _, trace_list = traces
+        for trace in trace_list:
+            for rtt in trace.rtts:
+                if rtt is not None:
+                    assert rtt > 0
+
+    def test_vp_loc_recorded(self, traces):
+        world, trace_list = traces
+        from repro.topology import geo
+        for trace in trace_list[:50]:
+            assert trace.vp_loc in geo.COORDS
+
+    def test_rtt_physics_floor(self, traces):
+        """No hop answers faster than light between VP and its metro."""
+        world, trace_list = traces
+        from repro.topology import geo
+        for trace in trace_list[:200]:
+            for address, rtt in trace.hop_rtts():
+                iface = world.topology.interfaces_by_address.get(address)
+                if iface is None:
+                    continue
+                floor = geo.min_rtt_ms(trace.vp_loc, iface.router.loc)
+                assert rtt + 1e-6 >= floor, (trace.vp_loc,
+                                             iface.router.loc, rtt)
+
+    def test_propagation_grows_along_path(self, traces):
+        """Cumulative delay (minus per-router jitter, bounded by 1.5 ms)
+        never decreases along a trace."""
+        _, trace_list = traces
+        for trace in trace_list[:100]:
+            previous = None
+            for _, rtt in trace.hop_rtts():
+                if previous is not None:
+                    assert rtt >= previous - 1.6
+                previous = rtt
+
+    def test_hop_rtts_accessor(self, traces):
+        _, trace_list = traces
+        for trace in trace_list[:20]:
+            pairs = trace.hop_rtts()
+            assert len(pairs) <= len(trace.hops)
+            for address, rtt in pairs:
+                assert isinstance(address, int)
+                assert isinstance(rtt, float)

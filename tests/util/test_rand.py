@@ -1,0 +1,60 @@
+"""Unit tests for deterministic random substreams."""
+
+import pytest
+
+from repro.util.rand import choice_weighted, substream
+
+
+class TestSubstream:
+    def test_reproducible(self):
+        assert substream(42, "x").random() == substream(42, "x").random()
+
+    def test_label_independence(self):
+        a = substream(42, "naming")
+        b = substream(42, "routing")
+        assert a.random() != b.random()
+
+    def test_seed_independence(self):
+        assert substream(1, "x").random() != substream(2, "x").random()
+
+    def test_multiple_labels(self):
+        a = substream(7, "a", 1)
+        b = substream(7, "a", 2)
+        assert a.random() != b.random()
+
+    def test_label_types(self):
+        # Labels of different types hash distinctly.
+        assert substream(7, 1).random() != substream(7, "1").random()
+
+
+class TestChoiceWeighted:
+    def test_deterministic(self):
+        rng_a = substream(3, "w")
+        rng_b = substream(3, "w")
+        table = {"x": 1.0, "y": 2.0}
+        assert choice_weighted(rng_a, table) == choice_weighted(rng_b, table)
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            choice_weighted(substream(1, "z"), {"a": 0.0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            choice_weighted(substream(1, "z"), {})
+
+    def test_single_choice(self):
+        assert choice_weighted(substream(1, "s"), {"only": 0.5}) == "only"
+
+    def test_distribution_roughly_follows_weights(self):
+        rng = substream(9, "dist")
+        table = {"a": 3.0, "b": 1.0}
+        counts = {"a": 0, "b": 0}
+        for _ in range(4000):
+            counts[choice_weighted(rng, table)] += 1
+        share = counts["a"] / 4000
+        assert 0.70 < share < 0.80
+
+    def test_zero_weight_key_never_chosen(self):
+        rng = substream(9, "zero")
+        table = {"a": 0.0, "b": 1.0}
+        assert all(choice_weighted(rng, table) == "b" for _ in range(100))
