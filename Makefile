@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-tables lint
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench:
+	$(PYTHON) benchmarks/bench_report.py
+
+bench-tables:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+lint:
+	$(PYTHON) -m pyflakes src/repro tests benchmarks 2>/dev/null || true

@@ -8,8 +8,10 @@ lookups, routing-model construction and traceroute expansion.
 
 import pytest
 
-from repro.core.evaluate import evaluate_regex
-from repro.core.hoiho import learn_suffix
+from repro.bench import bench_regex_set
+from repro.core.evaluate import evaluate_nc, evaluate_regex
+from repro.core.hoiho import HoihoConfig, learn_suffix
+from repro.core.matchcache import MatchCache
 from repro.core.regex_model import Regex
 from repro.core.types import SuffixDataset, TrainingItem
 from repro.topology.world import WorldConfig, generate_world
@@ -36,9 +38,46 @@ def test_learn_one_suffix(benchmark, suffix_dataset):
     assert convention.score.tp == 60
 
 
+def test_learn_one_suffix_uncached(benchmark, suffix_dataset):
+    """Baseline without the match-vector cache; compare against
+    ``test_learn_one_suffix`` to read the cache speedup."""
+    config = HoihoConfig(enable_cache=False)
+    convention = benchmark(learn_suffix, suffix_dataset, config)
+    assert convention is not None
+    assert convention.score.tp == 60
+
+
 def test_evaluate_regex(benchmark, suffix_dataset):
     regex = Regex.raw(r"^as(\d+)-10ge-pop\d+\.example\.net$")
     score = benchmark(evaluate_regex, regex, suffix_dataset)
+    assert score.tp == 60
+
+
+def test_evaluate_nc_set_uncached(benchmark, suffix_dataset):
+    """First-match scoring of a multi-regex set, regex engine per item."""
+    regexes = bench_regex_set()
+    score = benchmark(evaluate_nc, regexes, suffix_dataset)
+    assert score.tp == 60
+
+
+def test_evaluate_nc_set_cached_cold(benchmark, suffix_dataset):
+    """Cache path including vector construction (cold start)."""
+    regexes = bench_regex_set()
+
+    def cold():
+        cache = MatchCache(suffix_dataset)
+        return cache.score_nc(regexes)
+
+    score = benchmark(cold)
+    assert score.tp == 60
+
+
+def test_evaluate_nc_set_cached_warm(benchmark, suffix_dataset):
+    """Pure vector composition once every regex is already scored."""
+    regexes = bench_regex_set()
+    cache = MatchCache(suffix_dataset)
+    cache.score_nc(regexes)   # warm the vectors
+    score = benchmark(cache.score_nc, regexes)
     assert score.tp == 60
 
 

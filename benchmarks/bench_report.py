@@ -1,0 +1,43 @@
+"""Benchmark-regression report: refresh ``BENCH_learner.json``.
+
+Thin runner around :mod:`repro.bench` so the report can be produced
+either from the benchmarks directory (``python benchmarks/bench_report.py``)
+or via the console script (``repro-hoiho bench``) / ``make bench``.
+
+The JSON report tracks, across PRs:
+
+* suffix-learn wall time, cached and uncached, and the cache speedup;
+* the cache work counters (vectors built, lookups served, ``re.match``
+  calls performed, hit rate);
+* ``evaluate_nc`` cold vs warm on a multi-regex set;
+* serial vs parallel ``Hoiho.run_datasets`` and the fan-out speedup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import render_report, write_report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the learner benchmark suite and write "
+                    "BENCH_learner.json")
+    parser.add_argument("--output", default="BENCH_learner.json",
+                        metavar="FILE", help="report destination")
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="best-of rounds per timing")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="parallel workers for the fan-out benchmark "
+                             "(default: one per CPU)")
+    args = parser.parse_args(argv)
+    report = write_report(args.output, rounds=args.rounds, jobs=args.jobs)
+    print(render_report(report))
+    print("# report written to %s" % args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,12 +9,15 @@ Environment knobs:
 
 * ``REPRO_SCALE``  -- tiny | small | full  (default small)
 * ``REPRO_SEED``   -- world seed           (default 2020)
+* ``REPRO_JOBS``   -- learner worker processes (default 1 = serial;
+  0 = one per CPU; parallel output is bit-identical to serial)
 """
 
 import os
 
 import pytest
 
+from repro.core.parallel import ParallelConfig
 from repro.eval import ExperimentContext, Scale
 
 
@@ -22,7 +25,9 @@ from repro.eval import ExperimentContext, Scale
 def context():
     scale = Scale(os.environ.get("REPRO_SCALE", "small"))
     seed = int(os.environ.get("REPRO_SEED", "2020"))
-    return ExperimentContext(seed=seed, scale=scale)
+    jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    return ExperimentContext(seed=seed, scale=scale,
+                             parallel=ParallelConfig.from_jobs(jobs))
 
 
 def run_once(benchmark, func, *args):

@@ -1,0 +1,189 @@
+"""Benchmark-regression harness for the learner.
+
+Measures the learner's hot paths -- cached vs uncached suffix learning,
+regex-set evaluation, and serial vs parallel ``Hoiho.run_datasets`` --
+and writes the numbers to ``BENCH_learner.json`` so the performance
+trajectory is tracked across PRs.  Run it via ``repro-hoiho bench``,
+``make bench``, or ``python benchmarks/bench_report.py``.
+
+The workload is synthetic and fixed (no world generation), so the
+numbers are comparable run-to-run on one machine; absolute times vary
+across machines, the ratios (speedups, hit rates) travel well.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.core.evaluate import evaluate_nc
+from repro.core.hoiho import Hoiho, HoihoConfig, learn_suffix, \
+    learn_suffix_traced
+from repro.core.matchcache import MatchCache
+from repro.core.parallel import ParallelConfig, default_workers
+from repro.core.regex_model import Regex
+from repro.core.types import SuffixDataset, TrainingItem
+
+#: Schema version of BENCH_learner.json; bump on layout changes.
+BENCH_VERSION = 1
+
+
+def bench_dataset(n_annotated: int = 60, n_plain: int = 20,
+                  suffix: str = "example.net") -> SuffixDataset:
+    """The microbenchmark suffix: ASN-annotated plus plain hostnames."""
+    asns = [1000 + 37 * i for i in range(n_annotated)]
+    items = [TrainingItem("as%d-10ge-pop%d.%s" % (asn, i % 7, suffix), asn)
+             for i, asn in enumerate(asns)]
+    items += [TrainingItem("lo0.cr%d.pop%d.%s" % (i, i % 7, suffix), 1000)
+              for i in range(n_plain)]
+    return SuffixDataset(suffix, items)
+
+
+def bench_regex_set(suffix: str = "example.net") -> List[Regex]:
+    """A multi-regex convention over :func:`bench_dataset` hostnames."""
+    return [
+        Regex.raw(r"^as(\d+)-10ge-pop0\.%s$" % suffix.replace(".", r"\.")),
+        Regex.raw(r"^as(\d+)-10ge-pop[12]\.%s$" % suffix.replace(".", r"\.")),
+        Regex.raw(r"^as(\d+)-[a-z\d]+-[a-z\d]+\.%s$"
+                  % suffix.replace(".", r"\.")),
+    ]
+
+
+def bench_world_items(n_suffixes: int = 12,
+                      per_suffix: int = 30) -> List[TrainingItem]:
+    """A multi-suffix training set for the fan-out benchmark."""
+    items: List[TrainingItem] = []
+    for index in range(n_suffixes):
+        suffix = "op%02d.example.org" % index
+        base = 2000 + 101 * index
+        for i in range(per_suffix):
+            items.append(TrainingItem(
+                "as%d-et%d.pop%d.%s" % (base + 13 * i, i % 4, i % 5, suffix),
+                base + 13 * i))
+        for i in range(per_suffix // 3):
+            items.append(TrainingItem("lo0.cr%d.%s" % (i, suffix), base))
+    return items
+
+
+def _best_of(func: Callable[[], object], rounds: int) -> float:
+    """Minimum wall time of ``rounds`` calls (best-of timing)."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_bench(rounds: int = 5,
+              jobs: Optional[int] = None) -> Dict[str, object]:
+    """Run the learner benchmark suite and return the report payload."""
+    items = [(it.hostname, it.train_asn) for it in bench_dataset().items]
+
+    def fresh_dataset() -> SuffixDataset:
+        # Fresh per round so per-dataset memos don't leak across rounds.
+        return SuffixDataset("example.net", [
+            TrainingItem(hostname, asn) for hostname, asn in items])
+
+    cached_config = HoihoConfig()
+    uncached_config = HoihoConfig(enable_cache=False)
+
+    learn_cached = _best_of(
+        lambda: learn_suffix(fresh_dataset(), cached_config), rounds)
+    learn_uncached = _best_of(
+        lambda: learn_suffix(fresh_dataset(), uncached_config), rounds)
+
+    # Cache work counters for one traced learn.
+    _, trace = learn_suffix_traced(fresh_dataset(), cached_config)
+    stats = trace.cache_stats.as_dict() if trace.cache_stats else {}
+
+    # evaluate_nc on a multi-regex set: cold (fresh engine) vs warm
+    # (vector composition from a pre-populated cache).
+    regex_set = bench_regex_set()
+    eval_dataset = fresh_dataset()
+    evaluate_cold = _best_of(
+        lambda: evaluate_nc(regex_set, eval_dataset), max(rounds, 20))
+    warm_cache = MatchCache(eval_dataset)
+    warm_cache.score_nc(regex_set)
+    evaluate_warm = _best_of(
+        lambda: warm_cache.score_nc(regex_set), max(rounds, 20))
+
+    # Serial vs parallel run_datasets over a multi-suffix world.
+    world_items = bench_world_items()
+    serial_hoiho = Hoiho()
+    run_serial = _best_of(lambda: serial_hoiho.run(world_items),
+                          max(1, rounds // 2))
+    workers = jobs if jobs and jobs > 1 else default_workers()
+    parallel_hoiho = Hoiho(parallel=ParallelConfig(
+        workers=workers, backend="process"))
+    run_parallel = _best_of(lambda: parallel_hoiho.run(world_items),
+                            max(1, rounds // 2))
+
+    return {
+        "version": BENCH_VERSION,
+        "workload": {
+            "suffix_items": len(items),
+            "world_items": len(world_items),
+            "rounds": rounds,
+            "parallel_workers": workers,
+        },
+        "suffix_learn": {
+            "cached_seconds": learn_cached,
+            "uncached_seconds": learn_uncached,
+            "cache_speedup": learn_uncached / learn_cached
+            if learn_cached else 0.0,
+        },
+        "cache": stats,
+        "evaluate_nc": {
+            "cold_seconds": evaluate_cold,
+            "warm_seconds": evaluate_warm,
+            "warm_speedup": evaluate_cold / evaluate_warm
+            if evaluate_warm else 0.0,
+        },
+        "run_datasets": {
+            "serial_seconds": run_serial,
+            "parallel_seconds": run_parallel,
+            "parallel_speedup": run_serial / run_parallel
+            if run_parallel else 0.0,
+        },
+    }
+
+
+def write_report(path: str = "BENCH_learner.json",
+                 rounds: int = 5,
+                 jobs: Optional[int] = None) -> Dict[str, object]:
+    """Run the suite and write ``path``; returns the payload."""
+    report = run_bench(rounds=rounds, jobs=jobs)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
+def render_report(report: Dict[str, object]) -> str:
+    """Human-readable one-screen summary of a report payload."""
+    suffix = report["suffix_learn"]
+    cache = report.get("cache", {})
+    nc = report["evaluate_nc"]
+    run = report["run_datasets"]
+    lines = [
+        "learner benchmark (v%s)" % report.get("version", "?"),
+        "  learn one suffix : cached %.4fs  uncached %.4fs  "
+        "speedup %.2fx" % (suffix["cached_seconds"],
+                           suffix["uncached_seconds"],
+                           suffix["cache_speedup"]),
+        "  evaluate_nc set  : cold %.6fs  warm %.6fs  speedup %.1fx"
+        % (nc["cold_seconds"], nc["warm_seconds"], nc["warm_speedup"]),
+        "  run_datasets     : serial %.3fs  parallel %.3fs  "
+        "speedup %.2fx" % (run["serial_seconds"], run["parallel_seconds"],
+                           run["parallel_speedup"]),
+    ]
+    if cache:
+        lines.append("  cache counters   : %d vectors built, %d served, "
+                     "%d re.match calls, hit rate %.1f%%"
+                     % (cache.get("vectors_built", 0),
+                        cache.get("vector_hits", 0),
+                        cache.get("match_calls", 0),
+                        100.0 * cache.get("hit_rate", 0.0)))
+    return "\n".join(lines)

@@ -14,6 +14,10 @@ Workflow commands run the learner on user data::
 
 Hostname files carry one ``hostname asn`` pair per line for learn/report
 (`#` comments allowed); for apply, a bare hostname per line suffices.
+
+``--jobs N`` fans learning out over N worker processes (0 = one per
+CPU); results are bit-identical to serial runs.  ``repro-hoiho bench``
+runs the learner benchmark suite and refreshes ``BENCH_learner.json``.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ from typing import List, Optional, Tuple
 
 from repro.core.hoiho import Hoiho
 from repro.core.io import conventions_from_json, conventions_to_json
+from repro.core.parallel import ParallelConfig
 from repro.core.report import render_result
 from repro.core.types import TrainingItem, group_by_suffix
 from repro.eval import (
@@ -52,7 +57,7 @@ _EXPERIMENTS = {
     "ablation": ablation,
 }
 
-_WORKFLOWS = ("learn", "report", "apply")
+_WORKFLOWS = ("learn", "report", "apply", "bench")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -77,6 +82,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="learn: write conventions JSON here")
     parser.add_argument("--conventions", metavar="FILE",
                         help="apply: conventions JSON from a prior learn")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for learning "
+                             "(1 = serial, 0 = one per CPU)")
+    parser.add_argument("--output", metavar="FILE",
+                        default="BENCH_learner.json",
+                        help="bench: where to write the JSON report")
     return parser
 
 
@@ -114,7 +125,7 @@ def _cmd_learn(args: argparse.Namespace) -> int:
         print("learn requires --hostnames FILE", file=sys.stderr)
         return 2
     items = _read_training(args.hostnames)
-    result = Hoiho().run(items)
+    result = Hoiho(parallel=ParallelConfig.from_jobs(args.jobs)).run(items)
     for suffix in sorted(result.conventions):
         convention = result.conventions[suffix]
         print("%s [%s] atp=%d ppv=%.2f" % (suffix,
@@ -137,7 +148,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print("report requires --hostnames FILE", file=sys.stderr)
         return 2
     items = _read_training(args.hostnames)
-    result = Hoiho().run(items)
+    result = Hoiho(parallel=ParallelConfig.from_jobs(args.jobs)).run(items)
     print(render_result(result, group_by_suffix(items)))
     return 0
 
@@ -156,6 +167,15 @@ def _cmd_apply(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import render_report, write_report
+    jobs = args.jobs if args.jobs != 1 else None
+    report = write_report(args.output, jobs=jobs)
+    print(render_report(report))
+    print("# report written to %s" % args.output)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``repro-hoiho`` console script."""
     args = _build_parser().parse_args(argv)
@@ -165,7 +185,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_report(args)
     if args.command == "apply":
         return _cmd_apply(args)
-    context = ExperimentContext(seed=args.seed, scale=Scale(args.scale))
+    if args.command == "bench":
+        return _cmd_bench(args)
+    context = ExperimentContext(seed=args.seed, scale=Scale(args.scale),
+                                parallel=ParallelConfig.from_jobs(args.jobs))
     names = sorted(_EXPERIMENTS) if args.command == "all" \
         else [args.command]
     for index, name in enumerate(names):

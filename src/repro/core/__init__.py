@@ -13,6 +13,10 @@ This package is the paper's primary contribution (sections 3 and 4):
 * :mod:`repro.core.select` -- best-convention selection (section 3.6) and
   the good/promising/poor classification (section 4);
 * :mod:`repro.core.taxonomy` -- the Table-1 placement taxonomy;
+* :mod:`repro.core.matchcache` -- the per-dataset match-vector
+  evaluation cache every phase scores through;
+* :mod:`repro.core.parallel` -- the per-suffix / per-training-set
+  fan-out policy;
 * :mod:`repro.core.hoiho` -- the end-to-end learner.
 """
 
@@ -52,6 +56,9 @@ from repro.core.regex_model import (
     Regex,
 )
 from repro.core.evaluate import NCScore, evaluate_nc, evaluate_regex
+from repro.core.matchcache import CacheStats, ComposedNC, MatchCache, \
+    MatchVector
+from repro.core.parallel import ParallelConfig, parallel_map
 from repro.core.select import NCClass, LearnedConvention, select_best, classify_nc
 from repro.core.taxonomy import Taxonomy, taxonomy_of
 from repro.core.hoiho import (
@@ -95,6 +102,12 @@ __all__ = [
     "NCScore",
     "evaluate_nc",
     "evaluate_regex",
+    "CacheStats",
+    "ComposedNC",
+    "MatchCache",
+    "MatchVector",
+    "ParallelConfig",
+    "parallel_map",
     "NCClass",
     "LearnedConvention",
     "select_best",

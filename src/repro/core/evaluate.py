@@ -9,11 +9,14 @@ distinct congruent extracted ASNs that gates usability (section 4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.congruence import Outcome, classify_extraction
 from repro.core.regex_model import Regex
 from repro.core.types import SuffixDataset
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.matchcache import MatchCache
 
 
 @dataclass
@@ -57,14 +60,20 @@ class NCScore:
 
 
 def evaluate_nc(regexes: Sequence[Regex], dataset: SuffixDataset,
-                keep_outcomes: bool = False) -> NCScore:
+                keep_outcomes: bool = False,
+                cache: "Optional[MatchCache]" = None) -> NCScore:
     """Score an ordered regex set over ``dataset``.
 
     The first matching regex supplies the extraction for a hostname;
     hostnames matching no regex are FNs when they contain an apparent
     ASN.  With ``keep_outcomes`` the per-item classifications are
-    retained (used by phase analysis and reporting).
+    retained (used by phase analysis and reporting).  With ``cache`` (a
+    :class:`~repro.core.matchcache.MatchCache` bound to ``dataset``) the
+    score is composed from per-regex match vectors, so already-scored
+    regexes are never re-matched.
     """
+    if cache is not None:
+        return cache.score_nc(regexes, keep_outcomes=keep_outcomes)
     score = NCScore()
     for index, item in enumerate(dataset.items):
         extracted: Optional[str] = None
@@ -92,13 +101,19 @@ def evaluate_nc(regexes: Sequence[Regex], dataset: SuffixDataset,
 
 
 def evaluate_regex(regex: Regex, dataset: SuffixDataset,
-                   keep_outcomes: bool = False) -> NCScore:
+                   keep_outcomes: bool = False,
+                   cache: "Optional[MatchCache]" = None) -> NCScore:
     """Score a single regex (an NC of one)."""
+    if cache is not None:
+        return cache.score_regex(regex, keep_outcomes=keep_outcomes)
     return evaluate_nc((regex,), dataset, keep_outcomes=keep_outcomes)
 
 
-def matched_indices(regex: Regex, dataset: SuffixDataset) -> List[int]:
+def matched_indices(regex: Regex, dataset: SuffixDataset,
+                    cache: "Optional[MatchCache]" = None) -> List[int]:
     """Indices of items the regex matches (used by phase 3)."""
+    if cache is not None:
+        return cache.matched_indices(regex)
     out: List[int] = []
     for index, item in enumerate(dataset.items):
         if regex.compiled.match(item.hostname) is not None:

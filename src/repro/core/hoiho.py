@@ -8,12 +8,14 @@ grouping by public suffix first.
 
 from __future__ import annotations
 
+import functools
 import logging
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.core.congruence import apparent_asn_runs
 from repro.core.evaluate import NCScore, evaluate_regex
+from repro.core.matchcache import CacheStats, MatchCache
+from repro.core.parallel import ParallelConfig, parallel_map
 from repro.core.phase1 import generate_base_regexes
 from repro.core.phase2 import merge_regexes
 from repro.core.phase3 import specialise_regex
@@ -52,6 +54,7 @@ class HoihoConfig:
     enable_merge: bool = True       # phase 2
     enable_classes: bool = True     # phase 3
     enable_sets: bool = True        # phase 4
+    enable_cache: bool = True       # match-vector evaluation cache
 
 
 @dataclass
@@ -74,6 +77,7 @@ class LearnTrace:
     conventions: List[Tuple[Tuple[Regex, ...], NCScore]] = field(
         default_factory=list)
     rejected_reason: Optional[str] = None
+    cache_stats: Optional[CacheStats] = None
 
     def best_phase1(self, n: int = 5) -> List[Tuple[Regex, NCScore]]:
         """Top-n base regexes by rank."""
@@ -132,14 +136,15 @@ def _has_enough_apparent(dataset: SuffixDataset, config: HoihoConfig) -> bool:
     count = 0
     distinct = set()
     for index, item in enumerate(dataset.items):
-        runs = apparent_asn_runs(item.hostname, item.train_asn,
-                                 dataset.ip_spans(index))
-        if runs:
+        if dataset.apparent_runs(index):
             count += 1
             distinct.add(item.train_asn)
+            # Both counters only grow, so the predicate is checked once,
+            # here; if the loop finishes without tripping it, it cannot
+            # hold.
             if count >= config.min_apparent and len(distinct) >= 2:
                 return True
-    return count >= config.min_apparent and len(distinct) >= 2
+    return False
 
 
 def learn_suffix(dataset: SuffixDataset,
@@ -164,6 +169,9 @@ def learn_suffix_traced(dataset: SuffixDataset,
     :class:`LearnTrace` of every phase (figure-4 style walkthrough)."""
     config = config or HoihoConfig()
     record = LearnTrace(suffix=dataset.suffix) if trace else None
+    cache = MatchCache(dataset) if config.enable_cache else None
+    if record is not None and cache is not None:
+        record.cache_stats = cache.stats
 
     def reject(reason: str):
         if record is not None:
@@ -187,7 +195,7 @@ def learn_suffix_traced(dataset: SuffixDataset,
 
     scored: Dict[Regex, NCScore] = {}
     for regex in candidates:
-        score = evaluate_regex(regex, dataset)
+        score = evaluate_regex(regex, dataset, cache=cache)
         if score.tp > 0:
             scored[regex] = score
     if record is not None:
@@ -202,7 +210,7 @@ def learn_suffix_traced(dataset: SuffixDataset,
 
     if config.enable_merge:
         for regex in merge_regexes(list(scored)):
-            score = evaluate_regex(regex, dataset)
+            score = evaluate_regex(regex, dataset, cache=cache)
             if score.tp > 0:
                 scored[regex] = score
                 if record is not None:
@@ -210,10 +218,10 @@ def learn_suffix_traced(dataset: SuffixDataset,
 
     if config.enable_classes:
         for regex in list(scored):
-            specialised = specialise_regex(regex, dataset)
+            specialised = specialise_regex(regex, dataset, cache=cache)
             if specialised is None or specialised in scored:
                 continue
-            score = evaluate_regex(specialised, dataset)
+            score = evaluate_regex(specialised, dataset, cache=cache)
             if score.atp >= scored[regex].atp:
                 scored[specialised] = score
                 if record is not None:
@@ -222,7 +230,8 @@ def learn_suffix_traced(dataset: SuffixDataset,
     if config.enable_sets:
         conventions = build_regex_sets(scored, dataset,
                                        pool_size=config.set_pool,
-                                       n_seeds=config.n_seeds)
+                                       n_seeds=config.n_seeds,
+                                       cache=cache)
     else:
         ranked = sorted(scored,
                         key=lambda r: scored[r].rank_key()
@@ -232,7 +241,7 @@ def learn_suffix_traced(dataset: SuffixDataset,
     if record is not None:
         record.conventions = conventions[:10]
 
-    selection = select_best(conventions)
+    selection = select_best(conventions, cache=cache)
     if selection is None:
         return reject("no convention selected")
     regexes, score = selection
@@ -245,8 +254,29 @@ def learn_suffix_traced(dataset: SuffixDataset,
     return convention, record
 
 
+def _learn_dataset_worker(config: HoihoConfig,
+                          dataset: SuffixDataset,
+                          ) -> Optional[LearnedConvention]:
+    """Module-level worker so the process backend can pickle it."""
+    return learn_suffix(dataset, config)
+
+
+def _learn_items_worker(config: HoihoConfig,
+                        items: List[TrainingItem]) -> HoihoResult:
+    """Learn a whole training set serially inside one worker process.
+
+    Used by the eval harness to fan out across training sets; nested
+    per-suffix pools are deliberately avoided.
+    """
+    return Hoiho(config).run(items)
+
+
 class Hoiho:
     """Convenience driver over an arbitrary training set.
+
+    ``parallel`` fans the per-suffix learning out over worker processes;
+    the merged result is bit-identical to a serial run because datasets
+    are dispatched and merged in sorted-suffix order.
 
     >>> hoiho = Hoiho()
     >>> items = [TrainingItem("as%d.lon%d.example.com" % (a, i % 3), a)
@@ -257,9 +287,11 @@ class Hoiho:
     """
 
     def __init__(self, config: Optional[HoihoConfig] = None,
-                 psl: Optional[PublicSuffixList] = None) -> None:
+                 psl: Optional[PublicSuffixList] = None,
+                 parallel: Optional[ParallelConfig] = None) -> None:
         self.config = config or HoihoConfig()
         self.psl = psl or default_psl()
+        self.parallel = parallel or ParallelConfig.serial()
 
     def run(self, items: Iterable[TrainingItem]) -> HoihoResult:
         """Group items by suffix and learn a convention per suffix."""
@@ -269,10 +301,11 @@ class Hoiho:
     def run_datasets(self,
                      datasets: Iterable[SuffixDataset]) -> HoihoResult:
         """Learn over pre-grouped datasets."""
-        result = HoihoResult()
-        for dataset in sorted(datasets, key=lambda d: d.suffix):
-            result.suffixes_examined += 1
-            convention = learn_suffix(dataset, self.config)
+        ordered = sorted(datasets, key=lambda d: d.suffix)
+        worker = functools.partial(_learn_dataset_worker, self.config)
+        conventions = parallel_map(worker, ordered, self.parallel)
+        result = HoihoResult(suffixes_examined=len(ordered))
+        for dataset, convention in zip(ordered, conventions):
             if convention is not None:
                 result.conventions[dataset.suffix] = convention
                 logger.debug("learned %s convention for %s: %s",

@@ -1,0 +1,99 @@
+"""Parallel execution policy for the learner and the eval harness.
+
+Learning is embarrassingly parallel at two granularities: suffix
+datasets are independent (``Hoiho.run_datasets``), and the timeline's
+training sets are independent (``ExperimentContext``).  A
+:class:`ParallelConfig` describes how to fan either out; the default is
+serial, and parallel runs are constructed to be *bit-identical* to
+serial ones: work items are sorted before dispatch, ``Executor.map``
+preserves input order, and each worker runs the same deterministic
+learner.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, TypeVar
+
+#: Run everything in the calling process.
+BACKEND_SERIAL = "serial"
+#: Fan out over a :class:`concurrent.futures.ProcessPoolExecutor`.
+BACKEND_PROCESS = "process"
+
+_BACKENDS = (BACKEND_SERIAL, BACKEND_PROCESS)
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def default_workers() -> int:
+    """A sensible worker count for this machine."""
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How to fan out independent learning work.
+
+    Attributes:
+        workers: worker process count (1 means serial regardless of
+            backend).
+        chunk_size: work items handed to a worker per dispatch; larger
+            chunks amortise pickling for many small suffixes.
+        backend: ``serial`` or ``process``.
+    """
+
+    workers: int = 1
+    chunk_size: int = 4
+    backend: str = BACKEND_SERIAL
+
+    def __post_init__(self) -> None:
+        if self.backend not in _BACKENDS:
+            raise ValueError("unknown backend %r (expected one of %s)"
+                             % (self.backend, ", ".join(_BACKENDS)))
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1, got %d" % self.workers)
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1, got %d"
+                             % self.chunk_size)
+
+    @property
+    def is_parallel(self) -> bool:
+        """True when work should actually leave this process."""
+        return self.backend == BACKEND_PROCESS and self.workers > 1
+
+    @classmethod
+    def serial(cls) -> "ParallelConfig":
+        """The do-everything-inline policy."""
+        return cls()
+
+    @classmethod
+    def from_jobs(cls, jobs: int) -> "ParallelConfig":
+        """Map a ``--jobs N`` CLI value to a config.
+
+        ``0`` means "one worker per CPU"; ``1`` (the default) is serial;
+        anything larger is that many worker processes.
+        """
+        if jobs == 0:
+            jobs = default_workers()
+        if jobs <= 1:
+            return cls.serial()
+        return cls(workers=jobs, backend=BACKEND_PROCESS)
+
+
+def parallel_map(func: Callable[[_T], _R], items: Sequence[_T],
+                 config: ParallelConfig) -> List[_R]:
+    """Ordered map over ``items`` under ``config``.
+
+    Results arrive in input order whichever backend runs, so callers get
+    deterministic output as long as ``items`` is deterministically
+    ordered.  ``func`` and the items must be picklable for the process
+    backend.
+    """
+    if not config.is_parallel or len(items) <= 1:
+        return [func(item) for item in items]
+    workers = min(config.workers, len(items))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(func, items, chunksize=config.chunk_size))

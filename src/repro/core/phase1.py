@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Set
 
-from repro.core.congruence import apparent_asn_runs
 from repro.core.regex_model import Any_, Cap, Element, Exclude, Lit, Regex
 from repro.core.types import SuffixDataset, TrainingItem
 
@@ -73,9 +72,8 @@ def candidates_for_item(dataset: SuffixDataset, index: int,
     local = dataset.local_part(item)
     if not local:
         return []
-    runs = apparent_asn_runs(item.hostname, item.train_asn,
-                             dataset.ip_spans(index))
-    runs = [run for run in runs if run.end <= len(local)]
+    runs = [run for run in dataset.apparent_runs(index)
+            if run.end <= len(local)]
     if not runs:
         return []
     tokens = dataset.tokens(item)

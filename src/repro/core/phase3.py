@@ -9,7 +9,8 @@ scores at least as well, increasing specificity without losing coverage.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, \
+    Sequence, Set
 
 from repro.core.regex_model import (
     CLASS_ALPHA,
@@ -21,6 +22,9 @@ from repro.core.regex_model import (
     instrumented_pattern,
 )
 from repro.core.types import SuffixDataset
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.matchcache import MatchCache
 
 
 def _atoms_for(texts: Sequence[str]) -> FrozenSet[str]:
@@ -38,15 +42,19 @@ def _atoms_for(texts: Sequence[str]) -> FrozenSet[str]:
 
 
 def specialise_regex(regex: Regex,
-                     dataset: SuffixDataset) -> Optional[Regex]:
+                     dataset: SuffixDataset,
+                     cache: "Optional[MatchCache]" = None) -> Optional[Regex]:
     """The character-class specialisation of ``regex``, if one exists.
 
     Returns ``None`` when the regex has no exclusion components or never
-    matches the dataset.
+    matches the dataset.  With ``cache`` a regex whose (already cached)
+    match vector is empty is skipped without the instrumented re-match.
     """
     exclude_positions = [i for i, el in enumerate(regex.elements)
                          if isinstance(el, Exclude)]
     if not exclude_positions:
+        return None
+    if cache is not None and cache.vector(regex).n_matched == 0:
         return None
     variable_positions = [i for i, el in enumerate(regex.elements)
                           if el.variable]

@@ -10,11 +10,14 @@ surface (the training ASN might be the wrong one).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.evaluate import NCScore, evaluate_nc
 from repro.core.regex_model import Regex
 from repro.core.types import SuffixDataset
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.matchcache import MatchCache
 
 
 def rank_regexes(scored: Dict[Regex, NCScore]) -> List[Regex]:
@@ -33,6 +36,7 @@ def build_regex_sets(scored: Dict[Regex, NCScore],
                      dataset: SuffixDataset,
                      pool_size: int = 25,
                      n_seeds: int = 6,
+                     cache: "Optional[MatchCache]" = None,
                      ) -> List[Tuple[Tuple[Regex, ...], NCScore]]:
     """Candidate naming conventions (regex sets) with their scores.
 
@@ -40,6 +44,11 @@ def build_regex_sets(scored: Dict[Regex, NCScore],
     ``n_seeds`` caps how many distinct starting regexes grow a set.  The
     result always includes the single-regex conventions for the pool, so
     selection (section 3.6) can prefer fewer regexes.
+
+    With ``cache`` each candidate superset is scored by extending a
+    :class:`~repro.core.matchcache.ComposedNC` -- O(items) per candidate
+    from already-built match vectors -- instead of re-running every
+    regex in the set against every hostname.
     """
     ranked = rank_regexes(scored)[:pool_size]
     conventions: Dict[Tuple[Regex, ...], NCScore] = {}
@@ -51,12 +60,22 @@ def build_regex_sets(scored: Dict[Regex, NCScore],
         seed = ranked[seed_index]
         working: List[Regex] = [seed]
         current = scored[seed]
-        for regex in ranked[seed_index + 1:]:
-            candidate = tuple(working) + (regex,)
-            candidate_score = evaluate_nc(candidate, dataset)
-            if candidate_score.atp > current.atp:
-                working.append(regex)
-                current = candidate_score
+        if cache is not None:
+            from repro.core.matchcache import ComposedNC
+            composed = ComposedNC.of(cache, (seed,))
+            for regex in ranked[seed_index + 1:]:
+                candidate = composed.extend(regex)
+                if candidate.score.atp > current.atp:
+                    working.append(regex)
+                    composed = candidate
+                    current = candidate.score
+        else:
+            for regex in ranked[seed_index + 1:]:
+                candidate_score = evaluate_nc(
+                    tuple(working) + (regex,), dataset)
+                if candidate_score.atp > current.atp:
+                    working.append(regex)
+                    current = candidate_score
         key = tuple(working)
         if key not in conventions:
             conventions[key] = current

@@ -20,6 +20,7 @@ from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
 _SPECIALS = set(".^$*+?()[]{}|\\")
 
 
+@lru_cache(maxsize=65536)
 def escape_literal(text: str) -> str:
     """Escape regex metacharacters, leaving '-' bare (as the paper does)."""
     return "".join("\\" + ch if ch in _SPECIALS else ch for ch in text)

@@ -41,8 +41,13 @@ def render_convention(convention: LearnedConvention,
         lines.append("regex %d: %s" % (index + 1, pattern))
     if dataset is not None:
         lines.append("")
-        detailed = evaluate_nc(convention.regexes, dataset,
-                               keep_outcomes=True)
+        # The learner attaches per-item outcomes to the selected score
+        # (via the match cache); reuse them when they cover this dataset.
+        if len(score.outcomes) == len(dataset):
+            detailed = score
+        else:
+            detailed = evaluate_nc(convention.regexes, dataset,
+                                   keep_outcomes=True)
         rows = list(zip(detailed.outcomes, dataset.items))
         if max_rows is not None:
             rows = rows[:max_rows]

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.core.congruence import apparent_asn_runs
 from repro.psl import PublicSuffixList, default_psl
 from repro.util.ipaddr import embedded_ip_spans
 from repro.util.strings import split_segments
@@ -64,6 +65,7 @@ class SuffixDataset:
         self.items: List[TrainingItem] = sorted(
             unique, key=lambda it: (it.hostname, it.train_asn))
         self._ip_spans: Dict[int, List[Tuple[int, int]]] = {}
+        self._apparent_runs: Dict[int, list] = {}
 
     def __len__(self) -> int:
         return len(self.items)
@@ -91,6 +93,21 @@ class SuffixDataset:
             spans = embedded_ip_spans(item.hostname, item.address)
             self._ip_spans[index] = spans
         return spans
+
+    def apparent_runs(self, index: int) -> list:
+        """Apparent-ASN digit runs for item ``index`` (memoised).
+
+        The pre-check gate, phase-1 generation, and the evaluation
+        cache's FN baseline all need this; deriving it once per item
+        instead of once per consumer keeps it off the hot path.
+        """
+        runs = self._apparent_runs.get(index)
+        if runs is None:
+            item = self.items[index]
+            runs = apparent_asn_runs(item.hostname, item.train_asn,
+                                     self.ip_spans(index))
+            self._apparent_runs[index] = runs
+        return runs
 
     def tokens(self, item: TrainingItem) -> List[str]:
         """Alternating segment/punctuation tokens of the local part."""

@@ -9,9 +9,12 @@ inside pytest-benchmark) pays each cost once.
 from __future__ import annotations
 
 import enum
+import functools
 from typing import Dict, List, Optional
 
-from repro.core.hoiho import Hoiho, HoihoConfig, HoihoResult
+from repro.core.hoiho import Hoiho, HoihoConfig, HoihoResult, \
+    _learn_items_worker
+from repro.core.parallel import ParallelConfig, parallel_map
 from repro.eval.timeline import TrainingSet, build_timeline
 from repro.topology.world import World, WorldConfig, generate_world
 from repro.traceroute.routing import RoutingModel
@@ -33,16 +36,25 @@ class Scale(enum.Enum):
 
 
 class ExperimentContext:
-    """Memoised world + timeline + learned conventions."""
+    """Memoised world + timeline + learned conventions.
+
+    ``parallel`` fans independent learning work out over worker
+    processes: :meth:`learn_timeline` learns one training set per task,
+    and each :meth:`learned` call passes the policy down to
+    :class:`~repro.core.hoiho.Hoiho` for per-suffix fan-out.  Parallel
+    results are bit-identical to serial ones.
+    """
 
     def __init__(self, seed: int = 2020,
                  scale: Scale = Scale.SMALL,
                  hoiho_config: Optional[HoihoConfig] = None,
-                 itdk_labels: Optional[List[str]] = None) -> None:
+                 itdk_labels: Optional[List[str]] = None,
+                 parallel: Optional[ParallelConfig] = None) -> None:
         self.seed = seed
         self.scale = scale
         self.hoiho_config = hoiho_config or HoihoConfig()
         self.itdk_labels = itdk_labels
+        self.parallel = parallel or ParallelConfig.serial()
         self._world: Optional[World] = None
         self._routing: Optional[RoutingModel] = None
         self._timeline: Optional[List[TrainingSet]] = None
@@ -83,9 +95,32 @@ class ExperimentContext:
         """Learned conventions for one training set (memoised)."""
         if label not in self._learned:
             training_set = self.training_set(label)
-            hoiho = Hoiho(self.hoiho_config)
+            hoiho = Hoiho(self.hoiho_config, parallel=self.parallel)
             self._learned[label] = hoiho.run(training_set.items)
         return self._learned[label]
+
+    def learn_timeline(self,
+                       labels: Optional[List[str]] = None,
+                       ) -> Dict[str, HoihoResult]:
+        """Learn every (or the named) training sets, fanning out.
+
+        One worker task per training set -- the whole 19-set timeline
+        learns concurrently under a ``process`` backend.  Workers run
+        the learner serially inside (no nested pools); results merge
+        into the memo in timeline order, so repeated calls and mixed
+        :meth:`learned` access stay deterministic.
+        """
+        if labels is None:
+            labels = [t.label for t in self.timeline]
+        missing = [label for label in labels if label not in self._learned]
+        if missing:
+            worker = functools.partial(_learn_items_worker,
+                                       self.hoiho_config)
+            batches = [self.training_set(label).items for label in missing]
+            results = parallel_map(worker, batches, self.parallel)
+            for label, result in zip(missing, results):
+                self._learned[label] = result
+        return {label: self._learned[label] for label in labels}
 
     def latest_itdk(self) -> TrainingSet:
         """The most recent ITDK training set in this context."""

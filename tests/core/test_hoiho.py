@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core.hoiho import Hoiho, HoihoConfig, learn_suffix
+from repro.core.hoiho import Hoiho, HoihoConfig, _has_enough_apparent, \
+    learn_suffix
 from repro.core.select import NCClass
 from repro.core.types import SuffixDataset, TrainingItem, group_by_suffix
 
@@ -10,6 +11,48 @@ from repro.core.types import SuffixDataset, TrainingItem, group_by_suffix
 def _items(template, asns, **kw):
     return [TrainingItem(template.format(asn=asn, i=i), asn)
             for i, asn in enumerate(asns)]
+
+
+class TestHasEnoughApparent:
+    """Boundary behaviour of the cheap apparent-ASN pre-check."""
+
+    def test_exactly_min_apparent_and_two_distinct_passes(self):
+        # Exactly min_apparent annotated hostnames, exactly 2 ASNs.
+        config = HoihoConfig(min_apparent=2)
+        dataset = SuffixDataset("x.com", [
+            TrainingItem("as3356.pop.x.com", 3356),
+            TrainingItem("as1299.pop.x.com", 1299),
+            TrainingItem("lo0.cr1.x.com", 174),
+        ])
+        assert _has_enough_apparent(dataset, config)
+
+    def test_one_below_min_apparent_fails(self):
+        config = HoihoConfig(min_apparent=3)
+        dataset = SuffixDataset("x.com", [
+            TrainingItem("as3356.pop.x.com", 3356),
+            TrainingItem("as1299.pop.x.com", 1299),
+            TrainingItem("lo0.cr1.x.com", 174),
+        ])
+        assert not _has_enough_apparent(dataset, config)
+
+    def test_single_distinct_asn_fails_even_with_enough_apparent(self):
+        config = HoihoConfig(min_apparent=2)
+        dataset = SuffixDataset("x.com", [
+            TrainingItem("as3356.pop1.x.com", 3356),
+            TrainingItem("as3356.pop2.x.com", 3356),
+            TrainingItem("as3356.pop3.x.com", 3356),
+        ])
+        assert not _has_enough_apparent(dataset, config)
+
+    def test_no_apparent_asns_fails_regardless_of_threshold(self):
+        # min_apparent=0 must not pass vacuously: two distinct apparent
+        # ASNs are still required.
+        config = HoihoConfig(min_apparent=0)
+        dataset = SuffixDataset("x.com", [
+            TrainingItem("lo0.cr1.x.com", 3356),
+            TrainingItem("lo0.cr2.x.com", 1299),
+        ])
+        assert not _has_enough_apparent(dataset, config)
 
 
 class TestGates:

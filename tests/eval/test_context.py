@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.core.io import conventions_to_json
+from repro.core.parallel import ParallelConfig
 from repro.eval.context import ExperimentContext, Scale
 
 
@@ -51,3 +53,27 @@ class TestContext:
                                   itdk_labels=[])
         with pytest.raises(RuntimeError):
             empty.latest_itdk()
+
+
+class TestLearnTimeline:
+    def test_learn_timeline_populates_memo(self, context):
+        results = context.learn_timeline()
+        labels = [t.label for t in context.timeline]
+        assert sorted(results) == sorted(labels)
+        for label in labels:
+            assert context.learned(label) is results[label]
+
+    def test_parallel_timeline_identical_to_serial(self, context):
+        serial = context.learn_timeline()
+        par = ExperimentContext(
+            seed=11, scale=Scale.TINY, itdk_labels=["2020-01"],
+            parallel=ParallelConfig(workers=2, backend="process"))
+        # Share the expensive artifacts so only the learning differs.
+        par._world = context.world
+        par._routing = context.routing
+        par._timeline = context.timeline
+        parallel = par.learn_timeline()
+        assert sorted(parallel) == sorted(serial)
+        for label, result in serial.items():
+            assert conventions_to_json(parallel[label]) \
+                == conventions_to_json(result)

@@ -210,6 +210,58 @@ def test_escape_literal_never_changes_semantics(text):
 
 
 # ---------------------------------------------------------------------------
+# Match cache: cached scoring is equivalent to the uncached reference.
+# ---------------------------------------------------------------------------
+
+@st.composite
+def cache_scenarios(draw):
+    """Random regex sets over random datasets under one suffix."""
+    suffix = "example.com"
+    regexes = tuple(
+        Regex(draw(st.lists(elements(), max_size=4)) + [Cap()],
+              suffix=suffix)
+        for _ in range(draw(st.integers(min_value=0, max_value=4))))
+    items = []
+    for _ in range(draw(st.integers(min_value=1, max_value=8))):
+        asn = draw(st.integers(min_value=100, max_value=99999))
+        label = draw(st.text(
+            alphabet="abcdefghijklmnopqrstuvwxyz0123456789-.",
+            min_size=0, max_size=12))
+        if draw(st.booleans()):    # sometimes embed the training ASN
+            label = "%s%d%s" % (label, asn, draw(st.sampled_from(
+                ["", "-pop", ".ge0"])))
+        hostname = (label + "." + suffix) if label else suffix
+        items.append(TrainingItem(hostname, asn))
+    return regexes, SuffixDataset(suffix, items)
+
+
+@given(cache_scenarios())
+@settings(max_examples=50, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_cached_evaluate_nc_matches_reference(scenario):
+    from repro.core.evaluate import evaluate_nc
+    from repro.core.matchcache import ComposedNC, MatchCache
+    regexes, dataset = scenario
+    cache = MatchCache(dataset)
+    reference = evaluate_nc(regexes, dataset, keep_outcomes=True)
+    cached = cache.score_nc(regexes, keep_outcomes=True)
+    assert (cached.tp, cached.fp, cached.fn, cached.matches,
+            cached.distinct_asns, cached.outcomes) == \
+        (reference.tp, reference.fp, reference.fn, reference.matches,
+         reference.distinct_asns, reference.outcomes)
+    # Incremental composition agrees with the full evaluation at every
+    # prefix of the set.
+    composed = ComposedNC.empty(cache)
+    for end, regex in enumerate(regexes, start=1):
+        composed = composed.extend(regex)
+        prefix = evaluate_nc(regexes[:end], dataset)
+        assert (composed.score.tp, composed.score.fp, composed.score.fn,
+                composed.score.matches, composed.score.distinct_asns) == \
+            (prefix.tp, prefix.fp, prefix.fn, prefix.matches,
+             prefix.distinct_asns)
+
+
+# ---------------------------------------------------------------------------
 # Learner invariants on synthetic suffix data.
 # ---------------------------------------------------------------------------
 
