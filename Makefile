@@ -1,13 +1,21 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-tables lint
+.PHONY: test test-slow bench bench-pipeline bench-tables lint
 
+# Tier-1: slow (full-scale pipeline) tests are excluded by the default
+# pytest addopts (-m "not slow"); `make test-slow` runs only those.
 test:
 	$(PYTHON) -m pytest tests/ -q
 
+test-slow:
+	$(PYTHON) -m pytest tests/ -q -m slow
+
 bench:
 	$(PYTHON) benchmarks/bench_report.py
+
+bench-pipeline:
+	$(PYTHON) benchmarks/bench_report.py --pipeline-only
 
 bench-tables:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -10,7 +10,11 @@ The JSON report tracks, across PRs:
 * the cache work counters (vectors built, lookups served, ``re.match``
   calls performed, hit rate);
 * ``evaluate_nc`` cold vs warm on a multi-regex set;
-* serial vs parallel ``Hoiho.run_datasets`` and the fan-out speedup.
+* serial vs parallel ``Hoiho.run_datasets`` and the fan-out speedup;
+* the ``pipeline`` section: serial vs parallel timeline builds, eager
+  vs lazy routing, and cold vs warm artifact-store runs
+  (``--pipeline-only`` refreshes just this section, as
+  ``make bench-pipeline`` does).
 """
 
 from __future__ import annotations
@@ -18,7 +22,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.bench import render_report, write_report
+from repro.bench import render_report, write_pipeline_section, write_report
 
 
 def main(argv=None) -> int:
@@ -32,8 +36,15 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="parallel workers for the fan-out benchmark "
                              "(default: one per CPU)")
+    parser.add_argument("--pipeline-only", action="store_true",
+                        help="refresh only the pipeline section of an "
+                             "existing report")
     args = parser.parse_args(argv)
-    report = write_report(args.output, rounds=args.rounds, jobs=args.jobs)
+    if args.pipeline_only:
+        report = write_pipeline_section(args.output, jobs=args.jobs)
+    else:
+        report = write_report(args.output, rounds=args.rounds,
+                              jobs=args.jobs)
     print(render_report(report))
     print("# report written to %s" % args.output)
     return 0

@@ -30,6 +30,7 @@ from repro.pipeline import (
     run_peeringdb_snapshot,
     run_snapshot,
 )
+from repro.store import ArtifactStore
 from repro.topology import World, WorldConfig, generate_world
 
 __version__ = "1.0.0"
@@ -48,6 +49,7 @@ __all__ = [
     "SnapshotSpec",
     "run_peeringdb_snapshot",
     "run_snapshot",
+    "ArtifactStore",
     "World",
     "WorldConfig",
     "generate_world",

@@ -1,19 +1,24 @@
-"""Benchmark-regression harness for the learner.
+"""Benchmark-regression harness for the learner and the pipeline.
 
 Measures the learner's hot paths -- cached vs uncached suffix learning,
 regex-set evaluation, and serial vs parallel ``Hoiho.run_datasets`` --
-and writes the numbers to ``BENCH_learner.json`` so the performance
-trajectory is tracked across PRs.  Run it via ``repro-hoiho bench``,
-``make bench``, or ``python benchmarks/bench_report.py``.
+plus the pipeline kernels added in PR 2 (serial vs parallel timeline
+builds, eager vs lazy routing, cold vs warm artifact store) and writes
+the numbers to ``BENCH_learner.json`` so the performance trajectory is
+tracked across PRs.  Run it via ``repro-hoiho bench``, ``make bench``,
+or ``python benchmarks/bench_report.py``; ``make bench-pipeline``
+refreshes only the ``pipeline`` section.
 
-The workload is synthetic and fixed (no world generation), so the
-numbers are comparable run-to-run on one machine; absolute times vary
-across machines, the ratios (speedups, hit rates) travel well.
+The learner workload is synthetic and fixed (no world generation); the
+pipeline kernels use a TINY world with a restricted timeline so the
+suite stays fast.  Absolute times vary across machines, the ratios
+(speedups, hit rates) travel well.
 """
 
 from __future__ import annotations
 
 import json
+import tempfile
 import time
 from typing import Callable, Dict, List, Optional
 
@@ -26,7 +31,10 @@ from repro.core.regex_model import Regex
 from repro.core.types import SuffixDataset, TrainingItem
 
 #: Schema version of BENCH_learner.json; bump on layout changes.
-BENCH_VERSION = 1
+BENCH_VERSION = 2
+
+#: ITDK labels the pipeline kernels build (restricted for speed).
+PIPELINE_BENCH_LABELS = ["2017-08", "2018-03", "2019-01", "2020-01"]
 
 
 def bench_dataset(n_annotated: int = 60, n_plain: int = 20,
@@ -50,8 +58,8 @@ def bench_regex_set(suffix: str = "example.net") -> List[Regex]:
     ]
 
 
-def bench_world_items(n_suffixes: int = 12,
-                      per_suffix: int = 30) -> List[TrainingItem]:
+def bench_world_items(n_suffixes: int = 24,
+                      per_suffix: int = 90) -> List[TrainingItem]:
     """A multi-suffix training set for the fan-out benchmark."""
     items: List[TrainingItem] = []
     for index in range(n_suffixes):
@@ -125,6 +133,7 @@ def run_bench(rounds: int = 5,
         "workload": {
             "suffix_items": len(items),
             "world_items": len(world_items),
+            "world_suffixes": 24,
             "rounds": rounds,
             "parallel_workers": workers,
         },
@@ -150,11 +159,121 @@ def run_bench(rounds: int = 5,
     }
 
 
+def run_pipeline_bench(rounds: int = 2,
+                       jobs: Optional[int] = None) -> Dict[str, object]:
+    """Run the pipeline kernels and return the ``pipeline`` section.
+
+    Three kernels, matching the three pieces of the PR-2 pipeline
+    layer: serial vs parallel :func:`build_timeline` fan-out, eager vs
+    lazy :class:`RoutingModel` construction, and cold vs warm artifact
+    store round-trips of the world + timeline.
+    """
+    # Imported here so the learner-only suite stays import-light.
+    from repro.eval.context import ExperimentContext, Scale
+    from repro.eval.timeline import build_timeline
+    from repro.store import ArtifactStore
+    from repro.topology.world import WorldConfig, generate_world
+    from repro.traceroute.routing import RoutingModel
+
+    seed = 2020
+    labels = list(PIPELINE_BENCH_LABELS)
+    world = generate_world(seed, WorldConfig.tiny())
+    workers = jobs if jobs and jobs > 1 else default_workers()
+
+    # Kernel 1: timeline fan-out, one worker task per snapshot.
+    timeline_serial = _best_of(
+        lambda: build_timeline(world, seed, itdk_labels=labels), rounds)
+    parallel_config = ParallelConfig(workers=workers, backend="process",
+                                     chunk_size=1)
+    timeline_parallel = _best_of(
+        lambda: build_timeline(world, seed, itdk_labels=labels,
+                               parallel=parallel_config), rounds)
+
+    # Kernel 2: routing construction, eager (all destinations) vs lazy
+    # (first queried destination only).
+    graph = generate_world(seed, WorldConfig.small()).graph
+    asns = graph.asns()
+    src, dst = asns[0], asns[-1]
+    routing_eager = _best_of(
+        lambda: RoutingModel(graph, eager=True), max(rounds, 3))
+    routing_lazy = _best_of(
+        lambda: RoutingModel(graph).as_path(src, dst), max(rounds, 3))
+
+    # Kernel 3: artifact store, cold (generate + persist) vs warm
+    # (served straight from disk).
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        store = ArtifactStore(tmp)
+
+        def _timeline_with_store() -> None:
+            context = ExperimentContext(seed=seed, scale=Scale.TINY,
+                                        itdk_labels=labels, store=store)
+            context.timeline
+
+        start = time.perf_counter()
+        _timeline_with_store()
+        store_cold = time.perf_counter() - start
+        store_warm = _best_of(_timeline_with_store, max(rounds, 3))
+
+    return {
+        "workload": {
+            "itdk_labels": len(labels),
+            "training_sets": len(labels) + 2,
+            "scale": "tiny",
+            "routing_ases": len(asns),
+            "rounds": rounds,
+            "parallel_workers": workers,
+        },
+        "timeline": {
+            "serial_seconds": timeline_serial,
+            "parallel_seconds": timeline_parallel,
+            "parallel_speedup": timeline_serial / timeline_parallel
+            if timeline_parallel else 0.0,
+        },
+        "routing": {
+            "eager_seconds": routing_eager,
+            "lazy_first_path_seconds": routing_lazy,
+            "lazy_speedup": routing_eager / routing_lazy
+            if routing_lazy else 0.0,
+        },
+        "store": {
+            "cold_seconds": store_cold,
+            "warm_seconds": store_warm,
+            "warm_speedup": store_cold / store_warm
+            if store_warm else 0.0,
+        },
+    }
+
+
 def write_report(path: str = "BENCH_learner.json",
                  rounds: int = 5,
-                 jobs: Optional[int] = None) -> Dict[str, object]:
+                 jobs: Optional[int] = None,
+                 pipeline: bool = True) -> Dict[str, object]:
     """Run the suite and write ``path``; returns the payload."""
     report = run_bench(rounds=rounds, jobs=jobs)
+    if pipeline:
+        report["pipeline"] = run_pipeline_bench(jobs=jobs)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
+def write_pipeline_section(path: str = "BENCH_learner.json",
+                           rounds: int = 2,
+                           jobs: Optional[int] = None) -> Dict[str, object]:
+    """Refresh only the ``pipeline`` section of an existing report.
+
+    Reads ``path`` if present (starting fresh otherwise), replaces the
+    ``pipeline`` key, and writes the file back -- the learner sections
+    keep their previous numbers.  Used by ``make bench-pipeline``.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError):
+        report = {"version": BENCH_VERSION}
+    report["version"] = BENCH_VERSION
+    report["pipeline"] = run_pipeline_bench(rounds=rounds, jobs=jobs)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -163,22 +282,24 @@ def write_report(path: str = "BENCH_learner.json",
 
 def render_report(report: Dict[str, object]) -> str:
     """Human-readable one-screen summary of a report payload."""
-    suffix = report["suffix_learn"]
     cache = report.get("cache", {})
-    nc = report["evaluate_nc"]
-    run = report["run_datasets"]
-    lines = [
-        "learner benchmark (v%s)" % report.get("version", "?"),
-        "  learn one suffix : cached %.4fs  uncached %.4fs  "
-        "speedup %.2fx" % (suffix["cached_seconds"],
-                           suffix["uncached_seconds"],
-                           suffix["cache_speedup"]),
-        "  evaluate_nc set  : cold %.6fs  warm %.6fs  speedup %.1fx"
-        % (nc["cold_seconds"], nc["warm_seconds"], nc["warm_speedup"]),
-        "  run_datasets     : serial %.3fs  parallel %.3fs  "
-        "speedup %.2fx" % (run["serial_seconds"], run["parallel_seconds"],
-                           run["parallel_speedup"]),
-    ]
+    lines = ["learner benchmark (v%s)" % report.get("version", "?")]
+    if "suffix_learn" in report:
+        suffix = report["suffix_learn"]
+        nc = report["evaluate_nc"]
+        run = report["run_datasets"]
+        lines += [
+            "  learn one suffix : cached %.4fs  uncached %.4fs  "
+            "speedup %.2fx" % (suffix["cached_seconds"],
+                               suffix["uncached_seconds"],
+                               suffix["cache_speedup"]),
+            "  evaluate_nc set  : cold %.6fs  warm %.6fs  speedup %.1fx"
+            % (nc["cold_seconds"], nc["warm_seconds"], nc["warm_speedup"]),
+            "  run_datasets     : serial %.3fs  parallel %.3fs  "
+            "speedup %.2fx" % (run["serial_seconds"],
+                               run["parallel_seconds"],
+                               run["parallel_speedup"]),
+        ]
     if cache:
         lines.append("  cache counters   : %d vectors built, %d served, "
                      "%d re.match calls, hit rate %.1f%%"
@@ -186,4 +307,25 @@ def render_report(report: Dict[str, object]) -> str:
                         cache.get("vector_hits", 0),
                         cache.get("match_calls", 0),
                         100.0 * cache.get("hit_rate", 0.0)))
+    pipeline = report.get("pipeline")
+    if pipeline:
+        timeline = pipeline["timeline"]
+        routing = pipeline["routing"]
+        store = pipeline["store"]
+        lines += [
+            "pipeline benchmark (%d-set timeline, %s workers)"
+            % (pipeline["workload"]["training_sets"],
+               pipeline["workload"]["parallel_workers"]),
+            "  build_timeline   : serial %.3fs  parallel %.3fs  "
+            "speedup %.2fx" % (timeline["serial_seconds"],
+                               timeline["parallel_seconds"],
+                               timeline["parallel_speedup"]),
+            "  routing model    : eager %.4fs  lazy first path %.4fs  "
+            "speedup %.1fx" % (routing["eager_seconds"],
+                               routing["lazy_first_path_seconds"],
+                               routing["lazy_speedup"]),
+            "  artifact store   : cold %.3fs  warm %.3fs  speedup %.1fx"
+            % (store["cold_seconds"], store["warm_seconds"],
+               store["warm_speedup"]),
+        ]
     return "\n".join(lines)

@@ -18,15 +18,23 @@ Hostname files carry one ``hostname asn`` pair per line for learn/report
 ``--jobs N`` fans learning out over N worker processes (0 = one per
 CPU); results are bit-identical to serial runs.  ``repro-hoiho bench``
 runs the learner benchmark suite and refreshes ``BENCH_learner.json``.
+
+``--cache-dir DIR`` (or the ``REPRO_CACHE_DIR`` environment variable)
+points at a persistent artifact store: experiment runs reuse generated
+worlds/timelines and ``learn``/``report`` reuse learned conventions
+across invocations; ``--no-cache`` disables the store for one run.
+``repro-hoiho cache info`` and ``repro-hoiho cache clear`` inspect and
+empty the store.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Tuple
 
-from repro.core.hoiho import Hoiho
+from repro.core.hoiho import Hoiho, HoihoConfig, HoihoResult
 from repro.core.io import conventions_from_json, conventions_to_json
 from repro.core.parallel import ParallelConfig
 from repro.core.report import render_result
@@ -44,6 +52,7 @@ from repro.eval import (
     table1,
     table2,
 )
+from repro.store import KIND_HOIHO, ArtifactStore
 
 _EXPERIMENTS = {
     "figure5": figure5,
@@ -57,7 +66,7 @@ _EXPERIMENTS = {
     "ablation": ablation,
 }
 
-_WORKFLOWS = ("learn", "report", "apply", "bench")
+_WORKFLOWS = ("learn", "report", "apply", "bench", "cache")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -70,6 +79,8 @@ def _build_parser() -> argparse.ArgumentParser:
                         choices=sorted(_EXPERIMENTS) + ["all"]
                         + list(_WORKFLOWS),
                         help="experiment to reproduce, or workflow verb")
+    parser.add_argument("subcommand", nargs="?", default=None,
+                        help="cache: 'info' (default) or 'clear'")
     parser.add_argument("--seed", type=int, default=2020,
                         help="master seed for the synthetic world")
     parser.add_argument("--scale", choices=[s.value for s in Scale],
@@ -88,7 +99,22 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--output", metavar="FILE",
                         default="BENCH_learner.json",
                         help="bench: where to write the JSON report")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        default=os.environ.get("REPRO_CACHE_DIR"),
+                        help="persistent artifact store for worlds, "
+                             "timelines, and learned conventions "
+                             "(default: $REPRO_CACHE_DIR, else off)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore the artifact store for this run")
     return parser
+
+
+def _store_from_args(args: argparse.Namespace) -> Optional[ArtifactStore]:
+    """The artifact store the flags select, or ``None`` when caching
+    is off (no ``--cache-dir``/``REPRO_CACHE_DIR``, or ``--no-cache``)."""
+    if args.no_cache or not args.cache_dir:
+        return None
+    return ArtifactStore(args.cache_dir)
 
 
 def _read_training(path: str) -> List[TrainingItem]:
@@ -120,12 +146,34 @@ def _run_experiment(name: str, context: ExperimentContext) -> str:
     return module.render(result)
 
 
+def _learn_items(items: List[TrainingItem],
+                 args: argparse.Namespace) -> HoihoResult:
+    """Learn conventions for ``items``, via the artifact store if on.
+
+    The store key is the full training data plus the learner config,
+    so any change to either re-learns; worker count is deliberately
+    not keyed (parallel results are bit-identical to serial).
+    """
+    store = _store_from_args(args)
+    payload = {"kind": "learn-cli",
+               "items": [(it.hostname, it.train_asn) for it in items],
+               "hoiho_config": HoihoConfig()}
+    if store is not None:
+        cached = store.get(KIND_HOIHO, payload)
+        if cached is not None:
+            return cached
+    result = Hoiho(parallel=ParallelConfig.from_jobs(args.jobs)).run(items)
+    if store is not None:
+        store.put(KIND_HOIHO, payload, result)
+    return result
+
+
 def _cmd_learn(args: argparse.Namespace) -> int:
     if args.hostnames is None:
         print("learn requires --hostnames FILE", file=sys.stderr)
         return 2
     items = _read_training(args.hostnames)
-    result = Hoiho(parallel=ParallelConfig.from_jobs(args.jobs)).run(items)
+    result = _learn_items(items, args)
     for suffix in sorted(result.conventions):
         convention = result.conventions[suffix]
         print("%s [%s] atp=%d ppv=%.2f" % (suffix,
@@ -148,7 +196,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print("report requires --hostnames FILE", file=sys.stderr)
         return 2
     items = _read_training(args.hostnames)
-    result = Hoiho(parallel=ParallelConfig.from_jobs(args.jobs)).run(items)
+    result = _learn_items(items, args)
     print(render_result(result, group_by_suffix(items)))
     return 0
 
@@ -176,6 +224,38 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    if not args.cache_dir:
+        print("cache requires --cache-dir DIR (or REPRO_CACHE_DIR)",
+              file=sys.stderr)
+        return 2
+    store = ArtifactStore(args.cache_dir)
+    action = args.subcommand or "info"
+    if action == "clear":
+        removed = store.clear()
+        print("cleared %d cached artifact(s) from %s"
+              % (removed, store.root))
+        return 0
+    if action != "info":
+        print("unknown cache subcommand %r (expected info or clear)"
+              % action, file=sys.stderr)
+        return 2
+    info = store.info()
+    print("artifact store: %s (schema v%s)" % (info["root"], info["schema"]))
+    kinds = info["kinds"]
+    if not kinds:
+        print("  empty")
+        return 0
+    for kind in sorted(kinds):
+        entry = kinds[kind]
+        print("  %-10s %4d entr%s  %10d bytes"
+              % (kind, entry["entries"],
+                 "y" if entry["entries"] == 1 else "ies", entry["bytes"]))
+    print("  total      %4d entries  %10d bytes"
+          % (info["entries"], info["bytes"]))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``repro-hoiho`` console script."""
     args = _build_parser().parse_args(argv)
@@ -187,8 +267,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_apply(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     context = ExperimentContext(seed=args.seed, scale=Scale(args.scale),
-                                parallel=ParallelConfig.from_jobs(args.jobs))
+                                parallel=ParallelConfig.from_jobs(args.jobs),
+                                store=_store_from_args(args))
     names = sorted(_EXPERIMENTS) if args.command == "all" \
         else [args.command]
     for index, name in enumerate(names):

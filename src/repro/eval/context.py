@@ -16,6 +16,7 @@ from repro.core.hoiho import Hoiho, HoihoConfig, HoihoResult, \
     _learn_items_worker
 from repro.core.parallel import ParallelConfig, parallel_map
 from repro.eval.timeline import TrainingSet, build_timeline
+from repro.store import ArtifactStore, KIND_HOIHO, KIND_TIMELINE, KIND_WORLD
 from repro.topology.world import World, WorldConfig, generate_world
 from repro.traceroute.routing import RoutingModel
 
@@ -38,39 +39,78 @@ class Scale(enum.Enum):
 class ExperimentContext:
     """Memoised world + timeline + learned conventions.
 
-    ``parallel`` fans independent learning work out over worker
-    processes: :meth:`learn_timeline` learns one training set per task,
-    and each :meth:`learned` call passes the policy down to
+    ``parallel`` fans independent work out over worker processes:
+    :meth:`timeline` builds one snapshot per task,
+    :meth:`learn_timeline` learns one training set per task, and each
+    :meth:`learned` call passes the policy down to
     :class:`~repro.core.hoiho.Hoiho` for per-suffix fan-out.  Parallel
     results are bit-identical to serial ones.
+
+    ``store`` plugs in a persistent
+    :class:`~repro.store.ArtifactStore`: generated worlds, built
+    timelines, and learned conventions round-trip through it keyed by a
+    fingerprint of the full configuration, so a warm store skips
+    regeneration entirely and any config change invalidates by
+    construction (the fingerprint moves).
     """
 
     def __init__(self, seed: int = 2020,
                  scale: Scale = Scale.SMALL,
                  hoiho_config: Optional[HoihoConfig] = None,
                  itdk_labels: Optional[List[str]] = None,
-                 parallel: Optional[ParallelConfig] = None) -> None:
+                 include_pdb: bool = True,
+                 parallel: Optional[ParallelConfig] = None,
+                 store: Optional[ArtifactStore] = None) -> None:
         self.seed = seed
         self.scale = scale
         self.hoiho_config = hoiho_config or HoihoConfig()
         self.itdk_labels = itdk_labels
+        self.include_pdb = include_pdb
         self.parallel = parallel or ParallelConfig.serial()
+        self.store = store
         self._world: Optional[World] = None
         self._routing: Optional[RoutingModel] = None
         self._timeline: Optional[List[TrainingSet]] = None
         self._learned: Dict[str, HoihoResult] = {}
 
+    # -- store fingerprints -------------------------------------------------
+
+    def _world_payload(self) -> Dict[str, object]:
+        return {"kind": "world", "seed": self.seed,
+                "config": self.scale.world_config()}
+
+    def _timeline_payload(self) -> Dict[str, object]:
+        payload = self._world_payload()
+        payload.update({"kind": "timeline",
+                        "itdk_labels": self.itdk_labels,
+                        "include_pdb": self.include_pdb})
+        return payload
+
+    def _hoiho_payload(self, label: str) -> Dict[str, object]:
+        payload = self._timeline_payload()
+        payload.update({"kind": "hoiho", "label": label,
+                        "hoiho_config": self.hoiho_config})
+        return payload
+
     @property
     def world(self) -> World:
         """The shared synthetic world."""
         if self._world is None:
+            if self.store is not None:
+                cached = self.store.get(KIND_WORLD, self._world_payload())
+                if cached is not None:
+                    self._world = cached
+                    return self._world
             self._world = generate_world(self.seed,
                                          self.scale.world_config())
+            if self.store is not None:
+                self.store.put(KIND_WORLD, self._world_payload(),
+                               self._world)
         return self._world
 
     @property
     def routing(self) -> RoutingModel:
-        """The shared AS-level routing model."""
+        """The shared AS-level routing model (lazily solved per dst)."""
         if self._routing is None:
             self._routing = RoutingModel(self.world.graph)
         return self._routing
@@ -79,10 +119,43 @@ class ExperimentContext:
     def timeline(self) -> List[TrainingSet]:
         """All training sets (17 ITDK + 2 PeeringDB by default)."""
         if self._timeline is None:
+            if self.store is not None:
+                cached = self.store.get(KIND_TIMELINE,
+                                        self._timeline_payload())
+                if cached is not None:
+                    self._timeline = self._adopt_timeline(cached)
+                    return self._timeline
             self._timeline = build_timeline(
                 self.world, self.seed, self.routing,
-                itdk_labels=self.itdk_labels)
+                itdk_labels=self.itdk_labels,
+                include_pdb=self.include_pdb,
+                parallel=self.parallel)
+            if self.store is not None:
+                self.store.put(KIND_TIMELINE, self._timeline_payload(),
+                               self._strip_worlds(self._timeline))
+                self._adopt_timeline(self._timeline)
         return self._timeline
+
+    @staticmethod
+    def _strip_worlds(timeline: List[TrainingSet]) -> List[TrainingSet]:
+        """Drop per-snapshot world references before pickling.
+
+        Every snapshot result references the same world; pickling the
+        timeline as-is would embed a full copy per call graph.  The
+        world is stored (and restored) separately.
+        """
+        for training_set in timeline:
+            if training_set.snapshot is not None:
+                training_set.snapshot.world = None  # type: ignore
+        return timeline
+
+    def _adopt_timeline(self,
+                        timeline: List[TrainingSet]) -> List[TrainingSet]:
+        """Re-attach this context's world to a (de)serialised timeline."""
+        for training_set in timeline:
+            if training_set.snapshot is not None:
+                training_set.snapshot.world = self.world
+        return timeline
 
     def training_set(self, label: str) -> TrainingSet:
         """One training set by label (KeyError when absent)."""
@@ -94,9 +167,18 @@ class ExperimentContext:
     def learned(self, label: str) -> HoihoResult:
         """Learned conventions for one training set (memoised)."""
         if label not in self._learned:
+            if self.store is not None:
+                cached = self.store.get(KIND_HOIHO,
+                                        self._hoiho_payload(label))
+                if cached is not None:
+                    self._learned[label] = cached
+                    return self._learned[label]
             training_set = self.training_set(label)
             hoiho = Hoiho(self.hoiho_config, parallel=self.parallel)
             self._learned[label] = hoiho.run(training_set.items)
+            if self.store is not None:
+                self.store.put(KIND_HOIHO, self._hoiho_payload(label),
+                               self._learned[label])
         return self._learned[label]
 
     def learn_timeline(self,
@@ -113,6 +195,16 @@ class ExperimentContext:
         if labels is None:
             labels = [t.label for t in self.timeline]
         missing = [label for label in labels if label not in self._learned]
+        if missing and self.store is not None:
+            still_missing = []
+            for label in missing:
+                cached = self.store.get(KIND_HOIHO,
+                                        self._hoiho_payload(label))
+                if cached is not None:
+                    self._learned[label] = cached
+                else:
+                    still_missing.append(label)
+            missing = still_missing
         if missing:
             worker = functools.partial(_learn_items_worker,
                                        self.hoiho_config)
@@ -120,6 +212,9 @@ class ExperimentContext:
             results = parallel_map(worker, batches, self.parallel)
             for label, result in zip(missing, results):
                 self._learned[label] = result
+                if self.store is not None:
+                    self.store.put(KIND_HOIHO, self._hoiho_payload(label),
+                                   result)
         return {label: self._learned[label] for label in labels}
 
     def latest_itdk(self) -> TrainingSet:

@@ -15,6 +15,7 @@ import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.core.parallel import ParallelConfig, parallel_map
 from repro.core.types import TrainingItem
 from repro.itdk.builder import BuildConfig
 from repro.naming.assigner import NamingConfig
@@ -22,10 +23,13 @@ from repro.traceroute.campaign import CampaignConfig
 from repro.pipeline import (
     METHOD_BDRMAPIT,
     METHOD_RTAA,
+    PeeringDBTask,
     SnapshotResult,
     SnapshotSpec,
-    run_peeringdb_snapshot,
-    run_snapshot,
+    SnapshotTask,
+    reattach_world,
+    run_peeringdb_snapshot_task,
+    run_snapshot_task,
 )
 from repro.topology.world import World
 from repro.traceroute.routing import RoutingModel
@@ -92,20 +96,14 @@ class TrainingSet:
     snapshot: Optional[SnapshotResult] = None
 
 
-def build_timeline(world: World, seed: int,
-                   routing: Optional[RoutingModel] = None,
-                   itdk_labels: Optional[List[str]] = None,
-                   include_pdb: bool = True) -> List[TrainingSet]:
-    """Produce all training sets for ``world``.
-
-    ``itdk_labels`` restricts which ITDK snapshots run (useful for
-    scaled-down benchmarks); default is all seventeen.
-    """
-    if routing is None:
-        routing = RoutingModel(world.graph)
-    sets: List[TrainingSet] = []
+def _timeline_tasks(world: World, seed: int,
+                    routing: Optional[RoutingModel],
+                    itdk_labels: Optional[List[str]],
+                    include_pdb: bool) -> List[object]:
+    """The timeline's snapshot tasks, in timeline order."""
+    tasks: List[object] = []
     wanted = set(itdk_labels) if itdk_labels is not None else None
-    for index, (label, year, method) in enumerate(ITDK_TIMELINE):
+    for label, year, method in ITDK_TIMELINE:
         if wanted is not None and label not in wanted:
             continue
         spec = SnapshotSpec(
@@ -115,17 +113,59 @@ def build_timeline(world: World, seed: int,
             build=BuildConfig(
                 campaign=CampaignConfig(n_vps=vps_for_year(year)),
                 alias_augment_rate=alias_augment_for_year(year)))
-        result = run_snapshot(world, spec, routing)
-        logger.info("built %s (%s): %d training items", label, method,
-                    len(result.training))
-        sets.append(TrainingSet(label=label, kind=KIND_ITDK, method=method,
-                                year=year, items=result.training,
-                                snapshot=result))
+        tasks.append(SnapshotTask(world=world, spec=spec, routing=routing))
     if include_pdb:
         for label, year in PDB_TIMELINE:
             pdb_seed = substream(seed, "snapshot", label).randrange(1 << 30)
-            items = run_peeringdb_snapshot(world, pdb_seed, label, year=year)
-            sets.append(TrainingSet(label=label, kind=KIND_PDB,
-                                    method="operator", year=year,
-                                    items=items))
+            tasks.append(PeeringDBTask(world=world, seed=pdb_seed,
+                                       label=label, year=year))
+    return tasks
+
+
+def _timeline_worker(task: object) -> object:
+    """Dispatch one timeline task (runs in the calling or a worker
+    process; the task and result both pickle)."""
+    if isinstance(task, SnapshotTask):
+        return run_snapshot_task(task)
+    assert isinstance(task, PeeringDBTask)
+    return run_peeringdb_snapshot_task(task)
+
+
+def build_timeline(world: World, seed: int,
+                   routing: Optional[RoutingModel] = None,
+                   itdk_labels: Optional[List[str]] = None,
+                   include_pdb: bool = True,
+                   parallel: Optional[ParallelConfig] = None,
+                   ) -> List[TrainingSet]:
+    """Produce all training sets for ``world``.
+
+    ``itdk_labels`` restricts which ITDK snapshots run (useful for
+    scaled-down benchmarks); default is all seventeen.  ``parallel``
+    fans one task per snapshot out over worker processes; tasks are
+    generated in timeline order and ``parallel_map`` preserves input
+    order, so parallel output is byte-identical to serial output (each
+    snapshot is an independent deterministic function of the world and
+    its spec).
+    """
+    if routing is None:
+        routing = RoutingModel(world.graph)
+    parallel = parallel or ParallelConfig.serial()
+    tasks = _timeline_tasks(world, seed, routing, itdk_labels, include_pdb)
+    results = parallel_map(_timeline_worker, tasks, parallel)
+
+    sets: List[TrainingSet] = []
+    for task, result in zip(tasks, results):
+        if isinstance(task, SnapshotTask):
+            snapshot_result = reattach_world(result, world)
+            logger.info("built %s (%s): %d training items",
+                        task.spec.label, task.spec.method,
+                        len(snapshot_result.training))
+            sets.append(TrainingSet(
+                label=task.spec.label, kind=KIND_ITDK,
+                method=task.spec.method, year=task.spec.year,
+                items=snapshot_result.training, snapshot=snapshot_result))
+        else:
+            sets.append(TrainingSet(label=task.label, kind=KIND_PDB,
+                                    method="operator", year=task.year,
+                                    items=result))
     return sets

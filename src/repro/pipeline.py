@@ -138,3 +138,54 @@ def run_peeringdb_snapshot(world: World, seed: int, label: str,
         naming = assign_hostnames(world, seed, NamingConfig(year=year))
     pdb = build_peeringdb(world, seed, label, config)
     return training_items_from_peeringdb(pdb, naming)
+
+
+# -- picklable worker entry points -------------------------------------------
+#
+# ``parallel_map`` with a process backend needs module-level callables
+# whose single argument pickles cleanly.  These wrap the two snapshot
+# producers for the timeline's per-snapshot fan-out
+# (:func:`repro.eval.timeline.build_timeline`).
+
+@dataclass(frozen=True)
+class SnapshotTask:
+    """One ITDK snapshot to build in a worker process."""
+
+    world: World
+    spec: SnapshotSpec
+    routing: Optional[RoutingModel] = None
+
+
+@dataclass(frozen=True)
+class PeeringDBTask:
+    """One PeeringDB training set to build in a worker process."""
+
+    world: World
+    seed: int
+    label: str
+    year: float = 2020.0
+
+
+def run_snapshot_task(task: SnapshotTask) -> SnapshotResult:
+    """Worker entry point: build one ITDK snapshot.
+
+    The returned result carries ``world=None`` -- shipping the world
+    back from every worker would multiply the pickle payload by the
+    snapshot count; the caller re-attaches its own reference
+    (:func:`reattach_world`).
+    """
+    result = run_snapshot(task.world, task.spec, task.routing)
+    result.world = None  # type: ignore[assignment]
+    return result
+
+
+def run_peeringdb_snapshot_task(task: PeeringDBTask) -> List[TrainingItem]:
+    """Worker entry point: build one PeeringDB training set."""
+    return run_peeringdb_snapshot(task.world, task.seed, task.label,
+                                  year=task.year)
+
+
+def reattach_world(result: SnapshotResult, world: World) -> SnapshotResult:
+    """Restore the world reference a worker stripped before returning."""
+    result.world = world
+    return result

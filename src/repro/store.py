@@ -1,0 +1,190 @@
+"""Persistent content-addressed artifact store.
+
+Every expensive pipeline artifact -- a generated :class:`World`, a
+timeline of training sets, a learned :class:`HoihoResult` -- is a pure
+function of its configuration.  The store exploits that: artifacts are
+keyed by a **fingerprint**, the SHA-256 of a canonical JSON rendering of
+everything the artifact depends on (master seed, world/scale config,
+snapshot spec, learner config) plus a schema version.  Any config
+change, however small, changes the fingerprint, so stale artifacts are
+never served -- they are simply never looked up again (invalidation by
+construction).
+
+Layout on disk::
+
+    <root>/
+      worlds/<fingerprint>.pkl        pickled artifact
+      worlds/<fingerprint>.json       the fingerprint payload, for humans
+      timelines/...
+      hoiho/...
+
+``repro-hoiho cache info`` and ``repro-hoiho cache clear`` operate on a
+store; :class:`~repro.eval.context.ExperimentContext` consults one when
+constructed with ``store=``.  Bump :data:`STORE_SCHEMA_VERSION` whenever
+the pickled representation of an artifact changes shape.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import logging
+import os
+import pickle
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+logger = logging.getLogger(__name__)
+
+#: Version of the pickled artifact layouts; part of every fingerprint.
+STORE_SCHEMA_VERSION = 1
+
+#: Artifact kinds the store recognises (a kind is just a subdirectory).
+KIND_WORLD = "worlds"
+KIND_TIMELINE = "timelines"
+KIND_HOIHO = "hoiho"
+
+
+def _canonical(value: object) -> object:
+    """Make ``value`` JSON-stable: dataclasses become sorted dicts,
+    tuples become lists, sets become sorted lists."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _canonical(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_canonical(v) for v in value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def fingerprint(payload: Mapping) -> str:
+    """SHA-256 of the canonical JSON of ``payload`` + schema version."""
+    keyed = {"schema": STORE_SCHEMA_VERSION}
+    keyed.update(_canonical(payload))
+    text = json.dumps(keyed, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass
+class StoreStats:
+    """Hit/miss counters for one store instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class ArtifactStore:
+    """A content-addressed pickle store rooted at a directory.
+
+    The store is safe to share across runs and configurations: a lookup
+    with a payload that does not exactly reproduce a prior ``put``'s
+    payload misses.  Corrupt or unreadable entries read as misses (and
+    the offending files are ignored, not deleted).
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.stats = StoreStats()
+
+    # -- keying ------------------------------------------------------------
+
+    @staticmethod
+    def fingerprint(payload: Mapping) -> str:
+        """Expose :func:`fingerprint` on the class for convenience."""
+        return fingerprint(payload)
+
+    def path_for(self, kind: str, payload: Mapping) -> Path:
+        """Where the artifact for ``payload`` lives (existing or not)."""
+        return self.root / kind / (fingerprint(payload) + ".pkl")
+
+    # -- access ------------------------------------------------------------
+
+    def contains(self, kind: str, payload: Mapping) -> bool:
+        """True when an artifact for ``payload`` is on disk."""
+        return self.path_for(kind, payload).is_file()
+
+    def get(self, kind: str, payload: Mapping) -> Optional[object]:
+        """The stored artifact, or ``None`` on miss/corruption."""
+        path = self.path_for(kind, payload)
+        if not path.is_file():
+            self.stats.misses += 1
+            return None
+        try:
+            with open(path, "rb") as handle:
+                artifact = pickle.load(handle)
+        except Exception as exc:  # corrupt entry reads as a miss
+            logger.warning("store: unreadable entry %s (%s)", path, exc)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return artifact
+
+    def put(self, kind: str, payload: Mapping, artifact: object) -> Path:
+        """Persist ``artifact`` under ``payload``'s fingerprint.
+
+        Writes go through a temporary file + rename so a crashed run
+        never leaves a half-written pickle behind.
+        """
+        path = self.path_for(kind, payload)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp.%d" % os.getpid())
+        with open(tmp, "wb") as handle:
+            pickle.dump(artifact, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        meta = path.with_suffix(".json")
+        with open(meta, "w", encoding="utf-8") as handle:
+            json.dump({"schema": STORE_SCHEMA_VERSION,
+                       "payload": _canonical(payload)},
+                      handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        self.stats.writes += 1
+        return path
+
+    # -- maintenance -------------------------------------------------------
+
+    def entries(self) -> List[Path]:
+        """Every pickled artifact currently on disk."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.pkl"))
+
+    def info(self) -> Dict[str, object]:
+        """Summary for ``repro-hoiho cache info``."""
+        kinds: Dict[str, Dict[str, int]] = {}
+        total_bytes = 0
+        for path in self.entries():
+            size = path.stat().st_size
+            entry = kinds.setdefault(path.parent.name,
+                                     {"entries": 0, "bytes": 0})
+            entry["entries"] += 1
+            entry["bytes"] += size
+            total_bytes += size
+        return {
+            "root": str(self.root),
+            "schema": STORE_SCHEMA_VERSION,
+            "kinds": kinds,
+            "entries": sum(k["entries"] for k in kinds.values()),
+            "bytes": total_bytes,
+            "session": self.stats.as_dict(),
+        }
+
+    def clear(self) -> int:
+        """Delete every artifact (and sidecar); returns entries removed."""
+        removed = 0
+        for path in self.entries():
+            sidecar = path.with_suffix(".json")
+            path.unlink()
+            if sidecar.is_file():
+                sidecar.unlink()
+            removed += 1
+        return removed

@@ -9,7 +9,7 @@ behind the growth in figure 5).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from repro.topology.asgraph import Tier
 from repro.topology.world import World
@@ -50,8 +50,12 @@ def run_campaign(world: World, routing: RoutingModel, seed: int,
                     dest_responds_rate=config.dest_responds_rate)
     vp_asns = select_vps(world, config.n_vps, seed)
 
-    # Destination list: addresses inside each AS's edge prefixes.
+    # Destination list: addresses inside each AS's edge prefixes.  For
+    # prefixes smaller than the per-prefix target count the clamped
+    # offset collapses several indexes onto the same host; ``seen``
+    # dedupes so no destination is probed twice from the same VP.
     destinations: List[int] = []
+    seen: Set[int] = set()
     for asn in world.graph.asns():
         for prefix in world.plan.edge_prefixes(asn):
             if config.dest_fraction < 1.0 \
@@ -61,8 +65,10 @@ def run_campaign(world: World, routing: RoutingModel, seed: int,
                 # Spread targets across the prefix; skip network address.
                 offset = (prefix.size // (config.dest_per_prefix + 1)) \
                     * (index + 1) + 1
-                destinations.append(prefix.host(min(offset,
-                                                    prefix.size - 1)))
+                address = prefix.host(min(offset, prefix.size - 1))
+                if address not in seen:
+                    seen.add(address)
+                    destinations.append(address)
 
     traces: List[Trace] = []
     for vp_asn in vp_asns:

@@ -18,7 +18,7 @@ paths by construction.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.asn.relationships import ASRelationships
 from repro.topology.asgraph import ASGraph
@@ -30,20 +30,52 @@ _CUSTOMER, _PEER, _PROVIDER = 0, 1, 2
 class RoutingModel:
     """Next-hop forwarding state for every (source, destination) AS pair.
 
-    Construction cost is O(V * E); the model is immutable afterwards.
+    Per-destination next-hop vectors are computed lazily on first query
+    and memoised, so a model serving only a few destinations (a TINY
+    campaign, a restricted benchmark) never pays the full O(V * E)
+    construction, and the pickle shipped to worker processes carries
+    only what was actually computed.  :meth:`precompute` restores the
+    eager behaviour for full campaigns; ``eager=True`` at construction
+    does the same.  Queries against an eager and a lazy model are
+    identical by construction (same per-destination solver).
 
     >>> # doctest-level example lives in tests/traceroute/test_routing.py
     """
 
-    def __init__(self, graph: ASGraph) -> None:
+    def __init__(self, graph: ASGraph, eager: bool = False) -> None:
         self._graph = graph
         self._rels = graph.relationships
         self._asns = graph.asns()
         self._index = {asn: i for i, asn in enumerate(self._asns)}
         # next_hop[dst][src] -> next AS towards dst (or None / dst itself)
         self._next_hop: Dict[int, List[Optional[int]]] = {}
-        for dst in self._asns:
-            self._next_hop[dst] = self._routes_to(dst)
+        if eager:
+            self.precompute()
+
+    def precompute(self, dsts: Optional[Iterable[int]] = None
+                   ) -> "RoutingModel":
+        """Eagerly solve routes towards ``dsts`` (default: every AS).
+
+        Returns ``self`` so construction and precomputation chain:
+        ``RoutingModel(graph).precompute()``.  Unknown destinations are
+        ignored, matching :meth:`next_hop` query semantics.
+        """
+        for dst in (self._asns if dsts is None else dsts):
+            if dst in self._index:
+                self._hops_to(dst)
+        return self
+
+    @property
+    def computed_destinations(self) -> int:
+        """How many per-destination vectors have been solved so far."""
+        return len(self._next_hop)
+
+    def _hops_to(self, dst: int) -> List[Optional[int]]:
+        """The (memoised) next-hop vector towards ``dst``."""
+        hops = self._next_hop.get(dst)
+        if hops is None:
+            hops = self._next_hop[dst] = self._routes_to(dst)
+        return hops
 
     def _routes_to(self, dst: int) -> List[Optional[int]]:
         """Best next hop towards ``dst`` for every AS."""
@@ -119,10 +151,9 @@ class RoutingModel:
         """
         if src == dst:
             return dst
-        hops = self._next_hop.get(dst)
-        if hops is None:
+        if dst not in self._index:
             return None
-        return hops[self._index[src]]
+        return self._hops_to(dst)[self._index[src]]
 
     def as_path(self, src: int, dst: int,
                 max_len: int = 32) -> Optional[List[int]]:

@@ -1,0 +1,104 @@
+"""Edge cases of the training-set timeline and its context accessors."""
+
+import pytest
+
+from repro.eval.context import ExperimentContext, Scale
+from repro.eval.timeline import (
+    ITDK_TIMELINE,
+    PDB_TIMELINE,
+    build_timeline,
+    vps_for_year,
+    alias_augment_for_year,
+)
+from repro.topology.world import WorldConfig, generate_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_world(23, WorldConfig.tiny())
+
+
+class TestBuildTimelineRestrictions:
+    def test_restricted_itdk_labels(self, world):
+        sets = build_timeline(world, 23, itdk_labels=["2019-01", "2020-01"])
+        itdk = [t for t in sets if t.kind == "itdk"]
+        assert [t.label for t in itdk] == ["2019-01", "2020-01"]
+        # PeeringDB sets still ride along by default.
+        assert [t.label for t in sets if t.kind == "peeringdb"] \
+            == [label for label, _ in PDB_TIMELINE]
+
+    def test_restriction_preserves_timeline_order(self, world):
+        # Labels given out of order still come back in timeline order.
+        sets = build_timeline(world, 23,
+                              itdk_labels=["2020-01", "2017-08"],
+                              include_pdb=False)
+        assert [t.label for t in sets] == ["2017-08", "2020-01"]
+
+    def test_unknown_label_is_ignored(self, world):
+        sets = build_timeline(world, 23, itdk_labels=["1999-12"],
+                              include_pdb=False)
+        assert sets == []
+
+    def test_include_pdb_false(self, world):
+        sets = build_timeline(world, 23, itdk_labels=["2020-01"],
+                              include_pdb=False)
+        assert [t.kind for t in sets] == ["itdk"]
+
+    def test_pdb_only(self, world):
+        sets = build_timeline(world, 23, itdk_labels=[])
+        assert [t.kind for t in sets] == ["peeringdb", "peeringdb"]
+        for training_set in sets:
+            assert training_set.method == "operator"
+            assert training_set.snapshot is None
+
+    def test_snapshot_worlds_reattached(self, world):
+        sets = build_timeline(world, 23, itdk_labels=["2020-01"],
+                              include_pdb=False)
+        assert sets[0].snapshot is not None
+        assert sets[0].snapshot.world is world
+
+    def test_methods_follow_the_2017_transition(self, world):
+        labels = ["2017-02", "2017-08"]
+        sets = build_timeline(world, 23, itdk_labels=labels,
+                              include_pdb=False)
+        assert [t.method for t in sets] == ["rtaa", "bdrmapit"]
+
+
+class TestGrowthFactors:
+    def test_vps_grow_over_the_decade(self):
+        years = [year for _, year, _ in ITDK_TIMELINE]
+        vps = [vps_for_year(year) for year in years]
+        assert vps == sorted(vps)
+        assert vps[-1] > vps[0]
+
+    def test_alias_augment_bounded(self):
+        for _, year, _ in ITDK_TIMELINE:
+            assert 0.63 <= alias_augment_for_year(year) <= 0.75
+
+
+class TestContextAccessors:
+    def test_training_set_keyerror(self):
+        context = ExperimentContext(seed=23, scale=Scale.TINY,
+                                    itdk_labels=["2020-01"])
+        with pytest.raises(KeyError):
+            context.training_set("2012-07")
+
+    def test_latest_itdk_runtimeerror_when_pdb_only(self):
+        context = ExperimentContext(seed=23, scale=Scale.TINY,
+                                    itdk_labels=[])
+        with pytest.raises(RuntimeError):
+            context.latest_itdk()
+
+    def test_latest_pdb_runtimeerror_when_excluded(self):
+        context = ExperimentContext(seed=23, scale=Scale.TINY,
+                                    itdk_labels=["2020-01"],
+                                    include_pdb=False)
+        assert context.latest_itdk().label == "2020-01"
+        with pytest.raises(RuntimeError):
+            context.latest_pdb()
+
+    def test_include_pdb_false_timeline(self):
+        context = ExperimentContext(seed=23, scale=Scale.TINY,
+                                    itdk_labels=["2020-01"],
+                                    include_pdb=False)
+        assert [t.kind for t in context.timeline] == ["itdk"]

@@ -1,0 +1,64 @@
+"""Parallel snapshot fan-out determinism.
+
+The tentpole guarantee: a timeline built through worker processes is
+byte-identical to the serially built one.  The TINY-scale test runs in
+the tier-1 suite; the full 19-set SMALL-scale proof carries the ``slow``
+marker (``make test-slow`` / ``pytest -m slow``).
+"""
+
+import pytest
+
+from repro.core.io import training_to_jsonl
+from repro.core.parallel import ParallelConfig
+from repro.eval.timeline import build_timeline
+from repro.topology.world import WorldConfig, generate_world
+
+
+def _fingerprint(sets):
+    """A byte-exact rendering of everything the learner consumes."""
+    return [(t.label, t.kind, t.method, t.year, training_to_jsonl(t.items))
+            for t in sets]
+
+
+def _assert_identical(serial, parallel):
+    assert _fingerprint(serial) == _fingerprint(parallel)
+    for a, b in zip(serial, parallel):
+        if a.snapshot is None:
+            assert b.snapshot is None
+            continue
+        assert b.snapshot is not None
+        assert a.snapshot.annotations == b.snapshot.annotations
+        assert a.snapshot.snapshot.hostnames == b.snapshot.snapshot.hostnames
+        assert len(a.snapshot.traces) == len(b.snapshot.traces)
+
+
+class TestParallelTimelineTiny:
+    def test_parallel_identical_to_serial(self):
+        world = generate_world(31, WorldConfig.tiny())
+        labels = ["2017-02", "2019-01", "2020-01"]
+        serial = build_timeline(world, 31, itdk_labels=labels)
+        parallel = build_timeline(
+            world, 31, itdk_labels=labels,
+            parallel=ParallelConfig(workers=2, backend="process",
+                                    chunk_size=1))
+        _assert_identical(serial, parallel)
+
+    def test_serial_config_matches_default(self):
+        world = generate_world(31, WorldConfig.tiny())
+        default = build_timeline(world, 31, itdk_labels=["2020-01"])
+        explicit = build_timeline(world, 31, itdk_labels=["2020-01"],
+                                  parallel=ParallelConfig.serial())
+        _assert_identical(default, explicit)
+
+
+@pytest.mark.slow
+class TestParallelTimelineSmall:
+    def test_full_19_set_timeline_identical(self):
+        world = generate_world(2020, WorldConfig.small())
+        serial = build_timeline(world, 2020)
+        parallel = build_timeline(
+            world, 2020,
+            parallel=ParallelConfig(workers=4, backend="process",
+                                    chunk_size=1))
+        assert len(serial) == 19
+        _assert_identical(serial, parallel)

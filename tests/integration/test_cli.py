@@ -80,3 +80,88 @@ class TestCli:
 
     def test_report_requires_file(self, capsys):
         assert main(["report"]) == 2
+
+
+class TestCliCache:
+    TRAINING = ("as3356.lon1.example.com 3356\n"
+                "as1299.lon2.example.com 1299\n"
+                "as174.fra1.example.com 174\n"
+                "as2914.fra2.example.com 2914\n"
+                "as6453.ams1.example.com 6453\n")
+
+    def _training_file(self, tmp_path):
+        path = tmp_path / "train.txt"
+        path.write_text(self.TRAINING, encoding="utf-8")
+        return path
+
+    def test_learn_populates_and_reuses_cache(self, tmp_path, capsys,
+                                              monkeypatch):
+        training = self._training_file(tmp_path)
+        cache = tmp_path / "cache"
+        assert main(["learn", "--hostnames", str(training),
+                     "--cache-dir", str(cache)]) == 0
+        cold = capsys.readouterr().out
+        assert list(cache.glob("hoiho/*.pkl"))
+
+        # Warm run must not learn again: break Hoiho.run and rely on
+        # the cached result.
+        import repro.cli as cli_module
+        monkeypatch.setattr(
+            cli_module.Hoiho, "run",
+            lambda self, items: pytest.fail("re-learned on warm cache"))
+        assert main(["learn", "--hostnames", str(training),
+                     "--cache-dir", str(cache)]) == 0
+        assert capsys.readouterr().out == cold
+
+    def test_no_cache_flag_disables_store(self, tmp_path, capsys):
+        training = self._training_file(tmp_path)
+        cache = tmp_path / "cache"
+        assert main(["learn", "--hostnames", str(training),
+                     "--cache-dir", str(cache), "--no-cache"]) == 0
+        assert not cache.exists()
+
+    def test_cache_dir_from_environment(self, tmp_path, capsys,
+                                        monkeypatch):
+        training = self._training_file(tmp_path)
+        cache = tmp_path / "env-cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+        assert main(["learn", "--hostnames", str(training)]) == 0
+        assert list(cache.glob("hoiho/*.pkl"))
+
+    def test_cache_info_and_clear(self, tmp_path, capsys):
+        training = self._training_file(tmp_path)
+        cache = tmp_path / "cache"
+        assert main(["learn", "--hostnames", str(training),
+                     "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "info", "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "hoiho" in out
+        assert "1 entry" in out
+
+        assert main(["cache", "clear", "--cache-dir", str(cache)]) == 0
+        assert "cleared 1" in capsys.readouterr().out
+        assert main(["cache", "info", "--cache-dir", str(cache)]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_cache_defaults_to_info(self, tmp_path, capsys):
+        assert main(["cache", "--cache-dir", str(tmp_path / "c")]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_cache_requires_dir(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["cache", "info"]) == 2
+
+    def test_cache_rejects_unknown_subcommand(self, tmp_path, capsys):
+        assert main(["cache", "frobnicate",
+                     "--cache-dir", str(tmp_path / "c")]) == 2
+
+    def test_experiment_with_cache_dir(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(["table1", "--scale", "tiny",
+                     "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        assert list(cache.glob("worlds/*.pkl"))
+        assert list(cache.glob("timelines/*.pkl"))
+        assert list(cache.glob("hoiho/*.pkl"))

@@ -1,0 +1,83 @@
+"""Unit tests for the benchmark-report harness (no timing assertions)."""
+
+import json
+
+import pytest
+
+import repro.bench as bench
+
+
+FAKE_PIPELINE = {
+    "workload": {"itdk_labels": 4, "training_sets": 6, "scale": "tiny",
+                 "routing_ases": 160, "rounds": 2, "parallel_workers": 2},
+    "timeline": {"serial_seconds": 2.0, "parallel_seconds": 1.0,
+                 "parallel_speedup": 2.0},
+    "routing": {"eager_seconds": 0.02, "lazy_first_path_seconds": 0.002,
+                "lazy_speedup": 10.0},
+    "store": {"cold_seconds": 1.0, "warm_seconds": 0.05,
+              "warm_speedup": 20.0},
+}
+
+
+class TestPipelineSection:
+    def test_write_pipeline_section_preserves_learner_numbers(
+            self, tmp_path, monkeypatch):
+        path = tmp_path / "BENCH.json"
+        existing = {"version": bench.BENCH_VERSION,
+                    "suffix_learn": {"cached_seconds": 1.0,
+                                     "uncached_seconds": 2.0,
+                                     "cache_speedup": 2.0},
+                    "pipeline": {"stale": True}}
+        path.write_text(json.dumps(existing), encoding="utf-8")
+        monkeypatch.setattr(bench, "run_pipeline_bench",
+                            lambda rounds=2, jobs=None: FAKE_PIPELINE)
+        report = bench.write_pipeline_section(str(path))
+        assert report["suffix_learn"]["cache_speedup"] == 2.0
+        assert report["pipeline"] == FAKE_PIPELINE
+        on_disk = json.loads(path.read_text(encoding="utf-8"))
+        assert on_disk["pipeline"]["store"]["warm_speedup"] == 20.0
+
+    def test_write_pipeline_section_from_scratch(self, tmp_path,
+                                                 monkeypatch):
+        path = tmp_path / "BENCH.json"
+        monkeypatch.setattr(bench, "run_pipeline_bench",
+                            lambda rounds=2, jobs=None: FAKE_PIPELINE)
+        report = bench.write_pipeline_section(str(path))
+        assert report["version"] == bench.BENCH_VERSION
+        assert path.is_file()
+
+    def test_render_report_with_pipeline(self):
+        text = bench.render_report({"version": bench.BENCH_VERSION,
+                                    "pipeline": FAKE_PIPELINE})
+        assert "build_timeline" in text
+        assert "artifact store" in text
+        assert "routing model" in text
+
+    def test_render_report_learner_only(self):
+        report = {"version": 1,
+                  "suffix_learn": {"cached_seconds": 1.0,
+                                   "uncached_seconds": 2.0,
+                                   "cache_speedup": 2.0},
+                  "evaluate_nc": {"cold_seconds": 1.0, "warm_seconds": 0.5,
+                                  "warm_speedup": 2.0},
+                  "run_datasets": {"serial_seconds": 1.0,
+                                   "parallel_seconds": 1.0,
+                                   "parallel_speedup": 1.0}}
+        text = bench.render_report(report)
+        assert "learn one suffix" in text
+        assert "pipeline" not in text
+
+
+class TestWorkload:
+    def test_world_items_scaled_to_amortise_startup(self):
+        items = bench.bench_world_items()
+        suffixes = {".".join(item.hostname.split(".")[-3:])
+                    for item in items}
+        assert len(items) >= 2000
+        assert len(suffixes) == 24
+
+    @pytest.mark.slow
+    def test_run_pipeline_bench_shape(self):
+        report = bench.run_pipeline_bench(rounds=1)
+        assert set(report) == {"workload", "timeline", "routing", "store"}
+        assert report["store"]["warm_speedup"] > 1.0

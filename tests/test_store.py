@@ -1,0 +1,115 @@
+"""Unit tests for the persistent content-addressed artifact store."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.hoiho import HoihoConfig
+from repro.store import (
+    KIND_HOIHO,
+    KIND_TIMELINE,
+    KIND_WORLD,
+    STORE_SCHEMA_VERSION,
+    ArtifactStore,
+    fingerprint,
+)
+from repro.topology.world import WorldConfig
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "cache")
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        payload = {"kind": "world", "seed": 7, "config": WorldConfig.tiny()}
+        assert fingerprint(payload) == fingerprint(payload)
+
+    def test_sensitive_to_every_field(self):
+        base = {"kind": "world", "seed": 7, "config": WorldConfig.tiny()}
+        assert fingerprint(base) != fingerprint({**base, "seed": 8})
+        assert fingerprint(base) != fingerprint({**base, "kind": "timeline"})
+        assert fingerprint(base) != fingerprint(
+            {**base, "config": WorldConfig.small()})
+
+    def test_dataclass_field_change_invalidates(self):
+        config = WorldConfig.tiny()
+        changed = WorldConfig(asgraph=dataclasses.replace(
+            config.asgraph, n_stub=config.asgraph.n_stub + 1))
+        assert fingerprint({"config": config}) \
+            != fingerprint({"config": changed})
+
+    def test_key_order_irrelevant(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_containers_canonicalised(self):
+        assert fingerprint({"x": (1, 2)}) == fingerprint({"x": [1, 2]})
+        assert fingerprint({"x": {2, 1}}) == fingerprint({"x": [1, 2]})
+
+    def test_schema_version_is_part_of_the_key(self, monkeypatch):
+        payload = {"kind": "world", "seed": 7}
+        before = fingerprint(payload)
+        monkeypatch.setattr("repro.store.STORE_SCHEMA_VERSION",
+                            STORE_SCHEMA_VERSION + 1)
+        assert fingerprint(payload) != before
+
+
+class TestStoreRoundTrip:
+    def test_miss_then_hit(self, store):
+        payload = {"kind": "world", "seed": 1}
+        assert store.get(KIND_WORLD, payload) is None
+        store.put(KIND_WORLD, payload, {"artifact": [1, 2, 3]})
+        assert store.get(KIND_WORLD, payload) == {"artifact": [1, 2, 3]}
+        assert store.stats.misses == 1
+        assert store.stats.hits == 1
+        assert store.stats.writes == 1
+
+    def test_kinds_are_disjoint(self, store):
+        payload = {"seed": 1}
+        store.put(KIND_WORLD, payload, "a world")
+        assert store.get(KIND_TIMELINE, payload) is None
+
+    def test_config_change_misses(self, store):
+        store.put(KIND_HOIHO, {"hoiho_config": HoihoConfig()}, "learned")
+        changed = HoihoConfig(min_tp=4)
+        assert store.get(KIND_HOIHO, {"hoiho_config": changed}) is None
+
+    def test_corrupt_entry_reads_as_miss(self, store):
+        payload = {"kind": "world", "seed": 1}
+        path = store.put(KIND_WORLD, payload, "fine")
+        path.write_bytes(b"not a pickle")
+        assert store.get(KIND_WORLD, payload) is None
+
+    def test_sidecar_records_payload(self, store):
+        payload = {"kind": "world", "seed": 9}
+        path = store.put(KIND_WORLD, payload, "artifact")
+        sidecar = json.loads(path.with_suffix(".json").read_text())
+        assert sidecar["schema"] == STORE_SCHEMA_VERSION
+        assert sidecar["payload"]["seed"] == 9
+
+    def test_contains(self, store):
+        payload = {"seed": 2}
+        assert not store.contains(KIND_WORLD, payload)
+        store.put(KIND_WORLD, payload, "x")
+        assert store.contains(KIND_WORLD, payload)
+
+
+class TestStoreMaintenance:
+    def test_info_and_clear(self, store):
+        assert store.info()["entries"] == 0
+        store.put(KIND_WORLD, {"seed": 1}, "a")
+        store.put(KIND_TIMELINE, {"seed": 1}, "b")
+        info = store.info()
+        assert info["entries"] == 2
+        assert info["bytes"] > 0
+        assert set(info["kinds"]) == {KIND_WORLD, KIND_TIMELINE}
+        assert store.clear() == 2
+        assert store.info()["entries"] == 0
+        assert store.entries() == []
+
+    def test_info_on_missing_root(self, tmp_path):
+        store = ArtifactStore(tmp_path / "never-created")
+        assert store.info()["entries"] == 0
+        assert store.clear() == 0

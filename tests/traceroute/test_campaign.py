@@ -66,3 +66,25 @@ class TestRunCampaign:
         b = run_campaign(world, routing, 9, CampaignConfig(n_vps=3))
         assert [(t.dst_address, t.hops) for t in a] == \
             [(t.dst_address, t.hops) for t in b]
+
+    def test_destinations_unique_per_vp(self, world, routing):
+        # Regression: when dest_per_prefix exceeds a prefix's size the
+        # clamped offset used to collapse several indexes onto the same
+        # host, probing one destination many times from each VP.
+        traces = run_campaign(world, routing, 9,
+                              CampaignConfig(n_vps=1, dest_per_prefix=5000))
+        destinations = [t.dst_address for t in traces]
+        assert destinations
+        assert len(destinations) == len(set(destinations))
+
+    def test_dedupe_keeps_all_distinct_targets(self, world, routing):
+        # Deduplication must not drop genuinely distinct destinations:
+        # with per-prefix targets far below any prefix size, the trace
+        # count is unchanged by the dedupe pass.
+        config = CampaignConfig(n_vps=2, dest_per_prefix=2)
+        traces = run_campaign(world, routing, 9, config)
+        per_vp = {}
+        for trace in traces:
+            per_vp.setdefault(trace.vp_asn, []).append(trace.dst_address)
+        for dsts in per_vp.values():
+            assert len(dsts) == len(set(dsts))
