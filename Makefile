@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-slow bench bench-pipeline bench-tables lint
+.PHONY: test test-slow bench bench-pipeline annotate-bench bench-tables lint
 
 # Tier-1: slow (full-scale pipeline) tests are excluded by the default
 # pytest addopts (-m "not slow"); `make test-slow` runs only those.
@@ -16,6 +16,11 @@ bench:
 
 bench-pipeline:
 	$(PYTHON) benchmarks/bench_report.py --pipeline-only
+
+# Annotation throughput (hostnames/sec cold vs warm, serial vs
+# parallel) into the `serve` section of BENCH_learner.json.
+annotate-bench:
+	$(PYTHON) benchmarks/bench_report.py --serve-only
 
 bench-tables:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

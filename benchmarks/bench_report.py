@@ -14,7 +14,11 @@ The JSON report tracks, across PRs:
 * the ``pipeline`` section: serial vs parallel timeline builds, eager
   vs lazy routing, and cold vs warm artifact-store runs
   (``--pipeline-only`` refreshes just this section, as
-  ``make bench-pipeline`` does).
+  ``make bench-pipeline`` does);
+* the ``serve`` section: the linear apply loop vs suffix-trie dispatch
+  (cold and warm) and serial vs parallel bulk annotation
+  (``--serve-only`` refreshes just this section, as
+  ``make annotate-bench`` does).
 """
 
 from __future__ import annotations
@@ -22,7 +26,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.bench import render_report, write_pipeline_section, write_report
+from repro.bench import render_report, write_pipeline_section, \
+    write_report, write_serve_section
 
 
 def main(argv=None) -> int:
@@ -39,9 +44,14 @@ def main(argv=None) -> int:
     parser.add_argument("--pipeline-only", action="store_true",
                         help="refresh only the pipeline section of an "
                              "existing report")
+    parser.add_argument("--serve-only", action="store_true",
+                        help="refresh only the serve section of an "
+                             "existing report")
     args = parser.parse_args(argv)
     if args.pipeline_only:
         report = write_pipeline_section(args.output, jobs=args.jobs)
+    elif args.serve_only:
+        report = write_serve_section(args.output, jobs=args.jobs)
     else:
         report = write_report(args.output, rounds=args.rounds,
                               jobs=args.jobs)

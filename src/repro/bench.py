@@ -1,18 +1,21 @@
-"""Benchmark-regression harness for the learner and the pipeline.
+"""Benchmark-regression harness for the learner, pipeline, and server.
 
 Measures the learner's hot paths -- cached vs uncached suffix learning,
 regex-set evaluation, and serial vs parallel ``Hoiho.run_datasets`` --
 plus the pipeline kernels added in PR 2 (serial vs parallel timeline
-builds, eager vs lazy routing, cold vs warm artifact store) and writes
-the numbers to ``BENCH_learner.json`` so the performance trajectory is
-tracked across PRs.  Run it via ``repro-hoiho bench``, ``make bench``,
-or ``python benchmarks/bench_report.py``; ``make bench-pipeline``
-refreshes only the ``pipeline`` section.
+builds, eager vs lazy routing, cold vs warm artifact store) and the
+``serve`` kernels added in PR 3 (linear ``HoihoResult.extract`` loop vs
+suffix-trie dispatch, cold vs warm service, serial vs parallel bulk
+annotation) and writes the numbers to ``BENCH_learner.json`` so the
+performance trajectory is tracked across PRs.  Run it via ``repro-hoiho
+bench``, ``make bench``, or ``python benchmarks/bench_report.py``;
+``make bench-pipeline`` / ``make annotate-bench`` refresh only the
+``pipeline`` / ``serve`` sections.
 
-The learner workload is synthetic and fixed (no world generation); the
-pipeline kernels use a TINY world with a restricted timeline so the
-suite stays fast.  Absolute times vary across machines, the ratios
-(speedups, hit rates) travel well.
+The learner and serving workloads are synthetic and fixed (no world
+generation); the pipeline kernels use a TINY world with a restricted
+timeline so the suite stays fast.  Absolute times vary across machines,
+the ratios (speedups, hit rates) travel well.
 """
 
 from __future__ import annotations
@@ -31,7 +34,7 @@ from repro.core.regex_model import Regex
 from repro.core.types import SuffixDataset, TrainingItem
 
 #: Schema version of BENCH_learner.json; bump on layout changes.
-BENCH_VERSION = 2
+BENCH_VERSION = 3
 
 #: ITDK labels the pipeline kernels build (restricted for speed).
 PIPELINE_BENCH_LABELS = ["2017-08", "2018-03", "2019-01", "2020-01"]
@@ -244,14 +247,152 @@ def run_pipeline_bench(rounds: int = 2,
     }
 
 
+def serve_conventions(n_suffixes: int = 24) -> "HoihoResult":
+    """A hand-built convention set over true registered domains.
+
+    The suffixes must be registered domains under the embedded PSL
+    (``svcNN-bench.org`` is: public suffix ``org`` + one label) so the
+    old linear path (``HoihoResult.extract`` via the PSL) and the
+    trie-dispatch path annotate identically -- the throughput
+    comparison is apples to apples.
+    """
+    from repro.core.evaluate import NCScore
+    from repro.core.hoiho import HoihoResult
+    from repro.core.select import LearnedConvention, NCClass
+
+    result = HoihoResult(suffixes_examined=n_suffixes)
+    for index in range(n_suffixes):
+        suffix = "svc%02d-bench.org" % index
+        escaped = suffix.replace(".", r"\.")
+        regexes = (
+            Regex.raw(r"^as(\d+)-et\d+\.pop\d+\.%s$" % escaped),
+            Regex.raw(r"^(\d+)\.cr\d+\.%s$" % escaped),
+        )
+        score = NCScore(tp=6, matches=6)
+        score.distinct_asns = {1000 + index, 2000 + index, 3000 + index}
+        result.conventions[suffix] = LearnedConvention(
+            suffix=suffix, regexes=regexes, score=score,
+            nc_class=NCClass.GOOD)
+    return result
+
+
+def serve_hostnames(n: int = 20000, n_suffixes: int = 24) -> List[str]:
+    """The bulk-annotation workload over :func:`serve_conventions`.
+
+    A realistic mix: mostly convention hits, plus known-suffix misses,
+    unknown suffixes, and un-normalised forms (trailing dots,
+    uppercase).
+    """
+    hostnames: List[str] = []
+    for i in range(n):
+        suffix = "svc%02d-bench.org" % (i % n_suffixes)
+        bucket = i % 10
+        if bucket < 6:          # primary convention hit
+            hostnames.append("as%d-et%d.pop%d.%s"
+                             % (1000 + 7 * i, i % 4, i % 5, suffix))
+        elif bucket < 7:        # secondary regex hit
+            hostnames.append("%d.cr%d.%s" % (2000 + 3 * i, i % 9, suffix))
+        elif bucket < 8:        # known suffix, no pattern match
+            hostnames.append("lo0.cr%d.%s" % (i % 9, suffix))
+        elif bucket < 9:        # unknown suffix
+            hostnames.append("as%d.pop%d.unknown%02d.net"
+                             % (1000 + i, i % 5, i % 16))
+        else:                   # needs normalisation first
+            hostnames.append("AS%d-ET%d.POP%d.%s."
+                             % (1000 + 7 * i, i % 4, i % 5,
+                                suffix.upper()))
+    return hostnames
+
+
+def run_serve_bench(rounds: int = 3,
+                    jobs: Optional[int] = None) -> Dict[str, object]:
+    """Run the annotation-serving kernels; returns the ``serve`` section.
+
+    Four kernels, matching the layers of the PR-3 serving subsystem:
+    the old linear apply loop (per-hostname ``HoihoResult.extract``
+    through the PSL), cold vs warm suffix-trie dispatch
+    (:class:`~repro.serve.service.AnnotationService`), and serial vs
+    parallel :class:`~repro.serve.engine.BulkAnnotator` streaming.
+    """
+    from repro.serve.engine import BulkAnnotator
+    from repro.serve.service import AnnotationService
+
+    result = serve_conventions()
+    hostnames = serve_hostnames()
+    count = len(hostnames)
+    workers = jobs if jobs and jobs > 1 else default_workers()
+
+    # Kernel 1: the pre-serve apply loop -- PSL scan per hostname.
+    linear_seconds = _best_of(
+        lambda: [result.extract(h) for h in hostnames], rounds)
+
+    # Kernel 2a: cold dispatch -- build + warm the index, then a full
+    # batch (what one `repro-hoiho annotate` invocation pays).
+    def dispatch_cold() -> None:
+        service = AnnotationService(result)
+        service.warm()
+        service.annotate_batch(hostnames)
+
+    cold_seconds = _best_of(dispatch_cold, rounds)
+
+    # Kernel 2b: warm dispatch -- the steady-state service rate.
+    warm_service = AnnotationService(result)
+    warm_service.warm()
+    warm_seconds = _best_of(
+        lambda: warm_service.annotate_batch(hostnames), rounds)
+
+    # Kernel 3: bulk streaming, serial vs parallel chunk fan-out.
+    serial_annotator = BulkAnnotator(AnnotationService(result))
+    bulk_serial = _best_of(
+        lambda: sum(1 for _ in serial_annotator.annotate(hostnames)),
+        rounds)
+    parallel_annotator = BulkAnnotator(
+        AnnotationService(result),
+        parallel=ParallelConfig(workers=workers, backend="process"))
+    bulk_parallel = _best_of(
+        lambda: sum(1 for _ in parallel_annotator.annotate(hostnames)),
+        rounds)
+
+    return {
+        "workload": {
+            "conventions": len(result.conventions),
+            "hostnames": count,
+            "rounds": rounds,
+            "parallel_workers": workers,
+        },
+        "linear_apply": {
+            "seconds": linear_seconds,
+            "hostnames_per_second": count / linear_seconds
+            if linear_seconds else 0.0,
+        },
+        "dispatch": {
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "warm_hostnames_per_second": count / warm_seconds
+            if warm_seconds else 0.0,
+            "speedup_vs_linear": linear_seconds / warm_seconds
+            if warm_seconds else 0.0,
+        },
+        "bulk": {
+            "serial_seconds": bulk_serial,
+            "parallel_seconds": bulk_parallel,
+            "parallel_speedup": bulk_serial / bulk_parallel
+            if bulk_parallel else 0.0,
+        },
+    }
+
+
 def write_report(path: str = "BENCH_learner.json",
                  rounds: int = 5,
                  jobs: Optional[int] = None,
-                 pipeline: bool = True) -> Dict[str, object]:
+                 pipeline: bool = True,
+                 serve: bool = True) -> Dict[str, object]:
     """Run the suite and write ``path``; returns the payload."""
     report = run_bench(rounds=rounds, jobs=jobs)
     if pipeline:
         report["pipeline"] = run_pipeline_bench(jobs=jobs)
+    if serve:
+        report["serve"] = run_serve_bench(jobs=jobs)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -278,6 +419,52 @@ def write_pipeline_section(path: str = "BENCH_learner.json",
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return report
+
+
+def write_serve_section(path: str = "BENCH_learner.json",
+                        rounds: int = 3,
+                        jobs: Optional[int] = None) -> Dict[str, object]:
+    """Refresh only the ``serve`` section of an existing report.
+
+    Reads ``path`` if present (starting fresh otherwise), replaces the
+    ``serve`` key, and writes the file back -- every other section
+    keeps its previous numbers.  Used by ``make annotate-bench``.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError):
+        report = {"version": BENCH_VERSION}
+    report["version"] = BENCH_VERSION
+    report["serve"] = run_serve_bench(rounds=rounds, jobs=jobs)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
+def render_serve_section(section: Dict[str, object]) -> str:
+    """Render a ``serve`` section (also used by ``serve-stats``)."""
+    workload = section["workload"]
+    linear = section["linear_apply"]
+    dispatch = section["dispatch"]
+    bulk = section["bulk"]
+    return "\n".join([
+        "serve benchmark (%d conventions, %d hostnames, %s workers)"
+        % (workload["conventions"], workload["hostnames"],
+           workload["parallel_workers"]),
+        "  linear apply     : %.3fs  (%.0f hostnames/s)"
+        % (linear["seconds"], linear["hostnames_per_second"]),
+        "  trie dispatch    : cold %.3fs  warm %.3fs  "
+        "(%.0f hostnames/s warm)  %.1fx vs linear"
+        % (dispatch["cold_seconds"], dispatch["warm_seconds"],
+           dispatch["warm_hostnames_per_second"],
+           dispatch["speedup_vs_linear"]),
+        "  bulk streaming   : serial %.3fs  parallel %.3fs  "
+        "speedup %.2fx" % (bulk["serial_seconds"],
+                           bulk["parallel_seconds"],
+                           bulk["parallel_speedup"]),
+    ])
 
 
 def render_report(report: Dict[str, object]) -> str:
@@ -328,4 +515,7 @@ def render_report(report: Dict[str, object]) -> str:
             % (store["cold_seconds"], store["warm_seconds"],
                store["warm_speedup"]),
         ]
+    serve = report.get("serve")
+    if serve:
+        lines.append(render_serve_section(serve))
     return "\n".join(lines)

@@ -12,8 +12,22 @@ Workflow commands run the learner on user data::
     repro-hoiho report --hostnames names.txt
     repro-hoiho apply  --conventions conv.json --hostnames more.txt
 
+Serving commands apply learned conventions at bulk rates through the
+:mod:`repro.serve` subsystem (suffix-trie dispatch, chunked streaming,
+live metrics)::
+
+    repro-hoiho annotate --conventions conv.json --hostnames big.txt \
+        --jobs 0 --format jsonl --out annotated.jsonl
+    zcat ptr.gz | repro-hoiho annotate --conventions conv.json --hostnames -
+    repro-hoiho serve --conventions conv.json < names.txt
+    repro-hoiho serve-stats
+
+``apply`` is a thin alias of ``annotate`` kept for compatibility; both
+stream their input (constant memory on arbitrarily large files).
+
 Hostname files carry one ``hostname asn`` pair per line for learn/report
-(`#` comments allowed); for apply, a bare hostname per line suffices.
+(`#` comments allowed); for apply/annotate/serve, a bare hostname per
+line suffices.
 
 ``--jobs N`` fans learning out over N worker processes (0 = one per
 CPU); results are bit-identical to serial runs.  ``repro-hoiho bench``
@@ -35,7 +49,7 @@ import sys
 from typing import List, Optional, Tuple
 
 from repro.core.hoiho import Hoiho, HoihoConfig, HoihoResult
-from repro.core.io import conventions_from_json, conventions_to_json
+from repro.core.io import conventions_to_json
 from repro.core.parallel import ParallelConfig
 from repro.core.report import render_result
 from repro.core.types import TrainingItem, group_by_suffix
@@ -52,6 +66,9 @@ from repro.eval import (
     table1,
     table2,
 )
+from repro.serve import AnnotationService, BulkAnnotator, iter_hostnames
+from repro.serve.engine import DEFAULT_CHUNK_SIZE, SINKS
+from repro.serve.metrics import render_snapshot
 from repro.store import KIND_HOIHO, ArtifactStore
 
 _EXPERIMENTS = {
@@ -66,7 +83,8 @@ _EXPERIMENTS = {
     "ablation": ablation,
 }
 
-_WORKFLOWS = ("learn", "report", "apply", "bench", "cache")
+_WORKFLOWS = ("learn", "report", "apply", "annotate", "serve",
+              "serve-stats", "bench", "cache")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -88,7 +106,8 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="world size (tiny/small/full)")
     parser.add_argument("--hostnames", metavar="FILE",
                         help="input file ('hostname asn' lines for "
-                             "learn/report; bare hostnames for apply)")
+                             "learn/report; bare hostnames for "
+                             "apply/annotate; '-' reads stdin)")
     parser.add_argument("--save", metavar="FILE",
                         help="learn: write conventions JSON here")
     parser.add_argument("--conventions", metavar="FILE",
@@ -106,6 +125,21 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(default: $REPRO_CACHE_DIR, else off)")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore the artifact store for this run")
+    parser.add_argument("--chunk-size", type=int,
+                        default=DEFAULT_CHUNK_SIZE, metavar="N",
+                        help="annotate: hostnames per dispatched chunk")
+    parser.add_argument("--format", choices=sorted(SINKS), default="tsv",
+                        dest="sink_format",
+                        help="annotate: output format (default tsv)")
+    parser.add_argument("--out", metavar="FILE", default="-",
+                        help="annotate: output destination "
+                             "(default '-' = stdout)")
+    parser.add_argument("--metrics-out", metavar="FILE",
+                        help="serve: write a metrics snapshot JSON "
+                             "here on EOF")
+    parser.add_argument("--metrics", metavar="FILE",
+                        help="serve-stats: render this metrics "
+                             "snapshot instead of the bench section")
     return parser
 
 
@@ -132,12 +166,6 @@ def _read_training(path: str) -> List[TrainingItem]:
             items.append(TrainingItem(hostname=fields[0],
                                       train_asn=int(fields[1])))
     return items
-
-
-def _read_hostnames(path: str) -> List[str]:
-    with open(path, encoding="utf-8") as handle:
-        return [line.strip().split()[0] for line in handle
-                if line.strip() and not line.startswith("#")]
 
 
 def _run_experiment(name: str, context: ExperimentContext) -> str:
@@ -201,17 +229,91 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_apply(args: argparse.Namespace) -> int:
+def _cmd_annotate(args: argparse.Namespace) -> int:
+    """Bulk annotation through :mod:`repro.serve` (and the ``apply``
+    alias): streaming input, chunked ``--jobs`` fan-out, TSV/JSONL
+    sinks.  Memory stays bounded by the chunk window however large the
+    input is."""
     if args.conventions is None or args.hostnames is None:
-        print("apply requires --conventions FILE and --hostnames FILE",
+        print("%s requires --conventions FILE and --hostnames FILE "
+              "('-' = stdin)" % args.command, file=sys.stderr)
+        return 2
+    service = AnnotationService.from_json_file(args.conventions)
+    service.warm()
+    annotator = BulkAnnotator(service,
+                              parallel=ParallelConfig.from_jobs(args.jobs),
+                              chunk_size=args.chunk_size)
+    source = sys.stdin if args.hostnames == "-" \
+        else open(args.hostnames, encoding="utf-8")
+    sink = sys.stdout if args.out == "-" \
+        else open(args.out, "w", encoding="utf-8")
+    try:
+        summary = annotator.annotate_to(iter_hostnames(source), sink,
+                                        fmt=args.sink_format)
+    finally:
+        if source is not sys.stdin:
+            source.close()
+        if sink is not sys.stdout:
+            sink.close()
+    print("# %d hostname(s): %d annotated, %d unannotated"
+          % (summary["requests"], summary["annotated"],
+             summary["misses"]), file=sys.stderr)
+    return 0
+
+
+def _cmd_apply(args: argparse.Namespace) -> int:
+    """Thin alias: ``apply`` is ``annotate`` with the historical
+    defaults (TSV to stdout)."""
+    return _cmd_annotate(args)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Line-oriented serving loop: hostnames in on stdin, annotations
+    out on stdout (one TSV line per request, flushed), metrics summary
+    on stderr at EOF."""
+    if args.conventions is None:
+        print("serve requires --conventions FILE", file=sys.stderr)
+        return 2
+    service = AnnotationService.from_json_file(args.conventions)
+    warmed = service.warm()
+    print("# serving %d convention(s) from %s"
+          % (warmed, args.conventions), file=sys.stderr)
+    for hostname in iter_hostnames(sys.stdin):
+        asn = service.annotate_one(hostname)
+        print("%s\t%s" % (hostname, asn if asn is not None else "-"),
+              flush=True)
+    if args.metrics_out:
+        import json as _json
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            _json.dump(service.stats(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    print(service.metrics.render(), file=sys.stderr)
+    return 0
+
+
+def _cmd_serve_stats(args: argparse.Namespace) -> int:
+    """Render a saved metrics snapshot (``--metrics FILE``) or the
+    ``serve`` section of the bench report (``--output``, default
+    ``BENCH_learner.json``)."""
+    import json as _json
+    if args.metrics:
+        with open(args.metrics, encoding="utf-8") as handle:
+            print(render_snapshot(_json.load(handle)))
+        return 0
+    from repro.bench import render_serve_section
+    try:
+        with open(args.output, encoding="utf-8") as handle:
+            report = _json.load(handle)
+    except (OSError, ValueError) as exc:
+        print("cannot read bench report %s: %s" % (args.output, exc),
               file=sys.stderr)
         return 2
-    with open(args.conventions, encoding="utf-8") as handle:
-        result = conventions_from_json(handle.read())
-    for hostname in _read_hostnames(args.hostnames):
-        extracted = result.extract(hostname)
-        print("%s\t%s" % (hostname,
-                          extracted if extracted is not None else "-"))
+    section = report.get("serve")
+    if not section:
+        print("no serve section in %s (run `make annotate-bench`)"
+              % args.output, file=sys.stderr)
+        return 2
+    print(render_serve_section(section))
     return 0
 
 
@@ -265,6 +367,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_report(args)
     if args.command == "apply":
         return _cmd_apply(args)
+    if args.command == "annotate":
+        return _cmd_annotate(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "serve-stats":
+        return _cmd_serve_stats(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "cache":

@@ -13,9 +13,11 @@ learner.
 from __future__ import annotations
 
 import os
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, TypeVar
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, \
+    Tuple, TypeVar
 
 #: Run everything in the calling process.
 BACKEND_SERIAL = "serial"
@@ -97,3 +99,40 @@ def parallel_map(func: Callable[[_T], _R], items: Sequence[_T],
     workers = min(config.workers, len(items))
     with ProcessPoolExecutor(max_workers=workers) as pool:
         return list(pool.map(func, items, chunksize=config.chunk_size))
+
+
+def stream_map(func: Callable[[_T], _R], items: Iterable[_T],
+               config: ParallelConfig,
+               window: Optional[int] = None,
+               initializer: Optional[Callable[..., None]] = None,
+               initargs: Tuple = ()) -> Iterator[_R]:
+    """Lazy, ordered map over an *unbounded* iterable.
+
+    Unlike :func:`parallel_map`, which materialises its input and
+    output, this consumes ``items`` lazily and yields results in input
+    order with at most ``window`` work items in flight (default: 4 per
+    worker) -- the memory bound that lets the serving engine stream
+    millions of hostnames through a fixed-size pipeline.
+
+    ``initializer``/``initargs`` run once per worker process before any
+    work item (the :class:`~concurrent.futures.ProcessPoolExecutor`
+    contract); the serial path invokes them once in the calling process
+    so both paths see the same set-up.
+    """
+    if not config.is_parallel:
+        if initializer is not None:
+            initializer(*initargs)
+        for item in items:
+            yield func(item)
+        return
+    window = window if window and window > 0 else config.workers * 4
+    with ProcessPoolExecutor(max_workers=config.workers,
+                             initializer=initializer,
+                             initargs=initargs) as pool:
+        pending = deque()
+        for item in items:
+            pending.append(pool.submit(func, item))
+            if len(pending) >= window:
+                yield pending.popleft().result()
+        while pending:
+            yield pending.popleft().result()

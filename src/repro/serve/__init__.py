@@ -1,0 +1,64 @@
+"""``repro.serve`` -- the inference/serving side of the reproduction.
+
+Where :mod:`repro.core` *learns* naming conventions from training
+pairs, this package *applies* them at production rates, in four layers:
+
+* :mod:`repro.serve.index` -- :class:`DispatchIndex`, a reversed-label
+  suffix trie mapping a hostname to its owning convention's
+  pre-compiled :class:`AnnotationPlan` in O(labels), replacing the
+  per-hostname public-suffix-list scan of ``HoihoResult.extract``;
+* :mod:`repro.serve.service` -- :class:`AnnotationService`, the
+  embeddable façade: load/warm/reload conventions (JSON or
+  :class:`~repro.store.ArtifactStore`), ``annotate_one`` /
+  ``annotate_batch``, graceful malformed-hostname handling;
+* :mod:`repro.serve.engine` -- :class:`BulkAnnotator`, chunked
+  order-preserving streaming over files/stdin with optional process
+  fan-out (byte-identical to serial) and TSV/JSONL sinks;
+* :mod:`repro.serve.metrics` -- :class:`MetricsRegistry`, live
+  counters, per-suffix extraction counts, and latency percentiles.
+
+CLI surface: ``repro-hoiho annotate`` (bulk), ``repro-hoiho serve``
+(line-oriented stdin/stdout loop), ``repro-hoiho serve-stats``
+(metrics/bench rendering); ``repro-hoiho apply`` is a thin alias of
+``annotate``.  See ``docs/SERVING.md``.
+"""
+
+from repro.serve.engine import (
+    BulkAnnotator,
+    DEFAULT_CHUNK_SIZE,
+    SINKS,
+    iter_hostnames,
+    jsonl_line,
+    tsv_line,
+)
+from repro.serve.index import (
+    AnnotationPlan,
+    DispatchIndex,
+    normalize_hostname,
+)
+from repro.serve.metrics import (
+    Counter,
+    Histogram,
+    LabelledCounter,
+    MetricsRegistry,
+    render_snapshot,
+)
+from repro.serve.service import AnnotationService
+
+__all__ = [
+    "AnnotationPlan",
+    "AnnotationService",
+    "BulkAnnotator",
+    "Counter",
+    "DEFAULT_CHUNK_SIZE",
+    "DispatchIndex",
+    "Histogram",
+    "LabelledCounter",
+    "MetricsRegistry",
+    "SINKS",
+    "iter_hostnames",
+    "jsonl_line",
+    "normalize_hostname",
+    "render_snapshot",
+    "tsv_line",
+]

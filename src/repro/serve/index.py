@@ -1,0 +1,210 @@
+"""Suffix-trie dispatch from hostnames to pre-compiled extraction plans.
+
+The learner's own :meth:`HoihoResult.extract` resolves every hostname
+through the public-suffix list -- a linear scan over all PSL rules --
+and then walks the convention's :class:`Regex` objects, lowercasing the
+hostname once per regex.  Fine for a report, hopeless for bulk serving.
+
+This module front-loads all of that:
+
+* each :class:`LearnedConvention` becomes an :class:`AnnotationPlan`:
+  its patterns compiled once, in evaluation order, first match wins;
+* all plans hang off a **reversed-label trie**
+  (:class:`DispatchIndex`), so mapping a hostname to its owning plan is
+  O(labels) dict hops instead of a PSL rule scan.
+
+Dispatch semantics: the *longest* convention suffix that suffix-matches
+the hostname wins.  For learner-produced results this is provably the
+same answer the PSL path gives: every convention key is a registered
+domain under one fixed PSL, registered domains form an antichain under
+the suffix relation (if ``b.example.com`` were registerable,
+``example.com`` would be a public suffix and hence not registerable),
+so at most one key can suffix-match any hostname -- exactly the
+hostname's registered domain.  PSL wildcard and exception rules are
+therefore honoured for free: a convention learned for ``www.ck``
+(registerable only because of the ``!www.ck`` exception to ``*.ck``)
+occupies the ``ck -> www`` trie path, and hostnames under other
+``*.ck`` domains walk past it without matching.
+
+Hostnames are normalised (lower-cased, surrounding dots stripped)
+before dispatch, so trailing-dot FQDNs and uppercase labels annotate
+identically to their canonical forms.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Pattern, Tuple
+
+from repro.core.hoiho import HoihoResult
+from repro.core.select import LearnedConvention, NCClass
+
+#: Trie-node key holding the node's plan (labels are plain strings, so
+#: any non-string sentinel cannot collide).
+_PLAN_KEY = object()
+
+
+def normalize_hostname(hostname: object) -> Optional[str]:
+    """Canonical lookup form of ``hostname``, or ``None`` if malformed.
+
+    Lower-cases, trims whitespace, and strips surrounding dots (so
+    trailing-dot FQDNs resolve like their canonical form).  Anything
+    that is not a non-empty string -- or is empty once stripped --
+    is malformed.
+    """
+    if not isinstance(hostname, str):
+        return None
+    hostname = hostname.strip().strip(".").lower()
+    return hostname or None
+
+
+class AnnotationPlan:
+    """One suffix's conventions, compiled into a first-match program.
+
+    The pattern order mirrors :meth:`LearnedConvention.extract`: the
+    first matching regex supplies the extraction.  Compilation is lazy
+    (:attr:`compiled`) so building an index over thousands of suffixes
+    stays cheap; :meth:`warm` forces it.
+    """
+
+    __slots__ = ("suffix", "patterns", "nc_class", "_compiled")
+
+    def __init__(self, suffix: str, patterns: Iterable[str],
+                 nc_class: NCClass = NCClass.GOOD) -> None:
+        self.suffix = suffix
+        self.patterns: Tuple[str, ...] = tuple(patterns)
+        self.nc_class = nc_class
+        self._compiled: Optional[Tuple[Pattern[str], ...]] = None
+
+    @classmethod
+    def from_convention(cls, convention: LearnedConvention,
+                        ) -> "AnnotationPlan":
+        """The plan equivalent of a learned convention."""
+        return cls(convention.suffix, convention.patterns(),
+                   convention.nc_class)
+
+    @property
+    def usable(self) -> bool:
+        """Usable = good or promising (section 4)."""
+        return self.nc_class.usable
+
+    @property
+    def compiled(self) -> Tuple[Pattern[str], ...]:
+        """The compiled patterns, compiling on first access."""
+        if self._compiled is None:
+            self._compiled = tuple(re.compile(p) for p in self.patterns)
+        return self._compiled
+
+    def warm(self) -> None:
+        """Force pattern compilation now."""
+        self.compiled
+
+    def extract(self, hostname: str) -> Optional[int]:
+        """Extract an ASN from an already-normalised hostname."""
+        for pattern in self.compiled:
+            match = pattern.match(hostname)
+            if match is not None:
+                return int(match.group(1))
+        return None
+
+    def __repr__(self) -> str:
+        return "AnnotationPlan(%s, %d pattern%s)" % (
+            self.suffix, len(self.patterns),
+            "" if len(self.patterns) == 1 else "s")
+
+
+class DispatchIndex:
+    """Reversed-label suffix trie over :class:`AnnotationPlan` objects.
+
+    >>> from repro.core.evaluate import NCScore
+    >>> from repro.core.regex_model import Regex
+    >>> conv = LearnedConvention(
+    ...     "example.com", (Regex.raw(r"^as(\\d+)\\.\\w+\\.example\\.com$"),),
+    ...     NCScore(tp=4), NCClass.GOOD)
+    >>> index = DispatchIndex([AnnotationPlan.from_convention(conv)])
+    >>> index.lookup("as3356.lon.example.com").suffix
+    'example.com'
+    >>> index.annotate("AS3356.lon.Example.COM.")
+    3356
+    >>> index.lookup("as3356.lon.example.net") is None
+    True
+    """
+
+    def __init__(self, plans: Iterable[AnnotationPlan] = ()) -> None:
+        self._root: Dict[object, object] = {}
+        self._plans: Dict[str, AnnotationPlan] = {}
+        for plan in plans:
+            self.add(plan)
+
+    @classmethod
+    def from_result(cls, result: HoihoResult,
+                    usable_only: bool = False) -> "DispatchIndex":
+        """Index every convention of ``result`` (optionally only the
+        usable ones)."""
+        return cls(AnnotationPlan.from_convention(convention)
+                   for convention in result.conventions.values()
+                   if not usable_only or convention.usable)
+
+    def add(self, plan: AnnotationPlan) -> None:
+        """Insert ``plan``, replacing any existing plan for its suffix."""
+        suffix = normalize_hostname(plan.suffix)
+        if suffix is None:
+            raise ValueError("unindexable suffix %r" % (plan.suffix,))
+        node = self._root
+        for label in reversed(suffix.split(".")):
+            node = node.setdefault(label, {})  # type: ignore[assignment]
+        node[_PLAN_KEY] = plan
+        self._plans[suffix] = plan
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def suffixes(self) -> List[str]:
+        """Indexed suffixes, sorted."""
+        return sorted(self._plans)
+
+    def plan_for(self, suffix: str) -> Optional[AnnotationPlan]:
+        """The plan stored for exactly ``suffix``, if any."""
+        normalized = normalize_hostname(suffix)
+        return self._plans.get(normalized) if normalized else None
+
+    def warm(self) -> int:
+        """Compile every plan's patterns; returns the plan count."""
+        for plan in self._plans.values():
+            plan.warm()
+        return len(self._plans)
+
+    def lookup(self, hostname: str) -> Optional[AnnotationPlan]:
+        """The owning plan of ``hostname`` (normalising first), or None."""
+        normalized = normalize_hostname(hostname)
+        if normalized is None:
+            return None
+        return self.lookup_normalized(normalized)
+
+    def lookup_normalized(self, hostname: str) -> Optional[AnnotationPlan]:
+        """Deepest plan whose suffix matches an already-normalised
+        hostname: O(labels) dict hops."""
+        node = self._root
+        best: Optional[AnnotationPlan] = None
+        for label in reversed(hostname.split(".")):
+            next_node = node.get(label)
+            if next_node is None:
+                break
+            node = next_node  # type: ignore[assignment]
+            plan = node.get(_PLAN_KEY)
+            if plan is not None:
+                best = plan  # type: ignore[assignment]
+        return best
+
+    def annotate(self, hostname: str) -> Optional[int]:
+        """Metrics-free fast path: normalise, dispatch, extract."""
+        normalized = normalize_hostname(hostname)
+        if normalized is None:
+            return None
+        plan = self.lookup_normalized(normalized)
+        if plan is None:
+            return None
+        return plan.extract(normalized)
+
+    def __repr__(self) -> str:
+        return "DispatchIndex(%d suffixes)" % len(self._plans)

@@ -1,0 +1,190 @@
+"""The embeddable annotation service: lifecycle, per-request API, metrics.
+
+:class:`AnnotationService` is the serving counterpart to the learning
+engine's :class:`~repro.core.hoiho.Hoiho`: where Hoiho turns training
+pairs into a :class:`HoihoResult`, the service turns a ``HoihoResult``
+into an always-on annotator with
+
+* **lifecycle** -- load from an in-memory result, a conventions JSON
+  string/file (the ``repro-hoiho learn --save`` format), or an
+  :class:`~repro.store.ArtifactStore` entry; ``warm()`` pre-compiles
+  every plan; ``reload_*`` swaps in a new convention set without
+  recreating the service (in-flight callers keep the old index);
+* **per-request API** -- :meth:`annotate_one` / :meth:`annotate_batch`
+  / :meth:`annotate_pairs`, all tolerant of malformed hostnames
+  (``None``/empty/non-string inputs annotate as ``None`` and count as
+  ``malformed``, they never raise);
+* **observability** -- every request updates the service's
+  :class:`~repro.serve.metrics.MetricsRegistry`: ``requests``,
+  ``annotated``, ``misses`` (known suffix, no pattern match, plus
+  unknown suffixes), ``malformed``, per-suffix ``extracted`` counts,
+  and a ``latency_seconds`` histogram.
+
+Bulk file/stdin workloads should go through
+:class:`~repro.serve.engine.BulkAnnotator`, which wraps a service in
+chunked streaming and optional process fan-out.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.core.hoiho import HoihoResult
+from repro.core.io import conventions_from_json, conventions_to_json
+from repro.serve.index import DispatchIndex, normalize_hostname
+from repro.serve.metrics import MetricsRegistry
+from repro.store import KIND_HOIHO, ArtifactStore
+
+
+class AnnotationService:
+    """Hostname -> ASN annotation over a learned convention set.
+
+    >>> from repro.core.hoiho import Hoiho
+    >>> from repro.core.types import TrainingItem
+    >>> result = Hoiho().run([
+    ...     TrainingItem("as%d.pop%d.example.com" % (a, i % 3), a)
+    ...     for i, a in enumerate([3356, 1299, 174, 2914, 6453])])
+    >>> service = AnnotationService(result)
+    >>> service.annotate_one("as8075.pop9.example.com")
+    8075
+    >>> service.annotate_one("AS8075.pop9.Example.Com.")   # normalised
+    8075
+    >>> service.annotate_one("www.unknown.net") is None
+    True
+    >>> service.metrics.counter("requests").value
+    3
+    """
+
+    def __init__(self, result: HoihoResult,
+                 metrics: Optional[MetricsRegistry] = None,
+                 usable_only: bool = False) -> None:
+        self.metrics = metrics or MetricsRegistry()
+        self.usable_only = usable_only
+        self.result = result
+        self._index = DispatchIndex.from_result(result, usable_only)
+        # Created up front so snapshots show zeros before traffic.
+        self._requests = self.metrics.counter("requests")
+        self._annotated = self.metrics.counter("annotated")
+        self._misses = self.metrics.counter("misses")
+        self._malformed = self.metrics.counter("malformed")
+        self._extracted = self.metrics.labelled("extracted")
+        self._latency = self.metrics.histogram("latency_seconds")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def from_json(cls, text: str, **kwargs: object) -> "AnnotationService":
+        """Build from :func:`conventions_to_json` output."""
+        return cls(conventions_from_json(text), **kwargs)  # type: ignore
+
+    @classmethod
+    def from_json_file(cls, path: str,
+                       **kwargs: object) -> "AnnotationService":
+        """Build from a conventions JSON file (``learn --save``)."""
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_json(handle.read(), **kwargs)
+
+    @classmethod
+    def from_store(cls, store: ArtifactStore, payload: Mapping,
+                   **kwargs: object) -> "AnnotationService":
+        """Build from a cached learning result in ``store``.
+
+        ``payload`` is the fingerprint payload the result was stored
+        under (see ``_learn_items`` in :mod:`repro.cli`).  Raises
+        :class:`LookupError` when the store has no such artifact.
+        """
+        result = store.get(KIND_HOIHO, payload)
+        if result is None:
+            raise LookupError(
+                "no cached conventions for payload (fingerprint %s)"
+                % store.fingerprint(payload))
+        return cls(result, **kwargs)  # type: ignore[arg-type]
+
+    def to_json(self) -> str:
+        """The current convention set, serialized."""
+        return conventions_to_json(self.result)
+
+    @property
+    def index(self) -> DispatchIndex:
+        """The live dispatch index."""
+        return self._index
+
+    def warm(self) -> int:
+        """Pre-compile every plan; returns the number of plans."""
+        return self._index.warm()
+
+    def reload_result(self, result: HoihoResult) -> int:
+        """Swap in a new convention set; returns the new plan count.
+
+        The replacement index is fully built (and warmed) before the
+        swap, so concurrent readers only ever see a complete index.
+        """
+        index = DispatchIndex.from_result(result, self.usable_only)
+        index.warm()
+        self.result = result
+        self._index = index
+        return len(index)
+
+    def reload_json(self, text: str) -> int:
+        """Reload from serialized conventions."""
+        return self.reload_result(conventions_from_json(text))
+
+    def reload_json_file(self, path: str) -> int:
+        """Reload from a conventions JSON file."""
+        with open(path, encoding="utf-8") as handle:
+            return self.reload_json(handle.read())
+
+    def reload_store(self, store: ArtifactStore, payload: Mapping) -> int:
+        """Reload from a cached learning result in ``store``."""
+        result = store.get(KIND_HOIHO, payload)
+        if result is None:
+            raise LookupError(
+                "no cached conventions for payload (fingerprint %s)"
+                % store.fingerprint(payload))
+        return self.reload_result(result)  # type: ignore[arg-type]
+
+    # -- per-request API ---------------------------------------------------
+
+    def annotate_one(self, hostname: object) -> Optional[int]:
+        """Annotate one hostname; ``None`` on miss or malformed input."""
+        start = time.perf_counter()
+        self._requests.inc()
+        normalized = normalize_hostname(hostname)
+        if normalized is None:
+            self._malformed.inc()
+            self._misses.inc()
+            self._latency.observe(time.perf_counter() - start)
+            return None
+        plan = self._index.lookup_normalized(normalized)
+        asn = plan.extract(normalized) if plan is not None else None
+        if asn is None:
+            self._misses.inc()
+        else:
+            self._annotated.inc()
+            self._extracted.inc(plan.suffix)
+        self._latency.observe(time.perf_counter() - start)
+        return asn
+
+    def annotate_batch(self,
+                       hostnames: Iterable[object]) -> List[Optional[int]]:
+        """Annotate many hostnames, preserving input order."""
+        return [self.annotate_one(hostname) for hostname in hostnames]
+
+    def annotate_pairs(self, hostnames: Iterable[str],
+                       ) -> Iterator[Tuple[str, Optional[int]]]:
+        """Lazily yield ``(hostname, annotation)`` in input order."""
+        for hostname in hostnames:
+            yield hostname, self.annotate_one(hostname)
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> dict:
+        """JSON-ready metrics snapshot (see ``MetricsRegistry``)."""
+        snapshot = self.metrics.snapshot()
+        snapshot["suffixes_indexed"] = len(self._index)
+        return snapshot
+
+    def __repr__(self) -> str:
+        return "AnnotationService(%d suffixes, %d requests)" % (
+            len(self._index), self._requests.value)

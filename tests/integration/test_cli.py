@@ -165,3 +165,136 @@ class TestCliCache:
         assert list(cache.glob("worlds/*.pkl"))
         assert list(cache.glob("timelines/*.pkl"))
         assert list(cache.glob("hoiho/*.pkl"))
+
+
+class TestCliServe:
+    TRAINING = ("as3356.lon1.example.com 3356\n"
+                "as1299.lon2.example.com 1299\n"
+                "as174.fra1.example.com 174\n"
+                "as2914.fra2.example.com 2914\n"
+                "as6453.ams1.example.com 6453\n")
+
+    def _conventions_file(self, tmp_path, capsys):
+        training = tmp_path / "train.txt"
+        training.write_text(self.TRAINING, encoding="utf-8")
+        saved = tmp_path / "conv.json"
+        assert main(["learn", "--hostnames", str(training),
+                     "--save", str(saved)]) == 0
+        capsys.readouterr()
+        return saved
+
+    def _targets_file(self, tmp_path):
+        targets = tmp_path / "targets.txt"
+        targets.write_text("# probe list\n"
+                           "as8075.ams9.example.com\n"
+                           "unknown.other.net\n", encoding="utf-8")
+        return targets
+
+    def test_annotate_tsv_to_stdout(self, tmp_path, capsys):
+        saved = self._conventions_file(tmp_path, capsys)
+        assert main(["annotate", "--conventions", str(saved),
+                     "--hostnames", str(self._targets_file(tmp_path))]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ("as8075.ams9.example.com\t8075\n"
+                                "unknown.other.net\t-\n")
+        assert "2 hostname(s): 1 annotated, 1 unannotated" in captured.err
+
+    def test_annotate_jsonl_to_file(self, tmp_path, capsys):
+        import json
+        saved = self._conventions_file(tmp_path, capsys)
+        out = tmp_path / "annotated.jsonl"
+        assert main(["annotate", "--conventions", str(saved),
+                     "--hostnames", str(self._targets_file(tmp_path)),
+                     "--format", "jsonl", "--out", str(out)]) == 0
+        records = [json.loads(line)
+                   for line in out.read_text(encoding="utf-8").splitlines()]
+        assert records == [
+            {"asn": 8075, "hostname": "as8075.ams9.example.com"},
+            {"asn": None, "hostname": "unknown.other.net"}]
+
+    def test_annotate_parallel_matches_serial(self, tmp_path, capsys):
+        saved = self._conventions_file(tmp_path, capsys)
+        targets = tmp_path / "many.txt"
+        targets.write_text("".join(
+            "as%d.pop%d.example.com\n" % (100 + i, i % 4)
+            for i in range(50)), encoding="utf-8")
+        serial, parallel = tmp_path / "serial.tsv", tmp_path / "parallel.tsv"
+        assert main(["annotate", "--conventions", str(saved),
+                     "--hostnames", str(targets),
+                     "--out", str(serial)]) == 0
+        assert main(["annotate", "--conventions", str(saved),
+                     "--hostnames", str(targets), "--jobs", "2",
+                     "--chunk-size", "8", "--out", str(parallel)]) == 0
+        assert serial.read_bytes() == parallel.read_bytes()
+
+    def test_annotate_reads_stdin(self, tmp_path, capsys, monkeypatch):
+        import io
+        saved = self._conventions_file(tmp_path, capsys)
+        monkeypatch.setattr("sys.stdin",
+                            io.StringIO("as8075.ams9.example.com\n"))
+        assert main(["annotate", "--conventions", str(saved),
+                     "--hostnames", "-"]) == 0
+        assert capsys.readouterr().out == "as8075.ams9.example.com\t8075\n"
+
+    def test_annotate_requires_both_files(self, capsys):
+        assert main(["annotate"]) == 2
+
+    def test_serve_loop_and_metrics_out(self, tmp_path, capsys, monkeypatch):
+        import io
+        import json
+        saved = self._conventions_file(tmp_path, capsys)
+        metrics = tmp_path / "metrics.json"
+        monkeypatch.setattr("sys.stdin", io.StringIO(
+            "as8075.ams9.example.com\nunknown.other.net\n"))
+        assert main(["serve", "--conventions", str(saved),
+                     "--metrics-out", str(metrics)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ("as8075.ams9.example.com\t8075\n"
+                                "unknown.other.net\t-\n")
+        assert "# serving 1 convention(s)" in captured.err
+        snapshot = json.loads(metrics.read_text(encoding="utf-8"))
+        assert snapshot["counters"] == {
+            "annotated": 1, "malformed": 0, "misses": 1, "requests": 2}
+
+    def test_serve_requires_conventions(self, capsys):
+        assert main(["serve"]) == 2
+
+    def test_serve_stats_renders_metrics_file(self, tmp_path, capsys,
+                                              monkeypatch):
+        import io
+        saved = self._conventions_file(tmp_path, capsys)
+        metrics = tmp_path / "metrics.json"
+        monkeypatch.setattr("sys.stdin",
+                            io.StringIO("as8075.ams9.example.com\n"))
+        assert main(["serve", "--conventions", str(saved),
+                     "--metrics-out", str(metrics)]) == 0
+        capsys.readouterr()
+        assert main(["serve-stats", "--metrics", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "requests" in out
+        assert "example.com" in out
+
+    def test_serve_stats_reads_bench_serve_section(self, tmp_path, capsys):
+        import json
+        report = tmp_path / "bench.json"
+        report.write_text(json.dumps({"serve": {
+            "workload": {"conventions": 4, "hostnames": 100,
+                         "parallel_workers": 1},
+            "linear_apply": {"seconds": 1.0, "hostnames_per_second": 100.0},
+            "dispatch": {"cold_seconds": 0.5, "warm_seconds": 0.01,
+                         "warm_hostnames_per_second": 10000.0,
+                         "speedup_vs_linear": 100.0},
+            "bulk": {"serial_seconds": 0.02, "parallel_seconds": 0.02,
+                     "parallel_speedup": 1.0},
+        }}), encoding="utf-8")
+        assert main(["serve-stats", "--output", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out.lower()
+
+    def test_serve_stats_missing_section(self, tmp_path, capsys):
+        import json
+        report = tmp_path / "bench.json"
+        report.write_text(json.dumps({"version": 3}), encoding="utf-8")
+        assert main(["serve-stats", "--output", str(report)]) == 2
+        assert main(["serve-stats",
+                     "--output", str(tmp_path / "absent.json")]) == 2

@@ -395,6 +395,73 @@ def test_training_jsonl_round_trip(pairs):
     assert training_from_jsonl(training_to_jsonl(items)) == items
 
 
+@st.composite
+def hoiho_results(draw):
+    """Random learning results: arbitrary suffixes, regex sets built
+    from the element strategy, arbitrary scores and classes."""
+    from repro.core.evaluate import NCScore
+    from repro.core.hoiho import HoihoResult
+    from repro.core.select import LearnedConvention, NCClass
+    result = HoihoResult(
+        suffixes_examined=draw(st.integers(min_value=0, max_value=500)))
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        suffix = ".".join(draw(st.lists(labels, min_size=2, max_size=3)))
+        if suffix in result.conventions:
+            continue
+        regexes = tuple(
+            Regex(draw(st.lists(elements(), max_size=4)) + [Cap()],
+                  suffix=suffix)
+            for _ in range(draw(st.integers(min_value=1, max_value=3))))
+        score = NCScore(tp=draw(st.integers(0, 50)),
+                        fp=draw(st.integers(0, 50)),
+                        fn=draw(st.integers(0, 50)),
+                        matches=draw(st.integers(0, 100)))
+        score.distinct_asns = set(draw(st.lists(
+            st.integers(min_value=1, max_value=400000), max_size=6)))
+        result.conventions[suffix] = LearnedConvention(
+            suffix=suffix, regexes=regexes, score=score,
+            nc_class=draw(st.sampled_from(list(NCClass))))
+    return result
+
+
+@given(hoiho_results())
+@settings(max_examples=40, deadline=None)
+def test_conventions_json_round_trip(result):
+    """The serving layer loads conventions from JSON; the round trip
+    must be faithful: same suffixes, patterns (in evaluation order),
+    scores, classes -- and a second round trip is a fixed point."""
+    from repro.core.io import conventions_from_json, conventions_to_json
+    serialized = conventions_to_json(result)
+    restored = conventions_from_json(serialized)
+    assert restored.suffixes_examined == result.suffixes_examined
+    assert set(restored.conventions) == set(result.conventions)
+    for suffix, convention in result.conventions.items():
+        twin = restored.conventions[suffix]
+        assert twin.patterns() == convention.patterns()
+        assert twin.nc_class is convention.nc_class
+        assert (twin.score.tp, twin.score.fp, twin.score.fn,
+                twin.score.matches, twin.score.distinct_asns) == \
+            (convention.score.tp, convention.score.fp, convention.score.fn,
+             convention.score.matches, convention.score.distinct_asns)
+    assert conventions_to_json(restored) == serialized
+
+
+@given(hoiho_results(),
+       st.lists(st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-.",
+                        min_size=1, max_size=24), max_size=10))
+@settings(max_examples=25, deadline=None)
+def test_round_tripped_conventions_annotate_identically(result, hostnames):
+    """A service built from serialized conventions annotates exactly
+    like one built from the in-memory result."""
+    from repro.core.io import conventions_to_json
+    from repro.serve.service import AnnotationService
+    original = AnnotationService(result)
+    restored = AnnotationService.from_json(conventions_to_json(result))
+    for hostname in hostnames:
+        assert original.annotate_one(hostname) == \
+            restored.annotate_one(hostname)
+
+
 # ---------------------------------------------------------------------------
 # Naming-layer invariants across seeds.
 # ---------------------------------------------------------------------------

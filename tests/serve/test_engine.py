@@ -1,0 +1,177 @@
+"""Tests for the bulk annotation engine: streaming parsing, chunked
+fan-out, order preservation, serial/parallel identity, and sinks."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.hoiho import Hoiho
+from repro.core.parallel import ParallelConfig, stream_map
+from repro.core.types import TrainingItem
+from repro.serve.engine import (
+    BulkAnnotator,
+    _chunked,
+    iter_hostnames,
+    jsonl_line,
+    tsv_line,
+)
+from repro.serve.service import AnnotationService
+
+
+def learned_result():
+    return Hoiho().run([
+        TrainingItem("as%d.pop%d.example.com" % (asn, i % 3), asn)
+        for i, asn in enumerate([3356, 1299, 174, 2914, 6453])])
+
+
+def workload(n=100):
+    hostnames = []
+    for i in range(n):
+        if i % 4 == 3:
+            hostnames.append("miss%d.unknown.net" % i)
+        else:
+            hostnames.append("as%d.pop%d.example.com" % (100 + i, i % 3))
+    return hostnames
+
+
+class TestInputParsing:
+    def test_iter_hostnames_skips_blank_and_comments(self):
+        lines = ["# header\n", "\n", "  \n", "host1.example.com\n",
+                 "host2.example.com extra fields\n", "   host3.net  \n"]
+        assert list(iter_hostnames(lines)) == [
+            "host1.example.com", "host2.example.com", "host3.net"]
+
+    def test_iter_hostnames_is_lazy(self):
+        def lines():
+            yield "a.example.com\n"
+            raise AssertionError("consumed too far")
+        iterator = iter_hostnames(lines())
+        assert next(iterator) == "a.example.com"
+
+    def test_chunked_sizes(self):
+        chunks = list(_chunked(iter(range(10)), 4))
+        assert chunks == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+        assert list(_chunked(iter([]), 4)) == []
+
+
+class TestStreamMap:
+    def test_serial_matches_builtin_map(self):
+        config = ParallelConfig.serial()
+        assert list(stream_map(str, range(5), config)) == \
+            list(map(str, range(5)))
+
+    def test_serial_runs_initializer_in_process(self):
+        seen = []
+        config = ParallelConfig.serial()
+        list(stream_map(str, [1], config,
+                        initializer=seen.append, initargs=("init",)))
+        assert seen == ["init"]
+
+    def test_parallel_preserves_order(self):
+        config = ParallelConfig(workers=2, backend="process")
+        assert list(stream_map(abs, [3, -1, 4, -1, -5, 9], config,
+                               window=2)) == [3, 1, 4, 1, 5, 9]
+
+    def test_lazy_consumption_of_unbounded_input(self):
+        # A serial stream over an infinite generator must not hang.
+        def naturals():
+            i = 0
+            while True:
+                yield i
+                i += 1
+        stream = stream_map(lambda x: x * x, naturals(),
+                            ParallelConfig.serial())
+        assert [next(stream) for _ in range(4)] == [0, 1, 4, 9]
+
+
+class TestBulkAnnotator:
+    def test_serial_order_and_values(self):
+        service = AnnotationService(learned_result())
+        hostnames = workload(40)
+        pairs = list(BulkAnnotator(service).annotate(hostnames))
+        assert [h for h, _ in pairs] == hostnames
+        assert pairs[0] == ("as100.pop0.example.com", 100)
+        assert pairs[3] == ("miss3.unknown.net", None)
+
+    def test_parallel_output_identical_to_serial(self):
+        result = learned_result()
+        hostnames = workload(300)
+        serial = list(BulkAnnotator(
+            AnnotationService(result), chunk_size=7).annotate(hostnames))
+        parallel = list(BulkAnnotator(
+            AnnotationService(result),
+            parallel=ParallelConfig(workers=2, backend="process"),
+            chunk_size=7).annotate(hostnames))
+        assert serial == parallel
+
+    def test_parallel_sink_bytes_identical_to_serial(self):
+        result = learned_result()
+        hostnames = workload(120)
+        for fmt in ("tsv", "jsonl"):
+            serial_out, parallel_out = io.StringIO(), io.StringIO()
+            BulkAnnotator(AnnotationService(result), chunk_size=11) \
+                .annotate_to(hostnames, serial_out, fmt=fmt)
+            BulkAnnotator(
+                AnnotationService(result),
+                parallel=ParallelConfig(workers=2, backend="process"),
+                chunk_size=11).annotate_to(hostnames, parallel_out, fmt=fmt)
+            assert serial_out.getvalue() == parallel_out.getvalue()
+
+    def test_parallel_metrics_aggregated_in_parent(self):
+        service = AnnotationService(learned_result())
+        hostnames = workload(40)    # 30 hits, 10 unknown-suffix misses
+        list(BulkAnnotator(
+            service, parallel=ParallelConfig(workers=2, backend="process"),
+            chunk_size=8).annotate(hostnames))
+        counters = service.stats()["counters"]
+        assert counters["requests"] == 40
+        assert counters["annotated"] == 30
+        assert counters["misses"] == 10
+
+    def test_annotate_lines_parses_first(self):
+        service = AnnotationService(learned_result())
+        lines = ["# comment\n", "as101.pop2.example.com trailing junk\n"]
+        assert list(BulkAnnotator(service).annotate_lines(lines)) == \
+            [("as101.pop2.example.com", 101)]
+
+    def test_streaming_is_lazy_in_serial_mode(self):
+        service = AnnotationService(learned_result())
+
+        def hostnames():
+            yield "as100.pop0.example.com"
+            raise AssertionError("pulled past the first hostname")
+
+        stream = BulkAnnotator(service).annotate(hostnames())
+        assert next(stream) == ("as100.pop0.example.com", 100)
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            BulkAnnotator(AnnotationService(learned_result()),
+                          chunk_size=0)
+
+
+class TestSinks:
+    def test_tsv_line(self):
+        assert tsv_line("h.example.com", 42) == "h.example.com\t42"
+        assert tsv_line("h.example.com", None) == "h.example.com\t-"
+
+    def test_jsonl_line(self):
+        record = json.loads(jsonl_line("h.example.com", 42))
+        assert record == {"hostname": "h.example.com", "asn": 42}
+        assert json.loads(jsonl_line("x.net", None))["asn"] is None
+
+    def test_annotate_to_tsv_and_summary(self):
+        service = AnnotationService(learned_result())
+        out = io.StringIO()
+        summary = BulkAnnotator(service).annotate_to(
+            ["as100.pop0.example.com", "miss.unknown.net"], out)
+        assert out.getvalue() == \
+            "as100.pop0.example.com\t100\nmiss.unknown.net\t-\n"
+        assert summary == {"requests": 2, "annotated": 1, "misses": 1}
+
+    def test_annotate_to_rejects_unknown_format(self):
+        service = AnnotationService(learned_result())
+        with pytest.raises(ValueError):
+            BulkAnnotator(service).annotate_to([], io.StringIO(),
+                                               fmt="xml")

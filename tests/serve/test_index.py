@@ -1,0 +1,217 @@
+"""Tests for suffix-trie dispatch: plans, trie walk, edge cases, and
+equivalence with the PSL-based ``HoihoResult.extract`` path."""
+
+import pytest
+
+from repro.core.evaluate import NCScore
+from repro.core.hoiho import Hoiho, HoihoResult
+from repro.core.regex_model import Regex
+from repro.core.select import LearnedConvention, NCClass
+from repro.core.types import TrainingItem
+from repro.serve.index import (
+    AnnotationPlan,
+    DispatchIndex,
+    normalize_hostname,
+)
+
+
+def _convention(suffix, patterns, nc_class=NCClass.GOOD):
+    return LearnedConvention(
+        suffix=suffix, regexes=tuple(Regex.raw(p) for p in patterns),
+        score=NCScore(tp=4, matches=4), nc_class=nc_class)
+
+
+def _index(*conventions):
+    return DispatchIndex(AnnotationPlan.from_convention(c)
+                         for c in conventions)
+
+
+EXAMPLE = _convention("example.com",
+                      [r"^as(\d+)\.[a-z\d]+\.example\.com$"])
+
+
+class TestNormalize:
+    def test_lowercases_and_strips_dots(self):
+        assert normalize_hostname("AS3356.Lon.Example.COM.") == \
+            "as3356.lon.example.com"
+        assert normalize_hostname("  host.example.com\n") == \
+            "host.example.com"
+
+    def test_malformed_inputs_are_none(self):
+        assert normalize_hostname("") is None
+        assert normalize_hostname(".") is None
+        assert normalize_hostname("...") is None
+        assert normalize_hostname("   ") is None
+        assert normalize_hostname(None) is None
+        assert normalize_hostname(42) is None
+        assert normalize_hostname(b"example.com") is None
+
+
+class TestAnnotationPlan:
+    def test_first_match_wins(self):
+        plan = AnnotationPlan("example.com",
+                              [r"^as(\d+)\.example\.com$",
+                               r"^as(\d+)x?\.example\.com$"])
+        assert plan.extract("as100.example.com") == 100
+
+    def test_no_match_is_none(self):
+        plan = AnnotationPlan.from_convention(EXAMPLE)
+        assert plan.extract("lo0.cr1.example.com") is None
+
+    def test_lazy_compile_and_warm(self):
+        plan = AnnotationPlan.from_convention(EXAMPLE)
+        assert plan._compiled is None
+        plan.warm()
+        assert plan._compiled is not None
+        assert plan.extract("as64500.lon.example.com") == 64500
+
+    def test_usable_follows_class(self):
+        assert AnnotationPlan("a.com", [], NCClass.GOOD).usable
+        assert AnnotationPlan("a.com", [], NCClass.PROMISING).usable
+        assert not AnnotationPlan("a.com", [], NCClass.POOR).usable
+
+
+class TestDispatch:
+    def test_known_suffix_hits(self):
+        index = _index(EXAMPLE)
+        assert index.annotate("as3356.lon.example.com") == 3356
+        assert index.lookup("as3356.lon.example.com").suffix == \
+            "example.com"
+
+    def test_unknown_suffix_misses(self):
+        index = _index(EXAMPLE)
+        assert index.lookup("as3356.lon.example.net") is None
+        assert index.annotate("as3356.lon.example.net") is None
+        # Sibling of an indexed label, one level short.
+        assert index.lookup("example.com") is not None
+        assert index.lookup("com") is None
+
+    def test_trailing_dots_resolve(self):
+        index = _index(EXAMPLE)
+        assert index.annotate("as3356.lon.example.com.") == 3356
+        assert index.annotate("as3356.lon.example.com...") == 3356
+
+    def test_uppercase_labels_resolve(self):
+        index = _index(EXAMPLE)
+        assert index.annotate("AS3356.LON.EXAMPLE.COM") == 3356
+        assert index.annotate("As3356.Lon.Example.Com.") == 3356
+
+    def test_malformed_hostnames_are_misses_not_errors(self):
+        index = _index(EXAMPLE)
+        for bad in ("", ".", "...", "   ", None, 42, b"x"):
+            assert index.annotate(bad) is None
+            assert index.lookup(bad) is None
+
+    def test_deepest_suffix_wins(self):
+        shallow = _convention("example.com", [r"^h(\d+)\.example\.com$"])
+        deep = _convention("sub.example.com",
+                           [r"^h(\d+)\.sub\.example\.com$"])
+        index = _index(shallow, deep)
+        assert index.lookup("h1.sub.example.com").suffix == \
+            "sub.example.com"
+        assert index.lookup("h1.other.example.com").suffix == "example.com"
+
+    def test_add_replaces_existing_plan(self):
+        index = _index(EXAMPLE)
+        replacement = AnnotationPlan("example.com",
+                                     [r"^x(\d+)\.example\.com$"])
+        index.add(replacement)
+        assert len(index) == 1
+        assert index.lookup("x9.example.com") is replacement
+
+    def test_add_rejects_unindexable_suffix(self):
+        with pytest.raises(ValueError):
+            DispatchIndex().add(AnnotationPlan("", []))
+
+    def test_suffixes_and_plan_for(self):
+        index = _index(EXAMPLE, _convention("nts.ch", [r"^as(\d+)\.nts\.ch$"]))
+        assert index.suffixes() == ["example.com", "nts.ch"]
+        assert index.plan_for("NTS.CH").suffix == "nts.ch"
+        assert index.plan_for("other.org") is None
+
+    def test_warm_compiles_every_plan(self):
+        index = _index(EXAMPLE, _convention("nts.ch", [r"^as(\d+)\.nts\.ch$"]))
+        assert index.warm() == 2
+        for suffix in index.suffixes():
+            assert index.plan_for(suffix)._compiled is not None
+
+    def test_from_result_usable_only_drops_poor(self):
+        result = HoihoResult()
+        result.conventions["good.com"] = EXAMPLE
+        result.conventions["poor.com"] = _convention(
+            "poor.com", [r"^(\d+)\.poor\.com$"], NCClass.POOR)
+        assert len(DispatchIndex.from_result(result)) == 2
+        index = DispatchIndex.from_result(result, usable_only=True)
+        assert index.suffixes() == ["example.com"]
+
+
+class TestPslExceptionRules:
+    """PSL wildcard/exception (``!``) semantics must survive dispatch.
+
+    The embedded PSL has ``*.ck`` with the exception ``!www.ck``:
+    ``www.ck`` is registerable (a learnable suffix) while any other
+    ``x.ck`` is itself a public suffix (so ``foo.x.ck`` registers
+    ``foo.x.ck``, not ``x.ck``).
+    """
+
+    def test_exception_suffix_dispatches(self):
+        conv = _convention("www.ck", [r"^as(\d+)\.[a-z]+\.www\.ck$"])
+        index = _index(conv)
+        assert index.annotate("as64500.gw.www.ck") == 64500
+        # Other *.ck domains walk past the www node without matching.
+        assert index.lookup("as64500.gw.foo.ck") is None
+        assert index.lookup("www.ck").suffix == "www.ck"
+
+    def test_learner_keys_under_exception_rule_reach_service(self):
+        # Training names under www.ck group under the exception's
+        # registered domain; the resulting convention must dispatch.
+        items = [TrainingItem("as%d.pop%d.www.ck" % (asn, i % 3), asn)
+                 for i, asn in enumerate([3356, 1299, 174, 2914, 6453])]
+        result = Hoiho().run(items)
+        assert "www.ck" in result.conventions
+        index = DispatchIndex.from_result(result)
+        assert index.annotate("as8075.pop7.www.ck") == 8075
+        assert index.annotate("as8075.pop7.other.ck") is None
+
+
+class TestEquivalenceWithPslPath:
+    """For learner-produced conventions, trie dispatch must agree with
+    the linear ``HoihoResult.extract`` path on normalised hostnames."""
+
+    def _learned_result(self):
+        items = []
+        for i, asn in enumerate([3356, 1299, 174, 2914, 6453]):
+            items.append(TrainingItem(
+                "as%d.lon%d.example.com" % (asn, i % 3), asn))
+            items.append(TrainingItem(
+                "r%d.as%d.example.co.uk" % (i % 2, asn), asn))
+            items.append(TrainingItem(
+                "as%d.pop%d.www.ck" % (asn, i % 3), asn))
+        return Hoiho().run(items)
+
+    def test_agreement_on_probe_hostnames(self):
+        result = self._learned_result()
+        assert len(result.conventions) == 3
+        index = DispatchIndex.from_result(result)
+        probes = [
+            "as8075.lon9.example.com",      # hit
+            "lo0.cr1.example.com",          # known suffix, no match
+            "r1.as8075.example.co.uk",      # hit under multi-label PSL
+            "as8075.pop1.www.ck",           # hit under !-exception
+            "as8075.pop1.foo.ck",           # *.ck wildcard: not www.ck
+            "as8075.lon1.example.net",      # unknown suffix
+            "example.com",                  # bare registered domain
+            "com",                          # bare public suffix
+        ]
+        for hostname in probes:
+            assert index.annotate(hostname) == result.extract(hostname), \
+                hostname
+
+    def test_trie_beats_psl_path_on_unnormalised_forms(self):
+        # The service normalises; the historical path does not.  The
+        # trie answer for the FQDN form equals the PSL answer for the
+        # canonical form.
+        result = self._learned_result()
+        index = DispatchIndex.from_result(result)
+        assert index.annotate("AS8075.LON9.EXAMPLE.COM.") == \
+            result.extract("as8075.lon9.example.com")

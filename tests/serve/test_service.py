@@ -1,0 +1,148 @@
+"""Tests for the AnnotationService façade: lifecycle, per-request API,
+malformed input handling, and metrics accounting."""
+
+import json
+
+import pytest
+
+from repro.core.hoiho import Hoiho, HoihoResult
+from repro.core.io import conventions_to_json
+from repro.core.types import TrainingItem
+from repro.serve.service import AnnotationService
+from repro.store import KIND_HOIHO, ArtifactStore
+
+
+def learned_result(suffix="example.com"):
+    return Hoiho().run([
+        TrainingItem("as%d.pop%d.%s" % (asn, i % 3, suffix), asn)
+        for i, asn in enumerate([3356, 1299, 174, 2914, 6453])])
+
+
+class TestLifecycle:
+    def test_from_json_round_trip(self):
+        result = learned_result()
+        service = AnnotationService.from_json(conventions_to_json(result))
+        assert service.annotate_one("as8075.pop9.example.com") == 8075
+
+    def test_from_json_file(self, tmp_path):
+        path = tmp_path / "conv.json"
+        path.write_text(conventions_to_json(learned_result()),
+                        encoding="utf-8")
+        service = AnnotationService.from_json_file(str(path))
+        assert service.annotate_one("as8075.pop9.example.com") == 8075
+
+    def test_to_json_is_faithful(self):
+        result = learned_result()
+        service = AnnotationService(result)
+        assert service.to_json() == conventions_to_json(result)
+
+    def test_from_store(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        payload = {"kind": "test-serve", "seed": 1}
+        store.put(KIND_HOIHO, payload, learned_result())
+        service = AnnotationService.from_store(store, payload)
+        assert service.annotate_one("as8075.pop9.example.com") == 8075
+
+    def test_from_store_missing_raises(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        with pytest.raises(LookupError):
+            AnnotationService.from_store(store, {"kind": "absent"})
+
+    def test_warm_returns_plan_count(self):
+        service = AnnotationService(learned_result())
+        assert service.warm() == 1
+
+    def test_reload_swaps_conventions(self):
+        service = AnnotationService(learned_result("example.com"))
+        assert service.annotate_one("as100.pop1.example.com") == 100
+        assert service.reload_result(learned_result("example.org")) == 1
+        assert service.annotate_one("as100.pop1.example.com") is None
+        assert service.annotate_one("as100.pop1.example.org") == 100
+
+    def test_reload_json_file(self, tmp_path):
+        path = tmp_path / "conv.json"
+        path.write_text(conventions_to_json(learned_result("example.org")),
+                        encoding="utf-8")
+        service = AnnotationService(learned_result("example.com"))
+        service.reload_json_file(str(path))
+        assert service.index.suffixes() == ["example.org"]
+
+    def test_reload_store(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        payload = {"kind": "test-serve-reload"}
+        store.put(KIND_HOIHO, payload, learned_result("example.org"))
+        service = AnnotationService(learned_result("example.com"))
+        assert service.reload_store(store, payload) == 1
+        assert service.index.suffixes() == ["example.org"]
+        with pytest.raises(LookupError):
+            service.reload_store(store, {"kind": "absent"})
+
+    def test_usable_only_respected_across_reload(self):
+        result = learned_result()
+        service = AnnotationService(result, usable_only=True)
+        assert len(service.index) == 1    # learned convention is usable
+        empty = HoihoResult()
+        assert service.reload_result(empty) == 0
+
+
+class TestAnnotateApi:
+    def test_batch_preserves_order(self):
+        service = AnnotationService(learned_result())
+        hostnames = ["as100.pop0.example.com", "miss.example.net",
+                     "as200.pop1.example.com"]
+        assert service.annotate_batch(hostnames) == [100, None, 200]
+
+    def test_pairs_is_lazy_and_ordered(self):
+        service = AnnotationService(learned_result())
+        pairs = service.annotate_pairs(iter(["as7.pop0.example.com",
+                                             "nope.net"]))
+        assert next(pairs) == ("as7.pop0.example.com", 7)
+        assert next(pairs) == ("nope.net", None)
+
+    def test_malformed_inputs_never_raise(self):
+        service = AnnotationService(learned_result())
+        assert service.annotate_batch(
+            ["", ".", None, 17, b"as1.example.com"]) == [None] * 5
+        assert service.metrics.counter("malformed").value == 5
+
+
+class TestMetricsAccounting:
+    def test_counters_partition_requests(self):
+        service = AnnotationService(learned_result())
+        service.annotate_batch([
+            "as100.pop0.example.com",    # annotated
+            "lo0.cr1.example.com",       # known suffix, miss
+            "x.unknown.net",             # unknown suffix, miss
+            "",                          # malformed (also a miss)
+        ])
+        counters = service.stats()["counters"]
+        assert counters["requests"] == 4
+        assert counters["annotated"] == 1
+        assert counters["misses"] == 3
+        assert counters["malformed"] == 1
+        assert counters["annotated"] + counters["misses"] == \
+            counters["requests"]
+
+    def test_per_suffix_extraction_counts(self):
+        service = AnnotationService(learned_result())
+        service.annotate_batch(["as1.pop0.example.com",
+                                "as2.pop1.example.com",
+                                "miss.example.org"])
+        assert service.stats()["labelled"]["extracted"] == \
+            {"example.com": 2}
+
+    def test_latency_histogram_records_every_request(self):
+        service = AnnotationService(learned_result())
+        service.annotate_batch(["as1.pop0.example.com", "", "x.net"])
+        hist = service.stats()["histograms"]["latency_seconds"]
+        assert hist["count"] == 3
+        assert hist["percentiles"]["p50"] >= 0.0
+
+    def test_stats_include_index_size(self):
+        service = AnnotationService(learned_result())
+        assert service.stats()["suffixes_indexed"] == 1
+
+    def test_stats_json_serializable(self):
+        service = AnnotationService(learned_result())
+        service.annotate_one("as1.pop0.example.com")
+        json.dumps(service.stats())

@@ -81,3 +81,71 @@ class TestWorkload:
         report = bench.run_pipeline_bench(rounds=1)
         assert set(report) == {"workload", "timeline", "routing", "store"}
         assert report["store"]["warm_speedup"] > 1.0
+
+
+FAKE_SERVE = {
+    "workload": {"conventions": 24, "hostnames": 20000,
+                 "parallel_workers": 2, "rounds": 1},
+    "linear_apply": {"seconds": 1.4, "hostnames_per_second": 14285.0},
+    "dispatch": {"cold_seconds": 0.06, "warm_seconds": 0.046,
+                 "warm_hostnames_per_second": 434000.0,
+                 "speedup_vs_linear": 30.4},
+    "bulk": {"serial_seconds": 0.051, "parallel_seconds": 0.052,
+             "parallel_speedup": 0.98},
+}
+
+
+class TestServeSection:
+    def test_write_serve_section_preserves_other_sections(
+            self, tmp_path, monkeypatch):
+        path = tmp_path / "BENCH.json"
+        existing = {"version": bench.BENCH_VERSION,
+                    "pipeline": FAKE_PIPELINE,
+                    "serve": {"stale": True}}
+        path.write_text(json.dumps(existing), encoding="utf-8")
+        monkeypatch.setattr(bench, "run_serve_bench",
+                            lambda rounds=3, jobs=None: FAKE_SERVE)
+        report = bench.write_serve_section(str(path))
+        assert report["pipeline"] == FAKE_PIPELINE
+        assert report["serve"] == FAKE_SERVE
+        on_disk = json.loads(path.read_text(encoding="utf-8"))
+        assert on_disk["serve"]["dispatch"]["speedup_vs_linear"] == 30.4
+
+    def test_write_serve_section_from_scratch(self, tmp_path, monkeypatch):
+        path = tmp_path / "BENCH.json"
+        monkeypatch.setattr(bench, "run_serve_bench",
+                            lambda rounds=3, jobs=None: FAKE_SERVE)
+        report = bench.write_serve_section(str(path))
+        assert report["version"] == bench.BENCH_VERSION
+        assert path.is_file()
+
+    def test_render_serve_section(self):
+        text = bench.render_serve_section(FAKE_SERVE)
+        assert "trie dispatch" in text
+        assert "30.4x vs linear" in text
+        assert "bulk streaming" in text
+
+    def test_render_report_with_serve(self):
+        text = bench.render_report({"version": bench.BENCH_VERSION,
+                                    "serve": FAKE_SERVE})
+        assert "serve benchmark" in text
+        assert "linear apply" in text
+
+    def test_serve_workload_shape(self):
+        hostnames = bench.serve_hostnames(n=200)
+        assert len(hostnames) == 200
+        result = bench.serve_conventions(n_suffixes=4)
+        assert len(result.conventions) == 4
+        # Every convention key must be a registered domain so the
+        # linear PSL path can reach it.
+        from repro.psl import default_psl
+        psl = default_psl()
+        for suffix in result.conventions:
+            assert psl.registered_domain(suffix) == suffix
+
+    @pytest.mark.slow
+    def test_run_serve_bench_shape(self):
+        report = bench.run_serve_bench(rounds=1)
+        assert set(report) == {"workload", "linear_apply", "dispatch",
+                               "bulk"}
+        assert report["dispatch"]["speedup_vs_linear"] > 1.0

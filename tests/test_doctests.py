@@ -17,6 +17,8 @@ import repro.core.types
 import repro.eval.common
 import repro.naming.asnames
 import repro.psl.psl
+import repro.serve.index
+import repro.serve.service
 import repro.util.ipaddr
 import repro.util.radix
 import repro.util.rand
@@ -36,6 +38,8 @@ _MODULES = [
     repro.core.types,
     repro.naming.asnames,
     repro.eval.common,
+    repro.serve.index,
+    repro.serve.service,
 ]
 
 
