@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-slow bench bench-pipeline annotate-bench bench-tables lint
+.PHONY: test test-slow test-faults bench bench-pipeline annotate-bench \
+	bench-tables lint
 
 # Tier-1: slow (full-scale pipeline) tests are excluded by the default
 # pytest addopts (-m "not slow"); `make test-slow` runs only those.
@@ -10,6 +11,13 @@ test:
 
 test-slow:
 	$(PYTHON) -m pytest tests/ -q -m slow
+
+# Fault-injection suite: injected worker crashes, poison chunks,
+# hang + timeout, degrade-to-serial, and checkpoint-resume round
+# trips (docs/ROBUSTNESS.md).  CI runs this in its own job.
+test-faults:
+	$(PYTHON) -m pytest tests/core/test_resilience.py \
+		tests/serve/test_faults.py -q -m 'slow or not slow'
 
 bench:
 	$(PYTHON) benchmarks/bench_report.py

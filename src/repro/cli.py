@@ -33,6 +33,14 @@ line suffices.
 CPU); results are bit-identical to serial runs.  ``repro-hoiho bench``
 runs the learner benchmark suite and refreshes ``BENCH_learner.json``.
 
+``--retries N`` arms the fault-tolerant dispatcher on every parallel
+fan-out (worker crashes rebuild the pool and replay in-flight work;
+transient faults retry with deterministic backoff -- see
+``docs/ROBUSTNESS.md``).  For ``annotate``, ``--checkpoint FILE``
+records progress after every flushed chunk; rerunning an interrupted
+command with the same flags resumes where it left off and produces
+byte-identical output.
+
 ``--cache-dir DIR`` (or the ``REPRO_CACHE_DIR`` environment variable)
 points at a persistent artifact store: experiment runs reuse generated
 worlds/timelines and ``learn``/``report`` reuse learned conventions
@@ -51,6 +59,7 @@ from typing import List, Optional, Tuple
 from repro.core.hoiho import Hoiho, HoihoConfig, HoihoResult
 from repro.core.io import conventions_to_json
 from repro.core.parallel import ParallelConfig
+from repro.core.resilience import RetryPolicy
 from repro.core.report import render_result
 from repro.core.types import TrainingItem, group_by_suffix
 from repro.eval import (
@@ -67,7 +76,7 @@ from repro.eval import (
     table2,
 )
 from repro.serve import AnnotationService, BulkAnnotator, iter_hostnames
-from repro.serve.engine import DEFAULT_CHUNK_SIZE, SINKS
+from repro.serve.engine import Checkpoint, DEFAULT_CHUNK_SIZE, SINKS
 from repro.serve.metrics import render_snapshot
 from repro.store import KIND_HOIHO, ArtifactStore
 
@@ -115,6 +124,18 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for learning "
                              "(1 = serial, 0 = one per CPU)")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="extra attempts per parallel work item "
+                             "(0 = fail fast; >0 arms worker-loss "
+                             "recovery and transient-fault retry)")
+    parser.add_argument("--retry-backoff", type=float, default=0.05,
+                        metavar="SECONDS",
+                        help="base delay before the first retry "
+                             "(doubles per attempt, deterministic)")
+    parser.add_argument("--checkpoint", metavar="FILE",
+                        help="annotate: progress sidecar; an "
+                             "interrupted run rerun with the same "
+                             "flags resumes where it left off")
     parser.add_argument("--output", metavar="FILE",
                         default="BENCH_learner.json",
                         help="bench: where to write the JSON report")
@@ -141,6 +162,19 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="serve-stats: render this metrics "
                              "snapshot instead of the bench section")
     return parser
+
+
+def _resolve_policies(args: argparse.Namespace) -> None:
+    """Validate ``--jobs``/``--retries``/``--retry-backoff`` once, up
+    front, and attach the resulting :class:`ParallelConfig` and
+    :class:`RetryPolicy` (or ``None``) to ``args`` for every command.
+
+    Raises ``ValueError`` on bad values (``--jobs -1``,
+    ``--retries -1``); :func:`main` turns that into exit code 2 instead
+    of a traceback."""
+    args.parallel = ParallelConfig.from_jobs(args.jobs)
+    args.retry = RetryPolicy.from_flags(args.retries,
+                                        backoff=args.retry_backoff)
 
 
 def _store_from_args(args: argparse.Namespace) -> Optional[ArtifactStore]:
@@ -190,7 +224,7 @@ def _learn_items(items: List[TrainingItem],
         cached = store.get(KIND_HOIHO, payload)
         if cached is not None:
             return cached
-    result = Hoiho(parallel=ParallelConfig.from_jobs(args.jobs)).run(items)
+    result = Hoiho(parallel=args.parallel, retry=args.retry).run(items)
     if store is not None:
         store.put(KIND_HOIHO, payload, result)
     return result
@@ -238,27 +272,46 @@ def _cmd_annotate(args: argparse.Namespace) -> int:
         print("%s requires --conventions FILE and --hostnames FILE "
               "('-' = stdin)" % args.command, file=sys.stderr)
         return 2
+    if args.checkpoint and args.out == "-":
+        print("--checkpoint requires --out FILE (stdout cannot be "
+              "resumed)", file=sys.stderr)
+        return 2
     service = AnnotationService.from_json_file(args.conventions)
     service.warm()
     annotator = BulkAnnotator(service,
-                              parallel=ParallelConfig.from_jobs(args.jobs),
-                              chunk_size=args.chunk_size)
+                              parallel=args.parallel,
+                              chunk_size=args.chunk_size,
+                              retry=args.retry)
+    checkpoint = Checkpoint(args.checkpoint) if args.checkpoint else None
     source = sys.stdin if args.hostnames == "-" \
         else open(args.hostnames, encoding="utf-8")
+    resuming = checkpoint is not None and checkpoint.path.exists()
     sink = sys.stdout if args.out == "-" \
-        else open(args.out, "w", encoding="utf-8")
+        else _open_sink(args.out, resuming=resuming)
     try:
         summary = annotator.annotate_to(iter_hostnames(source), sink,
-                                        fmt=args.sink_format)
+                                        fmt=args.sink_format,
+                                        checkpoint=checkpoint)
     finally:
         if source is not sys.stdin:
             source.close()
         if sink is not sys.stdout:
             sink.close()
-    print("# %d hostname(s): %d annotated, %d unannotated"
+    tail = ", %d dead-lettered" % summary["errors"] \
+        if summary["errors"] else ""
+    print("# %d hostname(s): %d annotated, %d unannotated%s"
           % (summary["requests"], summary["annotated"],
-             summary["misses"]), file=sys.stderr)
+             summary["misses"], tail), file=sys.stderr)
     return 0
+
+
+def _open_sink(path: str, resuming: bool):
+    """Open the annotate output file: truncate on a fresh run, but keep
+    existing bytes when a checkpoint may resume into them ('r+' so the
+    engine can truncate back to the last durable line itself)."""
+    if resuming and os.path.exists(path):
+        return open(path, "r+", encoding="utf-8")
+    return open(path, "w", encoding="utf-8")
 
 
 def _cmd_apply(args: argparse.Namespace) -> int:
@@ -361,6 +414,11 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``repro-hoiho`` console script."""
     args = _build_parser().parse_args(argv)
+    try:
+        _resolve_policies(args)
+    except ValueError as exc:
+        print("repro-hoiho: %s" % exc, file=sys.stderr)
+        return 2
     if args.command == "learn":
         return _cmd_learn(args)
     if args.command == "report":
@@ -378,8 +436,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "cache":
         return _cmd_cache(args)
     context = ExperimentContext(seed=args.seed, scale=Scale(args.scale),
-                                parallel=ParallelConfig.from_jobs(args.jobs),
-                                store=_store_from_args(args))
+                                parallel=args.parallel,
+                                store=_store_from_args(args),
+                                retry=args.retry)
     names = sorted(_EXPERIMENTS) if args.command == "all" \
         else [args.command]
     for index, name in enumerate(names):

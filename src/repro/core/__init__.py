@@ -17,6 +17,9 @@ This package is the paper's primary contribution (sections 3 and 4):
   evaluation cache every phase scores through;
 * :mod:`repro.core.parallel` -- the per-suffix / per-training-set
   fan-out policy;
+* :mod:`repro.core.resilience` -- retry policy, transient-vs-poison
+  fault classification, and deterministic fault injection for those
+  fan-outs;
 * :mod:`repro.core.hoiho` -- the end-to-end learner.
 """
 
@@ -58,7 +61,14 @@ from repro.core.regex_model import (
 from repro.core.evaluate import NCScore, evaluate_nc, evaluate_regex
 from repro.core.matchcache import CacheStats, ComposedNC, MatchCache, \
     MatchVector
-from repro.core.parallel import ParallelConfig, parallel_map
+from repro.core.parallel import ParallelConfig, parallel_map, stream_map
+from repro.core.resilience import (
+    FaultInjector,
+    PoisonItemError,
+    ResilienceStats,
+    RetryPolicy,
+    TransientError,
+)
 from repro.core.select import NCClass, LearnedConvention, select_best, classify_nc
 from repro.core.taxonomy import Taxonomy, taxonomy_of
 from repro.core.hoiho import (
@@ -106,8 +116,14 @@ __all__ = [
     "ComposedNC",
     "MatchCache",
     "MatchVector",
+    "FaultInjector",
     "ParallelConfig",
+    "PoisonItemError",
+    "ResilienceStats",
+    "RetryPolicy",
+    "TransientError",
     "parallel_map",
+    "stream_map",
     "NCClass",
     "LearnedConvention",
     "select_best",

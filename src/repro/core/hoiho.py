@@ -16,6 +16,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.core.evaluate import NCScore, evaluate_regex
 from repro.core.matchcache import CacheStats, MatchCache
 from repro.core.parallel import ParallelConfig, parallel_map
+from repro.core.resilience import RetryPolicy
 from repro.core.phase1 import generate_base_regexes
 from repro.core.phase2 import merge_regexes
 from repro.core.phase3 import specialise_regex
@@ -32,6 +33,10 @@ from repro.core.types import SuffixDataset, TrainingItem, group_by_suffix
 from repro.psl import PublicSuffixList, default_psl
 
 logger = logging.getLogger(__name__)
+
+#: Fault-injection site label for the per-suffix learning fan-out (one
+#: item per suffix dataset, in sorted-suffix order).
+SITE_LEARN = "learn"
 
 
 @dataclass
@@ -276,7 +281,9 @@ class Hoiho:
 
     ``parallel`` fans the per-suffix learning out over worker processes;
     the merged result is bit-identical to a serial run because datasets
-    are dispatched and merged in sorted-suffix order.
+    are dispatched and merged in sorted-suffix order.  ``retry`` arms
+    the resilient dispatcher (worker loss and transient faults are
+    retried; a suffix that fails permanently still raises).
 
     >>> hoiho = Hoiho()
     >>> items = [TrainingItem("as%d.lon%d.example.com" % (a, i % 3), a)
@@ -288,10 +295,12 @@ class Hoiho:
 
     def __init__(self, config: Optional[HoihoConfig] = None,
                  psl: Optional[PublicSuffixList] = None,
-                 parallel: Optional[ParallelConfig] = None) -> None:
+                 parallel: Optional[ParallelConfig] = None,
+                 retry: Optional[RetryPolicy] = None) -> None:
         self.config = config or HoihoConfig()
         self.psl = psl or default_psl()
         self.parallel = parallel or ParallelConfig.serial()
+        self.retry = retry
 
     def run(self, items: Iterable[TrainingItem]) -> HoihoResult:
         """Group items by suffix and learn a convention per suffix."""
@@ -303,7 +312,8 @@ class Hoiho:
         """Learn over pre-grouped datasets."""
         ordered = sorted(datasets, key=lambda d: d.suffix)
         worker = functools.partial(_learn_dataset_worker, self.config)
-        conventions = parallel_map(worker, ordered, self.parallel)
+        conventions = parallel_map(worker, ordered, self.parallel,
+                                   retry=self.retry, site=SITE_LEARN)
         result = HoihoResult(suffixes_examined=len(ordered))
         for dataset, convention in zip(ordered, conventions):
             if convention is not None:

@@ -5,19 +5,44 @@ datasets are independent (``Hoiho.run_datasets``), and the timeline's
 training sets are independent (``ExperimentContext``).  A
 :class:`ParallelConfig` describes how to fan either out; the default is
 serial, and parallel runs are constructed to be *bit-identical* to
-serial ones: work items are sorted before dispatch, ``Executor.map``
-preserves input order, and each worker runs the same deterministic
-learner.
+serial ones: work items are sorted before dispatch, results are yielded
+in input order, and each worker runs the same deterministic learner.
+
+Both mapping primitives accept an optional
+:class:`~repro.core.resilience.RetryPolicy`.  Without one they keep the
+historical fail-fast fast path (``Executor.map`` with chunking, zero
+overhead).  With one, dispatch goes through a resilient per-item loop:
+transient worker exceptions are retried with deterministic backoff, a
+``BrokenProcessPool`` rebuilds the pool and re-dispatches the in-flight
+items (degrading to serial execution after ``policy.pool_rebuilds``
+losses), per-item timeouts tear down and rebuild a wedged pool, and
+items that fail permanently surface as
+:class:`~repro.core.resilience.PoisonItemError` -- or flow to the
+caller's ``on_poison`` substitute so a stream can outlive its poison
+(the serving engine's dead-letter path).  Ordering, and therefore
+byte-identity with serial output, is preserved throughout: retries
+happen out of order, but results are emitted strictly in input order.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence, \
-    Tuple, TypeVar
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, \
+    Sequence, Tuple, TypeVar
+
+from repro.core.resilience import (
+    PoisonItemError,
+    ResilienceStats,
+    ResilientCall,
+    RetryPolicy,
+    call_with_retry,
+)
 
 #: Run everything in the calling process.
 BACKEND_SERIAL = "serial"
@@ -76,8 +101,11 @@ class ParallelConfig:
         """Map a ``--jobs N`` CLI value to a config.
 
         ``0`` means "one worker per CPU"; ``1`` (the default) is serial;
-        anything larger is that many worker processes.
+        anything larger is that many worker processes.  Negative values
+        are a usage error, not an implicit serial run.
         """
+        if jobs < 0:
+            raise ValueError("--jobs must be >= 0, got %d" % jobs)
         if jobs == 0:
             jobs = default_workers()
         if jobs <= 1:
@@ -86,14 +114,29 @@ class ParallelConfig:
 
 
 def parallel_map(func: Callable[[_T], _R], items: Sequence[_T],
-                 config: ParallelConfig) -> List[_R]:
+                 config: ParallelConfig,
+                 retry: Optional[RetryPolicy] = None,
+                 site: str = "map",
+                 on_retry: Optional[Callable] = None,
+                 stats: Optional[ResilienceStats] = None) -> List[_R]:
     """Ordered map over ``items`` under ``config``.
 
     Results arrive in input order whichever backend runs, so callers get
     deterministic output as long as ``items`` is deterministically
     ordered.  ``func`` and the items must be picklable for the process
     backend.
+
+    ``retry`` opts in to the resilient dispatcher (see the module
+    docstring); an item that fails permanently raises
+    :class:`~repro.core.resilience.PoisonItemError` -- fan-out callers
+    like the snapshot pipeline must not silently drop work, so there is
+    no substitution here (use :func:`stream_map` with ``on_poison`` for
+    that).
     """
+    if retry is not None:
+        return list(stream_map(func, items, config,
+                               window=max(len(items), 1), retry=retry,
+                               site=site, on_retry=on_retry, stats=stats))
     if not config.is_parallel or len(items) <= 1:
         return [func(item) for item in items]
     workers = min(config.workers, len(items))
@@ -105,7 +148,12 @@ def stream_map(func: Callable[[_T], _R], items: Iterable[_T],
                config: ParallelConfig,
                window: Optional[int] = None,
                initializer: Optional[Callable[..., None]] = None,
-               initargs: Tuple = ()) -> Iterator[_R]:
+               initargs: Tuple = (),
+               retry: Optional[RetryPolicy] = None,
+               site: str = "stream",
+               on_poison: Optional[Callable] = None,
+               on_retry: Optional[Callable] = None,
+               stats: Optional[ResilienceStats] = None) -> Iterator[_R]:
     """Lazy, ordered map over an *unbounded* iterable.
 
     Unlike :func:`parallel_map`, which materialises its input and
@@ -118,17 +166,36 @@ def stream_map(func: Callable[[_T], _R], items: Iterable[_T],
     work item (the :class:`~concurrent.futures.ProcessPoolExecutor`
     contract); the serial path invokes them once in the calling process
     so both paths see the same set-up.
+
+    A consumer that abandons the generator (closes it, or lets an
+    exception escape its loop) shuts the pool down promptly: queued
+    items are cancelled and workers exit after at most one in-flight
+    item, instead of draining the whole window.
+
+    ``retry`` enables the resilient dispatcher.  ``on_poison(item,
+    error)`` -- if given -- supplies a substitute result for an item
+    that failed permanently (the dead-letter hook); without it, poison
+    raises :class:`~repro.core.resilience.PoisonItemError`.
+    ``on_retry(item, attempts, exc)`` observes each retry, and
+    ``stats`` (a :class:`~repro.core.resilience.ResilienceStats`)
+    accumulates what the run survived.
     """
+    window = window if window and window > 0 else config.workers * 4
+    if retry is not None:
+        yield from _stream_resilient(func, items, config, window,
+                                     initializer, initargs, retry, site,
+                                     on_poison, on_retry,
+                                     stats or ResilienceStats())
+        return
     if not config.is_parallel:
         if initializer is not None:
             initializer(*initargs)
         for item in items:
             yield func(item)
         return
-    window = window if window and window > 0 else config.workers * 4
-    with ProcessPoolExecutor(max_workers=config.workers,
-                             initializer=initializer,
-                             initargs=initargs) as pool:
+    pool = ProcessPoolExecutor(max_workers=config.workers,
+                               initializer=initializer, initargs=initargs)
+    try:
         pending = deque()
         for item in items:
             pending.append(pool.submit(func, item))
@@ -136,3 +203,250 @@ def stream_map(func: Callable[[_T], _R], items: Iterable[_T],
                 yield pending.popleft().result()
         while pending:
             yield pending.popleft().result()
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+# -- resilient dispatch ------------------------------------------------------
+
+class _Flight:
+    """One in-flight work item: identity, payload, and failure count."""
+
+    __slots__ = ("index", "item", "attempts", "future")
+
+    def __init__(self, index: int, item: object) -> None:
+        self.index = index
+        self.item = item
+        self.attempts = 0
+        self.future = None
+
+
+def _stream_resilient(func: Callable, items: Iterable, config: ParallelConfig,
+                      window: int, initializer: Optional[Callable],
+                      initargs: Tuple, retry: RetryPolicy, site: str,
+                      on_poison: Optional[Callable],
+                      on_retry: Optional[Callable],
+                      stats: ResilienceStats) -> Iterator:
+    """The retry-aware ordered streaming dispatcher.
+
+    Results are buffered per index and emitted strictly in input order,
+    so retries (which complete out of order) never perturb the output
+    stream -- parallel-with-faults output stays byte-identical to a
+    clean serial run.
+    """
+    call = ResilientCall(func, site)
+    source = enumerate(items)
+
+    def settle(flight: _Flight, exc: BaseException) -> object:
+        """Resolve a permanently failed item: substitute or raise."""
+        stats.poisoned += 1
+        error = PoisonItemError(flight.index, max(flight.attempts, 1), exc)
+        if on_poison is None:
+            raise error from exc
+        return on_poison(flight.item, error)
+
+    def run_inline(flight: _Flight) -> object:
+        try:
+            return call_with_retry(call, flight.index, flight.item, retry,
+                                   on_retry=on_retry, stats=stats,
+                                   attempts=flight.attempts)
+        except PoisonItemError as error:
+            stats.poisoned += 1
+            if on_poison is None:
+                raise
+            return on_poison(flight.item, error)
+
+    if not config.is_parallel:
+        if initializer is not None:
+            initializer(*initargs)
+        for index, item in source:
+            yield run_inline(_Flight(index, item))
+        return
+
+    pending: Dict[int, _Flight] = {}
+    ready: Dict[int, object] = {}
+    emit = 0
+    exhausted = False
+    rebuilds_left = retry.pool_rebuilds
+    pool: Optional[ProcessPoolExecutor] = None
+
+    def make_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=config.workers,
+                                   initializer=initializer,
+                                   initargs=initargs)
+
+    def submit(flight: _Flight) -> None:
+        flight.future = pool.submit(
+            call, (flight.index, flight.attempts, flight.item))
+
+    def rebuild_pool(timed_out: Optional[_Flight]) -> None:
+        """Replace a dead/wedged pool and re-dispatch survivors.
+
+        The culprit is unknowable after a pool loss (the dying worker
+        takes the evidence with it), so every in-flight item is charged
+        one attempt; items that exhaust their budget are poisoned here
+        and never re-run -- in particular never *inline*, where a
+        crashing item would take the parent down with it.  A timeout
+        names its culprit, so only the wedged item is charged.
+        """
+        nonlocal pool
+        pool.shutdown(wait=False, cancel_futures=True)
+        pool = make_pool()
+        harvest_done()
+        if timed_out is not None:
+            charged = [timed_out] if timed_out.index in pending else []
+        else:
+            charged = list(pending.values())
+        for flight in charged:
+            flight.attempts += 1
+        for index in sorted(pending):
+            flight = pending[index]
+            if flight.attempts >= retry.max_attempts:
+                del pending[index]
+                ready[index] = settle(
+                    flight,
+                    BrokenProcessPool("worker lost while item was "
+                                      "in flight"))
+            else:
+                if flight in charged:
+                    stats.retries += 1
+                    if on_retry is not None:
+                        on_retry(flight.item, flight.attempts, None)
+                submit(flight)
+
+    def harvest_done() -> None:
+        """Bank results that finished before their pool died, so a
+        rebuild neither recomputes nor charges them."""
+        for index in sorted(pending):
+            future = pending[index].future
+            if future is not None and future.done() \
+                    and future.exception() is None:
+                del pending[index]
+                ready[index] = future.result()
+
+    pool = make_pool()
+    try:
+        while True:
+            # Top up the in-flight window from the source.  A submit on
+            # a freshly broken pool parks the flight with no future; the
+            # collection path below notices and runs the loss protocol.
+            while not exhausted and len(pending) < window:
+                try:
+                    index, item = next(source)
+                except StopIteration:
+                    exhausted = True
+                    break
+                flight = _Flight(index, item)
+                try:
+                    submit(flight)
+                except BrokenProcessPool:
+                    pass
+                pending[flight.index] = flight
+
+            # Emit everything that is ready, in input order.
+            while emit in ready:
+                value = ready.pop(emit)
+                emit += 1
+                yield value
+
+            if not pending:
+                if exhausted:
+                    return
+                continue
+
+            # Collect the head-of-line item (oldest unemitted index).
+            head = pending[min(pending)]
+            outcome = None          # "ok" | "fault" | "lost"
+            value = exc = None
+            if head.future is None:
+                outcome = "lost"
+            else:
+                try:
+                    value = head.future.result(timeout=retry.timeout)
+                    outcome = "ok"
+                except BrokenProcessPool:
+                    outcome = "lost"
+                except FuturesTimeoutError:
+                    if head.future.done():
+                        # The *wait* did not time out -- the worker
+                        # finished (or raised) in the window between the
+                        # timeout and here, or func raised TimeoutError
+                        # itself.
+                        exc = head.future.exception()
+                        if exc is None:
+                            value = head.future.result()
+                            outcome = "ok"
+                        else:
+                            outcome = "fault"
+                    else:
+                        # The item overran its budget; a busy worker
+                        # cannot be reclaimed, so tear the pool down and
+                        # re-run everything that was in flight (only the
+                        # wedged item is charged an attempt).
+                        stats.timeouts += 1
+                        rebuild_pool(timed_out=head)
+                        continue
+                except Exception as err:
+                    exc = err
+                    outcome = "fault"
+
+            if outcome == "ok":
+                del pending[head.index]
+                ready[head.index] = value
+                continue
+
+            if outcome == "fault":
+                head.attempts += 1
+                if retry.is_transient(exc) \
+                        and head.attempts < retry.max_attempts:
+                    stats.retries += 1
+                    if on_retry is not None:
+                        on_retry(head.item, head.attempts, exc)
+                    time.sleep(retry.backoff(head.attempts))
+                    submit(head)
+                else:
+                    del pending[head.index]
+                    ready[head.index] = settle(head, exc)
+                continue
+
+            # Pool lost.
+            stats.pool_losses += 1
+            if rebuilds_left > 0:
+                rebuilds_left -= 1
+                rebuild_pool(timed_out=None)
+                continue
+
+            # Too many pool losses: degrade to serial.  Items already
+            # past their attempt budget are poisoned (they may be what
+            # keeps killing workers); the rest -- and all remaining
+            # input -- run inline in this process.
+            stats.degraded = True
+            pool.shutdown(wait=False, cancel_futures=True)
+            if initializer is not None:
+                initializer(*initargs)
+            harvest_done()
+            for flight in pending.values():
+                flight.attempts += 1
+            for index in sorted(pending):
+                flight = pending.pop(index)
+                if flight.attempts >= retry.max_attempts:
+                    ready[index] = settle(
+                        flight,
+                        BrokenProcessPool("worker lost while item was "
+                                          "in flight"))
+                else:
+                    ready[index] = run_inline(flight)
+                while emit in ready:
+                    value = ready.pop(emit)
+                    emit += 1
+                    yield value
+            for index, item in source:
+                ready[index] = run_inline(_Flight(index, item))
+                while emit in ready:
+                    value = ready.pop(emit)
+                    emit += 1
+                    yield value
+            return
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)

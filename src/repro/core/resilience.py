@@ -1,0 +1,330 @@
+"""Fault tolerance for the parallel core: retries, classification, injection.
+
+The parallel paths fan work out over :class:`ProcessPoolExecutor`
+workers, and workers die: the paper's workload is 162M PTR records, and
+at that scale an OOM-killed child or a wedged worker is a *when*, not an
+*if*.  This module provides the policy vocabulary the dispatchers in
+:mod:`repro.core.parallel` act on:
+
+* :class:`RetryPolicy` -- how many attempts an item gets, the
+  deterministic exponential backoff between them, the per-item timeout,
+  and how many whole-pool losses to absorb before degrading to serial;
+* **fault classification** -- exceptions matching ``policy.transient``
+  are retried; anything else is *poison* and fails the item immediately
+  as a :class:`PoisonItemError` (which the serving engine turns into a
+  dead-letter entry instead of a crashed stream);
+* :class:`FaultInjector` -- a deterministic, env-driven hook
+  (``REPRO_FAULT_INJECT``) that raises, crashes, or hangs a worker at an
+  exact (site, item index, attempt), so tests and CI exercise every
+  failure path without real OOMs.
+
+Nothing here imports the executor machinery; the dispatchers own the
+pools, this module owns the decisions.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+#: Environment variable holding the fault-injection spec.
+ENV_FAULT_INJECT = "REPRO_FAULT_INJECT"
+#: Environment variable overriding how long ``hang`` faults sleep.
+ENV_HANG_SECONDS = "REPRO_FAULT_HANG_SECONDS"
+
+#: Injection modes: raise a transient fault, kill the worker process,
+#: or sleep past the per-item timeout.
+MODE_RAISE = "raise"
+MODE_CRASH = "crash"
+MODE_HANG = "hang"
+_MODES = (MODE_RAISE, MODE_CRASH, MODE_HANG)
+
+#: Exit status an injected ``crash`` dies with (visible in pool logs).
+CRASH_EXIT_STATUS = 86
+
+
+class TransientError(Exception):
+    """Marker base class for faults worth retrying."""
+
+
+class InjectedFault(TransientError):
+    """A fault raised by the :class:`FaultInjector` (retryable)."""
+
+
+class PoisonItemError(Exception):
+    """An item failed permanently: poison fault, or retries exhausted.
+
+    Carries enough context for dead-letter reporting: the item's input
+    index, how many attempts it consumed, and the final underlying
+    exception (``cause``).
+    """
+
+    def __init__(self, index: int, attempts: int, cause: BaseException) -> None:
+        super().__init__(
+            "item %d failed permanently after %d attempt(s): %s: %s"
+            % (index, attempts, type(cause).__name__, cause))
+        self.index = index
+        self.attempts = attempts
+        self.cause = cause
+
+
+#: Exception types retried by default.  ``BrokenProcessPool`` and wait
+#: timeouts are handled structurally by the dispatcher (they are pool
+#: events, not exceptions raised by the work function).
+DEFAULT_TRANSIENT: Tuple[type, ...] = (TransientError, OSError,
+                                       TimeoutError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the parallel core treats a failing work item.
+
+    Attributes:
+        max_attempts: total tries per item (1 means fail-fast).
+        backoff_base: parent-side sleep before the second attempt.
+        backoff_factor: multiplier per further attempt (deterministic
+            exponential backoff -- no jitter, so runs are reproducible).
+        backoff_max: backoff ceiling in seconds.
+        timeout: per-item wall-clock budget enforced while the item
+            heads the collection queue; ``None`` disables it.  A timed
+            out item costs one attempt and the pool is rebuilt (a busy
+            worker cannot be reclaimed).
+        pool_rebuilds: whole-pool losses (``BrokenProcessPool``) to
+            absorb by rebuilding before degrading to serial execution.
+        transient: exception types that are retried; everything else is
+            poison and fails the item on the spot.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    timeout: Optional[float] = None
+    pool_rebuilds: int = 2
+    transient: Tuple[type, ...] = DEFAULT_TRANSIENT
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1, got %d"
+                             % self.max_attempts)
+        if self.backoff_base < 0 or self.backoff_factor < 1 \
+                or self.backoff_max < 0:
+            raise ValueError("backoff must be non-negative and "
+                             "non-shrinking")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive, got %r"
+                             % (self.timeout,))
+        if self.pool_rebuilds < 0:
+            raise ValueError("pool_rebuilds must be >= 0, got %d"
+                             % self.pool_rebuilds)
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to sleep before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based, got %d" % attempt)
+        return min(self.backoff_max,
+                   self.backoff_base * self.backoff_factor ** (attempt - 1))
+
+    def is_transient(self, exc: BaseException) -> bool:
+        """True when ``exc`` is worth another attempt."""
+        return isinstance(exc, self.transient)
+
+    @classmethod
+    def from_flags(cls, retries: int, backoff: float = 0.05,
+                   timeout: Optional[float] = None,
+                   ) -> Optional["RetryPolicy"]:
+        """Map ``--retries N --retry-backoff S`` CLI values to a policy.
+
+        ``retries`` counts *extra* attempts after the first; ``0`` (the
+        CLI default) returns ``None`` -- the historical fail-fast
+        behaviour, with zero dispatch overhead.
+        """
+        if retries < 0:
+            raise ValueError("retries must be >= 0, got %d" % retries)
+        if retries == 0:
+            return None
+        return cls(max_attempts=retries + 1, backoff_base=backoff,
+                   timeout=timeout)
+
+
+@dataclass
+class ResilienceStats:
+    """What the dispatcher survived during one run (for tests/reports)."""
+
+    retries: int = 0
+    pool_losses: int = 0
+    timeouts: int = 0
+    poisoned: int = 0
+    degraded: bool = False
+
+    def as_dict(self) -> dict:
+        return {"retries": self.retries, "pool_losses": self.pool_losses,
+                "timeouts": self.timeouts, "poisoned": self.poisoned,
+                "degraded": self.degraded}
+
+
+# -- deterministic fault injection -------------------------------------------
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injected fault: fire ``mode`` at (site, index, attempt).
+
+    ``index``/``attempt`` of ``-1`` match every item / every attempt; a
+    rule with a concrete attempt models a *transient* fault (fails that
+    attempt, succeeds on retry), an any-attempt rule models *poison*
+    (fails until retries exhaust).
+    """
+
+    site: str
+    index: int
+    mode: str
+    attempt: int = -1
+
+
+class FaultInjector:
+    """Deterministic fault injection, driven by a compact spec string.
+
+    Spec grammar (comma-separated rules)::
+
+        site:index:mode[:attempt]
+
+    where ``index`` and ``attempt`` are integers or ``*`` (any), and
+    ``mode`` is ``raise`` | ``crash`` | ``hang``.  Examples::
+
+        bulk-annotate:2:crash:0     # kill the worker on chunk 2, try 0
+        bulk-annotate:1:raise       # chunk 1 is poison (fails every try)
+        timeline:0:hang:0           # snapshot 0 hangs on its first try
+
+    The spec usually arrives via :data:`ENV_FAULT_INJECT`, which worker
+    processes inherit, so one environment variable drives injection on
+    both sides of the pool.
+    """
+
+    def __init__(self, rules: Tuple[FaultRule, ...] = ()) -> None:
+        self.rules = tuple(rules)
+
+    def __bool__(self) -> bool:
+        return bool(self.rules)
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultInjector":
+        """Build an injector from a spec string ('' = inject nothing)."""
+        rules = []
+        for token in spec.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            parts = token.split(":")
+            if len(parts) not in (3, 4):
+                raise ValueError("bad fault rule %r (want "
+                                 "site:index:mode[:attempt])" % token)
+            site, index_text, mode = parts[0], parts[1], parts[2]
+            if mode not in _MODES:
+                raise ValueError("bad fault mode %r (expected one of %s)"
+                                 % (mode, ", ".join(_MODES)))
+            attempt_text = parts[3] if len(parts) == 4 else "*"
+            rules.append(FaultRule(
+                site=site,
+                index=-1 if index_text == "*" else int(index_text),
+                mode=mode,
+                attempt=-1 if attempt_text == "*" else int(attempt_text)))
+        return cls(tuple(rules))
+
+    def fire(self, site: str, index: int, attempt: int) -> None:
+        """Trigger the first matching rule (no-op when none match)."""
+        for rule in self.rules:
+            if rule.site != site:
+                continue
+            if rule.index not in (-1, index):
+                continue
+            if rule.attempt not in (-1, attempt):
+                continue
+            self._trigger(rule, site, index, attempt)
+            return
+
+    @staticmethod
+    def _trigger(rule: FaultRule, site: str, index: int,
+                 attempt: int) -> None:
+        if rule.mode == MODE_CRASH:
+            # Die the way an OOM-killed worker dies: no cleanup, no
+            # exception, the pool just loses the process.
+            os._exit(CRASH_EXIT_STATUS)
+        if rule.mode == MODE_HANG:
+            time.sleep(float(os.environ.get(ENV_HANG_SECONDS, "60")))
+            return  # a hang that outlives the timeout was already charged
+        raise InjectedFault("injected fault at %s[%d] attempt %d"
+                            % (site, index, attempt))
+
+
+_EMPTY_INJECTOR = FaultInjector()
+_injector_cache: Tuple[str, FaultInjector] = ("", _EMPTY_INJECTOR)
+
+
+def injector_from_env() -> FaultInjector:
+    """The injector :data:`ENV_FAULT_INJECT` describes (cached by spec)."""
+    global _injector_cache
+    spec = os.environ.get(ENV_FAULT_INJECT, "")
+    if spec != _injector_cache[0]:
+        _injector_cache = (spec, FaultInjector.parse(spec))
+    return _injector_cache[1]
+
+
+def maybe_inject(site: str, index: int, attempt: int) -> None:
+    """Fire any env-configured fault for (site, index, attempt)."""
+    if ENV_FAULT_INJECT not in os.environ:
+        return
+    injector_from_env().fire(site, index, attempt)
+
+
+class ResilientCall:
+    """Worker-side wrapper pairing fault injection with the real work.
+
+    The dispatcher ships ``(index, attempt, item)`` tuples; the wrapper
+    fires any injected fault for that coordinate, then runs ``func`` on
+    the bare item.  Module-level and attribute-only, so the process
+    backend can pickle it.
+    """
+
+    def __init__(self, func: Callable, site: str) -> None:
+        self.func = func
+        self.site = site
+
+    def __call__(self, packed: Tuple[int, int, object]) -> object:
+        index, attempt, item = packed
+        maybe_inject(self.site, index, attempt)
+        return self.func(item)
+
+
+def call_with_retry(call: ResilientCall, index: int, item: object,
+                    policy: RetryPolicy,
+                    on_retry: Optional[Callable] = None,
+                    stats: Optional[ResilienceStats] = None,
+                    sleep: Callable[[float], None] = time.sleep,
+                    attempts: int = 0) -> object:
+    """Run one item inline under ``policy`` (the serial execution path).
+
+    Transient faults are retried with deterministic backoff up to
+    ``policy.max_attempts``; poison faults (or exhausted retries) raise
+    :class:`PoisonItemError`.  Per-item timeouts are a pool feature and
+    are not enforced inline.  ``attempts`` seeds the failure count for
+    an item that already burned tries in a worker pool (the degraded
+    serial path) -- the attempt number is also what keeps a
+    :class:`FaultInjector` rule from re-firing forever.
+    """
+    while True:
+        try:
+            return call((index, attempts, item))
+        except Exception as exc:
+            attempts += 1
+            if not policy.is_transient(exc) \
+                    or attempts >= policy.max_attempts:
+                # The caller decides whether poison is fatal or
+                # substituted; stats.poisoned is counted there.
+                raise PoisonItemError(index, attempts, exc) from exc
+            if stats is not None:
+                stats.retries += 1
+            if on_retry is not None:
+                on_retry(item, attempts, exc)
+            sleep(policy.backoff(attempts))

@@ -13,8 +13,9 @@ import functools
 from typing import Dict, List, Optional
 
 from repro.core.hoiho import Hoiho, HoihoConfig, HoihoResult, \
-    _learn_items_worker
+    SITE_LEARN, _learn_items_worker
 from repro.core.parallel import ParallelConfig, parallel_map
+from repro.core.resilience import RetryPolicy
 from repro.eval.timeline import TrainingSet, build_timeline
 from repro.store import ArtifactStore, KIND_HOIHO, KIND_TIMELINE, KIND_WORLD
 from repro.topology.world import World, WorldConfig, generate_world
@@ -44,7 +45,9 @@ class ExperimentContext:
     :meth:`learn_timeline` learns one training set per task, and each
     :meth:`learned` call passes the policy down to
     :class:`~repro.core.hoiho.Hoiho` for per-suffix fan-out.  Parallel
-    results are bit-identical to serial ones.
+    results are bit-identical to serial ones.  ``retry`` arms the
+    resilient dispatcher on every one of those fan-outs (worker loss
+    and transient faults are absorbed; permanent failures still raise).
 
     ``store`` plugs in a persistent
     :class:`~repro.store.ArtifactStore`: generated worlds, built
@@ -60,7 +63,8 @@ class ExperimentContext:
                  itdk_labels: Optional[List[str]] = None,
                  include_pdb: bool = True,
                  parallel: Optional[ParallelConfig] = None,
-                 store: Optional[ArtifactStore] = None) -> None:
+                 store: Optional[ArtifactStore] = None,
+                 retry: Optional[RetryPolicy] = None) -> None:
         self.seed = seed
         self.scale = scale
         self.hoiho_config = hoiho_config or HoihoConfig()
@@ -68,6 +72,7 @@ class ExperimentContext:
         self.include_pdb = include_pdb
         self.parallel = parallel or ParallelConfig.serial()
         self.store = store
+        self.retry = retry
         self._world: Optional[World] = None
         self._routing: Optional[RoutingModel] = None
         self._timeline: Optional[List[TrainingSet]] = None
@@ -129,7 +134,8 @@ class ExperimentContext:
                 self.world, self.seed, self.routing,
                 itdk_labels=self.itdk_labels,
                 include_pdb=self.include_pdb,
-                parallel=self.parallel)
+                parallel=self.parallel,
+                retry=self.retry)
             if self.store is not None:
                 self.store.put(KIND_TIMELINE, self._timeline_payload(),
                                self._strip_worlds(self._timeline))
@@ -174,7 +180,8 @@ class ExperimentContext:
                     self._learned[label] = cached
                     return self._learned[label]
             training_set = self.training_set(label)
-            hoiho = Hoiho(self.hoiho_config, parallel=self.parallel)
+            hoiho = Hoiho(self.hoiho_config, parallel=self.parallel,
+                          retry=self.retry)
             self._learned[label] = hoiho.run(training_set.items)
             if self.store is not None:
                 self.store.put(KIND_HOIHO, self._hoiho_payload(label),
@@ -209,7 +216,8 @@ class ExperimentContext:
             worker = functools.partial(_learn_items_worker,
                                        self.hoiho_config)
             batches = [self.training_set(label).items for label in missing]
-            results = parallel_map(worker, batches, self.parallel)
+            results = parallel_map(worker, batches, self.parallel,
+                                   retry=self.retry, site=SITE_LEARN)
             for label, result in zip(missing, results):
                 self._learned[label] = result
                 if self.store is not None:

@@ -20,10 +20,12 @@ from repro.core.types import TrainingItem
 from repro.itdk.builder import BuildConfig
 from repro.naming.assigner import NamingConfig
 from repro.traceroute.campaign import CampaignConfig
+from repro.core.resilience import RetryPolicy
 from repro.pipeline import (
     METHOD_BDRMAPIT,
     METHOD_RTAA,
     PeeringDBTask,
+    SITE_TIMELINE,
     SnapshotResult,
     SnapshotSpec,
     SnapshotTask,
@@ -136,6 +138,7 @@ def build_timeline(world: World, seed: int,
                    itdk_labels: Optional[List[str]] = None,
                    include_pdb: bool = True,
                    parallel: Optional[ParallelConfig] = None,
+                   retry: Optional[RetryPolicy] = None,
                    ) -> List[TrainingSet]:
     """Produce all training sets for ``world``.
 
@@ -145,13 +148,17 @@ def build_timeline(world: World, seed: int,
     generated in timeline order and ``parallel_map`` preserves input
     order, so parallel output is byte-identical to serial output (each
     snapshot is an independent deterministic function of the world and
-    its spec).
+    its spec).  ``retry`` arms the resilient dispatcher: transient
+    worker faults and pool losses are retried instead of aborting the
+    build (a snapshot that fails permanently still raises -- a timeline
+    with holes would silently skew every downstream experiment).
     """
     if routing is None:
         routing = RoutingModel(world.graph)
     parallel = parallel or ParallelConfig.serial()
     tasks = _timeline_tasks(world, seed, routing, itdk_labels, include_pdb)
-    results = parallel_map(_timeline_worker, tasks, parallel)
+    results = parallel_map(_timeline_worker, tasks, parallel,
+                           retry=retry, site=SITE_TIMELINE)
 
     sets: List[TrainingSet] = []
     for task, result in zip(tasks, results):

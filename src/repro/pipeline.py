@@ -147,6 +147,10 @@ def run_peeringdb_snapshot(world: World, seed: int, label: str,
 # producers for the timeline's per-snapshot fan-out
 # (:func:`repro.eval.timeline.build_timeline`).
 
+#: Fault-injection site label for the snapshot fan-out (one item per
+#: :class:`SnapshotTask` / :class:`PeeringDBTask`, in timeline order).
+SITE_TIMELINE = "timeline"
+
 @dataclass(frozen=True)
 class SnapshotTask:
     """One ITDK snapshot to build in a worker process."""

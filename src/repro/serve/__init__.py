@@ -25,7 +25,9 @@ CLI surface: ``repro-hoiho annotate`` (bulk), ``repro-hoiho serve``
 
 from repro.serve.engine import (
     BulkAnnotator,
+    Checkpoint,
     DEFAULT_CHUNK_SIZE,
+    DeadLetter,
     SINKS,
     iter_hostnames,
     jsonl_line,
@@ -49,8 +51,10 @@ __all__ = [
     "AnnotationPlan",
     "AnnotationService",
     "BulkAnnotator",
+    "Checkpoint",
     "Counter",
     "DEFAULT_CHUNK_SIZE",
+    "DeadLetter",
     "DispatchIndex",
     "Histogram",
     "LabelledCounter",

@@ -15,6 +15,18 @@ to millions of PTR records):
   service's serialized conventions, via the pool initializer) and then
   annotate chunk after chunk.  Results come back in input order, so
   parallel output is byte-identical to serial output.
+* **fault tolerance** -- with a
+  :class:`~repro.core.resilience.RetryPolicy`, worker crashes rebuild
+  the pool and replay in-flight chunks, transient faults retry with
+  deterministic backoff, and a chunk that fails permanently is
+  **dead-lettered**: recorded on :attr:`BulkAnnotator.dead_letters`,
+  counted in the ``errors`` counter, and annotated as misses instead of
+  killing the stream.  Retries bump the ``retries`` counter, so
+  ``repro-hoiho serve-stats`` shows what a run survived.
+* **checkpoint/resume** -- :meth:`BulkAnnotator.annotate_to` accepts a
+  :class:`Checkpoint` sidecar recording the last durably-written chunk;
+  an interrupted run resumed from the sidecar produces output
+  byte-identical to an uninterrupted one.
 * **sinks** -- TSV (``hostname<TAB>asn-or--``, the historical ``apply``
   format) and JSONL (one ``{"hostname":..., "asn":...}`` object per
   line) writers.
@@ -27,7 +39,11 @@ latency histograms remain a per-request-API feature.
 
 from __future__ import annotations
 
+import itertools
 import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
 from typing import (
     Callable,
     Dict,
@@ -37,9 +53,11 @@ from typing import (
     List,
     Optional,
     Tuple,
+    Union,
 )
 
 from repro.core.parallel import ParallelConfig, stream_map
+from repro.core.resilience import PoisonItemError, RetryPolicy
 from repro.serve.index import DispatchIndex
 from repro.serve.metrics import merge_outcomes
 from repro.serve.service import AnnotationService
@@ -47,6 +65,9 @@ from repro.serve.service import AnnotationService
 #: Hostnames per dispatched chunk; large enough to amortise pickling,
 #: small enough that a handful of in-flight chunks stay cheap.
 DEFAULT_CHUNK_SIZE = 2048
+
+#: Fault-injection site label for the bulk annotation fan-out.
+SITE_BULK_ANNOTATE = "bulk-annotate"
 
 
 def iter_hostnames(lines: Iterable[str]) -> Iterator[str]:
@@ -117,42 +138,168 @@ SINKS: Dict[str, Callable[[str, Optional[int]], str]] = {
 }
 
 
+# -- checkpoint/resume -------------------------------------------------------
+
+@dataclass
+class DeadLetter:
+    """One chunk that failed permanently and was annotated as misses."""
+
+    index: int                 # chunk index in dispatch order
+    hostnames: List[str]
+    error: str                 # final underlying failure, stringified
+    attempts: int
+
+
+class Checkpoint:
+    """A progress sidecar making :meth:`BulkAnnotator.annotate_to`
+    resumable.
+
+    The sidecar records, after each durably-flushed chunk, how many
+    requests (== output lines; both sinks emit exactly one line per
+    hostname) have been written.  On resume the engine truncates the
+    output file back to that many lines -- discarding any partial tail
+    a crash left behind -- skips that many input hostnames, and
+    continues, so the final bytes are identical to an uninterrupted
+    run.  Sidecar writes are atomic (tmp + ``os.replace``), so the
+    recorded progress never overstates what the output file holds.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def load(self) -> Optional[Dict[str, object]]:
+        """The recorded progress, or ``None`` when starting fresh.
+
+        An unreadable sidecar is an error, not a silent restart -- a
+        fresh run would overwrite output the operator asked to resume.
+        """
+        if not self.path.exists():
+            return None
+        with open(self.path, encoding="utf-8") as handle:
+            state = json.load(handle)
+        for key in ("requests", "annotated", "errors", "fmt"):
+            if key not in state:
+                raise ValueError("checkpoint %s is missing %r"
+                                 % (self.path, key))
+        return state
+
+    def record(self, requests: int, annotated: int, errors: int,
+               fmt: str, chunk_size: int, complete: bool = False) -> None:
+        """Atomically persist progress through the last flushed chunk."""
+        tmp = self.path.with_name(self.path.name + ".tmp.%d" % os.getpid())
+        state = {"requests": requests, "annotated": annotated,
+                 "errors": errors, "fmt": fmt, "chunk_size": chunk_size,
+                 "complete": complete}
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(state, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, self.path)
+
+
+def _resume_output(out: IO[str], lines_done: int) -> None:
+    """Truncate ``out`` to its first ``lines_done`` lines and position
+    the handle at the new end (discards any partial tail)."""
+    if not out.seekable():
+        raise ValueError("checkpoint resume needs a seekable output "
+                         "(a file, not a pipe)")
+    out.seek(0)
+    for _ in range(lines_done):
+        if not out.readline():
+            raise ValueError(
+                "output holds fewer lines than the checkpoint records "
+                "(%d expected); wrong --out file?" % lines_done)
+    # Text-mode readline() read-ahead leaves the underlying buffer past
+    # the logical position; re-seeking to the told cookie resets it so
+    # the no-arg truncate cuts at the right byte.
+    out.seek(out.tell())
+    out.truncate()
+
+
 class BulkAnnotator:
     """Order-preserving bulk annotation over a service.
 
     ``parallel`` fans chunks out over worker processes; output is
     byte-identical to the serial path because chunks are dispatched and
     yielded in input order and every worker runs the same dispatch
-    logic over the same serialized conventions.
+    logic over the same serialized conventions.  ``retry`` arms the
+    resilient dispatcher: worker loss replays in-flight chunks, and
+    permanently failing chunks dead-letter as misses instead of
+    aborting the stream -- still byte-identical for every chunk that
+    survives.
     """
 
     def __init__(self, service: AnnotationService,
                  parallel: Optional[ParallelConfig] = None,
                  chunk_size: int = DEFAULT_CHUNK_SIZE,
-                 window: Optional[int] = None) -> None:
+                 window: Optional[int] = None,
+                 retry: Optional[RetryPolicy] = None) -> None:
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1, got %d" % chunk_size)
         self.service = service
         self.parallel = parallel or ParallelConfig.serial()
         self.chunk_size = chunk_size
         self.window = window
+        self.retry = retry
+        self.dead_letters: List[DeadLetter] = []
+        # Created up front so stats snapshots show zeros before (and
+        # without) any faults.
+        self._errors = service.metrics.counter("errors")
+        self._retries = service.metrics.counter("retries")
 
-    def annotate(self, hostnames: Iterable[str],
-                 ) -> Iterator[Tuple[str, Optional[int]]]:
-        """Lazily yield ``(hostname, annotation)`` in input order."""
+    # -- fault hooks ---------------------------------------------------------
+
+    def _on_poison(self, chunk: List[str],
+                   error: PoisonItemError) -> List[Tuple[str, Optional[int]]]:
+        """Dead-letter a permanently failed chunk as misses."""
+        self.dead_letters.append(DeadLetter(
+            index=error.index, hostnames=list(chunk),
+            error="%s: %s" % (type(error.cause).__name__, error.cause),
+            attempts=error.attempts))
+        self._errors.inc(len(chunk))
+        return [(hostname, None) for hostname in chunk]
+
+    def _on_retry(self, chunk: List[str], attempts: int,
+                  exc: Optional[BaseException]) -> None:
+        self._retries.inc()
+
+    # -- annotation ----------------------------------------------------------
+
+    def _annotate_chunks(self, hostnames: Iterable[str],
+                         ) -> Iterator[List[Tuple[str, Optional[int]]]]:
+        """Lazily yield per-chunk ``(hostname, annotation)`` lists in
+        input order, folding aggregate metrics into the service."""
         if not self.parallel.is_parallel:
             # Serial: straight through the service (full per-request
-            # metrics, no serialization round-trip).
-            yield from self.service.annotate_pairs(hostnames)
+            # metrics, no serialization round-trip).  Worker faults
+            # cannot happen in-process, so the retry policy is moot.
+            yield from _chunked_pairs(
+                self.service.annotate_pairs(hostnames), self.chunk_size)
             return
         chunks = _chunked(hostnames, self.chunk_size)
         results = stream_map(
             _annotate_chunk, chunks, self.parallel, window=self.window,
             initializer=_init_annotation_worker,
-            initargs=(self.service.to_json(),))
+            initargs=(self.service.to_json(),),
+            retry=self.retry, site=SITE_BULK_ANNOTATE,
+            on_poison=self._on_poison if self.retry is not None else None,
+            on_retry=self._on_retry if self.retry is not None else None)
         for pairs in results:
             annotated = sum(1 for _, asn in pairs if asn is not None)
             merge_outcomes(self.service.metrics, len(pairs), annotated)
+            yield pairs
+
+    def annotate(self, hostnames: Iterable[str],
+                 ) -> Iterator[Tuple[str, Optional[int]]]:
+        """Lazily yield ``(hostname, annotation)`` in input order.
+
+        In serial mode this is item-by-item lazy; in parallel mode the
+        chunk window bounds how far ahead of the consumer input is
+        pulled.
+        """
+        if not self.parallel.is_parallel:
+            yield from self.service.annotate_pairs(hostnames)
+            return
+        for pairs in self._annotate_chunks(hostnames):
             yield from pairs
 
     def annotate_lines(self, lines: Iterable[str],
@@ -161,22 +308,87 @@ class BulkAnnotator:
         return self.annotate(iter_hostnames(lines))
 
     def annotate_to(self, hostnames: Iterable[str], out: IO[str],
-                    fmt: str = "tsv") -> Dict[str, int]:
+                    fmt: str = "tsv",
+                    checkpoint: Optional[Checkpoint] = None,
+                    ) -> Dict[str, int]:
         """Stream annotations for ``hostnames`` into ``out``.
 
+        With ``checkpoint``, progress is recorded after every flushed
+        chunk and a prior interrupted run is resumed: already-written
+        chunks are skipped (the input must be re-supplied from the
+        start), any partial tail in ``out`` is truncated, and the final
+        output is byte-identical to an uninterrupted run.
+
         Returns a summary: ``{"requests": n, "annotated": n,
-        "misses": n}``.
+        "misses": n, "errors": n}`` covering the whole logical run
+        (resumed work included).
         """
         try:
             sink = SINKS[fmt]
         except KeyError:
             raise ValueError("unknown sink format %r (expected one of %s)"
                              % (fmt, ", ".join(sorted(SINKS))))
-        requests = annotated = 0
-        for hostname, asn in self.annotate(hostnames):
-            out.write(sink(hostname, asn) + "\n")
-            requests += 1
-            if asn is not None:
-                annotated += 1
+        requests = annotated = base_errors = 0
+        if checkpoint is not None:
+            state = checkpoint.load()
+            if state is not None:
+                if state["fmt"] != fmt:
+                    raise ValueError(
+                        "checkpoint %s was written as %r, cannot resume "
+                        "as %r" % (checkpoint.path, state["fmt"], fmt))
+                requests = int(state["requests"])  # == lines written
+                annotated = int(state["annotated"])
+                base_errors = int(state["errors"])
+                _resume_output(out, requests)
+                hostnames = _drop(hostnames, requests)
+        dead_before = sum(len(d.hostnames) for d in self.dead_letters)
+        errors = base_errors
+        for pairs in self._annotate_chunks(hostnames):
+            for hostname, asn in pairs:
+                out.write(sink(hostname, asn) + "\n")
+                requests += 1
+                if asn is not None:
+                    annotated += 1
+            errors = base_errors + sum(
+                len(d.hostnames) for d in self.dead_letters) - dead_before
+            if checkpoint is not None:
+                _flush(out)
+                checkpoint.record(requests=requests, annotated=annotated,
+                                  errors=errors, fmt=fmt,
+                                  chunk_size=self.chunk_size)
+        if checkpoint is not None:
+            _flush(out)
+            checkpoint.record(requests=requests, annotated=annotated,
+                              errors=errors, fmt=fmt,
+                              chunk_size=self.chunk_size, complete=True)
         return {"requests": requests, "annotated": annotated,
-                "misses": requests - annotated}
+                "misses": requests - annotated, "errors": errors}
+
+
+def _chunked_pairs(pairs: Iterable[Tuple[str, Optional[int]]],
+                   size: int) -> Iterator[List[Tuple[str, Optional[int]]]]:
+    """Chunk an annotated pair stream (the serial engine path)."""
+    chunk: List[Tuple[str, Optional[int]]] = []
+    for pair in pairs:
+        chunk.append(pair)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def _drop(items: Iterable[str], count: int) -> Iterator[str]:
+    """Skip the first ``count`` items of a (lazily consumed) iterable."""
+    return itertools.islice(items, count, None)
+
+
+def _flush(out: IO[str]) -> None:
+    """Flush ``out`` as durably as the handle allows."""
+    out.flush()
+    fileno = getattr(out, "fileno", None)
+    if fileno is not None:
+        try:
+            os.fsync(fileno())
+        except (OSError, ValueError):
+            pass  # StringIO and friends: flush() is the best we get

@@ -253,14 +253,22 @@ def render_snapshot(snapshot: Dict[str, object],
 
 
 def merge_outcomes(registry: MetricsRegistry, requests: int,
-                   annotated: int) -> None:
+                   annotated: int, errors: int = 0,
+                   retries: int = 0) -> None:
     """Fold a bulk chunk's aggregate outcome into ``registry``.
 
     The bulk engine's worker processes keep no shared state; the parent
     calls this per chunk so ``requests``/``annotated``/``misses`` stay
     live even in parallel runs (per-suffix counts and latencies remain
-    a per-request-API feature).
+    a per-request-API feature).  ``errors`` counts hostnames that were
+    dead-lettered (they still count as requests and misses) and
+    ``retries`` counts retried dispatches; both default to 0 so the
+    fault-free path stays unchanged.
     """
     registry.counter("requests").inc(requests)
     registry.counter("annotated").inc(annotated)
     registry.counter("misses").inc(requests - annotated)
+    if errors:
+        registry.counter("errors").inc(errors)
+    if retries:
+        registry.counter("retries").inc(retries)

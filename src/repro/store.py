@@ -37,8 +37,10 @@ from typing import Dict, List, Mapping, Optional, Union
 
 logger = logging.getLogger(__name__)
 
-#: Version of the pickled artifact layouts; part of every fingerprint.
-STORE_SCHEMA_VERSION = 1
+#: Version of the pickled artifact layouts and the fingerprint keying
+#: scheme; part of every fingerprint.  v2: dict keys are type-tagged
+#: tokens and the payload nests beside the schema version.
+STORE_SCHEMA_VERSION = 2
 
 #: Artifact kinds the store recognises (a kind is just a subdirectory).
 KIND_WORLD = "worlds"
@@ -46,14 +48,39 @@ KIND_TIMELINE = "timelines"
 KIND_HOIHO = "hoiho"
 
 
+def _key_token(key: object) -> str:
+    """A JSON dict key that is both *sortable* and *type-faithful*.
+
+    Plain ``str(key)`` would alias ``{1: x}`` with ``{"1": x}`` (two
+    distinct configs sharing a cache entry), and ``sorted(items())`` on
+    mixed-type keys raises ``TypeError``.  Prefixing every key with a
+    type tag fixes both: tokens are plain strings (always sortable) and
+    keys of different types can never collide.
+    """
+    if isinstance(key, str):
+        return "s:" + key
+    if isinstance(key, bool):  # before int: bool is an int subclass
+        return "b:%r" % key
+    if isinstance(key, int):
+        return "i:%d" % key
+    if isinstance(key, float):
+        return "f:%r" % key
+    if key is None:
+        return "n:"
+    return "r:" + repr(key)
+
+
 def _canonical(value: object) -> object:
     """Make ``value`` JSON-stable: dataclasses become sorted dicts,
-    tuples become lists, sets become sorted lists."""
+    tuples become lists, sets become sorted lists, and dict keys become
+    type-tagged tokens sorted by their stringified form."""
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {f.name: _canonical(getattr(value, f.name))
                 for f in dataclasses.fields(value)}
     if isinstance(value, Mapping):
-        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+        return {token: _canonical(item)
+                for token, item in sorted(
+                    (_key_token(k), v) for k, v in value.items())}
     if isinstance(value, (list, tuple)):
         return [_canonical(v) for v in value]
     if isinstance(value, (set, frozenset)):
@@ -64,9 +91,15 @@ def _canonical(value: object) -> object:
 
 
 def fingerprint(payload: Mapping) -> str:
-    """SHA-256 of the canonical JSON of ``payload`` + schema version."""
-    keyed = {"schema": STORE_SCHEMA_VERSION}
-    keyed.update(_canonical(payload))
+    """SHA-256 of the canonical JSON of ``payload`` + schema version.
+
+    The payload nests under its own key so none of its entries can
+    collide with the envelope -- a payload key named ``"schema"`` must
+    not overwrite the store schema version, or version bumps would stop
+    invalidating exactly the entries that carry that key.
+    """
+    keyed = {"schema": STORE_SCHEMA_VERSION,
+             "payload": _canonical(payload)}
     text = json.dumps(keyed, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
@@ -132,21 +165,35 @@ class ArtifactStore:
     def put(self, kind: str, payload: Mapping, artifact: object) -> Path:
         """Persist ``artifact`` under ``payload``'s fingerprint.
 
-        Writes go through a temporary file + rename so a crashed run
-        never leaves a half-written pickle behind.
+        Both the pickle and its ``.json`` sidecar go through a
+        temporary file + atomic rename, so a crashed run never leaves a
+        half-written pickle *or* a truncated sidecar next to a valid
+        one.  Orphaned temporaries from crashes are reaped by
+        :meth:`clear` and reported by :meth:`info`.
         """
         path = self.path_for(kind, payload)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp.%d" % os.getpid())
-        with open(tmp, "wb") as handle:
-            pickle.dump(artifact, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
+        tmp = path.with_suffix(".pkl.tmp.%d" % os.getpid())
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(artifact, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
         meta = path.with_suffix(".json")
-        with open(meta, "w", encoding="utf-8") as handle:
-            json.dump({"schema": STORE_SCHEMA_VERSION,
-                       "payload": _canonical(payload)},
-                      handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        meta_tmp = path.with_suffix(".json.tmp.%d" % os.getpid())
+        try:
+            with open(meta_tmp, "w", encoding="utf-8") as handle:
+                json.dump({"schema": STORE_SCHEMA_VERSION,
+                           "payload": _canonical(payload)},
+                          handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(meta_tmp, meta)
+        finally:
+            if meta_tmp.exists():
+                meta_tmp.unlink()
         self.stats.writes += 1
         return path
 
@@ -157,6 +204,12 @@ class ArtifactStore:
         if not self.root.is_dir():
             return []
         return sorted(self.root.glob("*/*.pkl"))
+
+    def stale_tmp(self) -> List[Path]:
+        """Orphaned temporaries left behind by crashed writers."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.tmp.*"))
 
     def info(self) -> Dict[str, object]:
         """Summary for ``repro-hoiho cache info``."""
@@ -175,11 +228,14 @@ class ArtifactStore:
             "kinds": kinds,
             "entries": sum(k["entries"] for k in kinds.values()),
             "bytes": total_bytes,
+            "stale_tmp": len(self.stale_tmp()),
             "session": self.stats.as_dict(),
         }
 
     def clear(self) -> int:
-        """Delete every artifact (and sidecar); returns entries removed."""
+        """Delete every artifact (plus sidecars and any stale
+        temporaries left by crashed writers); returns entries removed.
+        Stale temporaries do not count as entries."""
         removed = 0
         for path in self.entries():
             sidecar = path.with_suffix(".json")
@@ -187,4 +243,6 @@ class ArtifactStore:
             if sidecar.is_file():
                 sidecar.unlink()
             removed += 1
+        for tmp in self.stale_tmp():
+            tmp.unlink()
         return removed

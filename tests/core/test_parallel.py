@@ -44,7 +44,13 @@ class TestParallelConfig:
 
     def test_from_jobs_serial(self):
         assert not ParallelConfig.from_jobs(1).is_parallel
-        assert not ParallelConfig.from_jobs(-3).is_parallel
+
+    def test_from_jobs_negative_rejected(self):
+        # Regression: -1 used to silently mean serial, hiding typos.
+        with pytest.raises(ValueError, match="--jobs"):
+            ParallelConfig.from_jobs(-1)
+        with pytest.raises(ValueError):
+            ParallelConfig.from_jobs(-3)
 
     def test_from_jobs_parallel(self):
         config = ParallelConfig.from_jobs(4)

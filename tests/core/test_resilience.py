@@ -1,0 +1,302 @@
+"""Tests for the fault-tolerant parallel core.
+
+Covers the policy vocabulary (:class:`RetryPolicy`, classification,
+:class:`FaultInjector`) and the resilient dispatcher in
+:mod:`repro.core.parallel`: transient retry, poison fail-fast,
+worker-crash recovery, per-item timeout, degrade-to-serial, and prompt
+shutdown when a streaming consumer stops early.
+"""
+
+import time
+
+import pytest
+
+from repro.core.parallel import ParallelConfig, parallel_map, stream_map
+from repro.core.resilience import (
+    CRASH_EXIT_STATUS,
+    ENV_FAULT_INJECT,
+    ENV_HANG_SECONDS,
+    FaultInjector,
+    FaultRule,
+    InjectedFault,
+    PoisonItemError,
+    ResilienceStats,
+    RetryPolicy,
+    TransientError,
+    call_with_retry,
+    ResilientCall,
+)
+
+TWO_WORKERS = ParallelConfig(workers=2, backend="process")
+
+
+def double(x):
+    return 2 * x
+
+
+def slow_double(x):
+    time.sleep(0.2)
+    return 2 * x
+
+
+class FlakyOnce:
+    """Callable failing transiently on chosen values, once each."""
+
+    def __init__(self, failing):
+        self.failing = set(failing)
+
+    def __call__(self, x):
+        if x in self.failing:
+            self.failing.discard(x)
+            raise TransientError("flaky on %r" % x)
+        return 2 * x
+
+
+def raise_value_error(x):
+    raise ValueError("poison %r" % x)
+
+
+class TestRetryPolicy:
+    def test_defaults_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+        assert policy.timeout is None
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"backoff_base": -1.0},
+        {"backoff_factor": 0.5},
+        {"backoff_max": -0.1},
+        {"timeout": 0},
+        {"timeout": -3.0},
+        {"pool_rebuilds": -1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_backoff_deterministic_exponential(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0,
+                             backoff_max=0.5)
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(3) == pytest.approx(0.4)
+        assert policy.backoff(4) == pytest.approx(0.5)   # capped
+        assert policy.backoff(9) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            policy.backoff(0)
+
+    def test_classification(self):
+        policy = RetryPolicy()
+        assert policy.is_transient(TransientError("x"))
+        assert policy.is_transient(InjectedFault("x"))
+        assert policy.is_transient(OSError("pipe"))
+        assert policy.is_transient(TimeoutError("late"))
+        assert not policy.is_transient(ValueError("bad data"))
+        assert not policy.is_transient(KeyError("missing"))
+
+    def test_custom_transient_types(self):
+        policy = RetryPolicy(transient=(KeyError,))
+        assert policy.is_transient(KeyError("k"))
+        assert not policy.is_transient(OSError("no longer transient"))
+
+    def test_from_flags(self):
+        assert RetryPolicy.from_flags(0) is None
+        policy = RetryPolicy.from_flags(2, backoff=0.01)
+        assert policy.max_attempts == 3
+        assert policy.backoff_base == pytest.approx(0.01)
+        with pytest.raises(ValueError):
+            RetryPolicy.from_flags(-1)
+
+
+class TestFaultInjector:
+    def test_parse_rules(self):
+        injector = FaultInjector.parse(
+            "learn:2:crash:0, timeline:*:raise ,bulk-annotate:1:hang:3")
+        assert injector.rules == (
+            FaultRule("learn", 2, "crash", 0),
+            FaultRule("timeline", -1, "raise", -1),
+            FaultRule("bulk-annotate", 1, "hang", 3),
+        )
+        assert bool(injector)
+        assert not FaultInjector.parse("")
+
+    @pytest.mark.parametrize("spec", ["nope", "a:b", "s:1:explode",
+                                      "s:1:raise:2:9"])
+    def test_parse_rejects_bad_specs(self, spec):
+        with pytest.raises(ValueError):
+            FaultInjector.parse(spec)
+
+    def test_fire_matches_site_index_attempt(self):
+        injector = FaultInjector.parse("learn:2:raise:1")
+        injector.fire("learn", 2, 0)        # wrong attempt: no-op
+        injector.fire("learn", 3, 1)        # wrong index: no-op
+        injector.fire("other", 2, 1)        # wrong site: no-op
+        with pytest.raises(InjectedFault):
+            injector.fire("learn", 2, 1)
+
+    def test_wildcards(self):
+        injector = FaultInjector.parse("learn:*:raise")
+        for index in (0, 7):
+            for attempt in (0, 2):
+                with pytest.raises(InjectedFault):
+                    injector.fire("learn", index, attempt)
+
+    def test_crash_exit_status_reserved(self):
+        # The crash path calls os._exit; just pin the contract values.
+        assert CRASH_EXIT_STATUS == 86
+        assert ENV_FAULT_INJECT == "REPRO_FAULT_INJECT"
+
+
+class TestCallWithRetry:
+    def test_retries_then_succeeds(self):
+        sleeps = []
+        stats = ResilienceStats()
+        call = ResilientCall(FlakyOnce([5]), "t")
+        result = call_with_retry(call, 0, 5, RetryPolicy(backoff_base=0.5),
+                                 stats=stats, sleep=sleeps.append)
+        assert result == 10
+        assert stats.retries == 1
+        assert sleeps == [pytest.approx(0.5)]
+
+    def test_poison_raises_immediately(self):
+        call = ResilientCall(raise_value_error, "t")
+        with pytest.raises(PoisonItemError) as info:
+            call_with_retry(call, 3, "x", RetryPolicy(), sleep=lambda s: None)
+        assert info.value.index == 3
+        assert info.value.attempts == 1        # no retry burned
+        assert isinstance(info.value.cause, ValueError)
+
+    def test_transient_exhaustion_poisons(self):
+        call = ResilientCall(FlakyOnce([1, 1]), "t")
+
+        def always_flaky(x):
+            raise TransientError("never recovers")
+        call = ResilientCall(always_flaky, "t")
+        with pytest.raises(PoisonItemError) as info:
+            call_with_retry(call, 0, 1, RetryPolicy(max_attempts=2),
+                            sleep=lambda s: None)
+        assert info.value.attempts == 2
+
+    def test_seeded_attempts_shrink_budget(self):
+        def always_flaky(x):
+            raise TransientError("never recovers")
+        call = ResilientCall(always_flaky, "t")
+        with pytest.raises(PoisonItemError) as info:
+            call_with_retry(call, 0, 1, RetryPolicy(max_attempts=3),
+                            sleep=lambda s: None, attempts=2)
+        assert info.value.attempts == 3        # only one more try ran
+
+
+class TestResilientDispatch:
+    """The retry-armed parallel_map/stream_map paths (serial backend)."""
+
+    def test_serial_transparent(self):
+        policy = RetryPolicy(backoff_base=0.0)
+        assert parallel_map(double, [1, 2, 3], ParallelConfig.serial(),
+                            retry=policy) == [2, 4, 6]
+
+    def test_serial_retries_transient(self):
+        stats = ResilienceStats()
+        policy = RetryPolicy(backoff_base=0.0)
+        out = list(stream_map(FlakyOnce([2, 4]), [1, 2, 3, 4],
+                              ParallelConfig.serial(), retry=policy,
+                              stats=stats))
+        assert out == [2, 4, 6, 8]
+        assert stats.retries == 2
+
+    def test_serial_poison_raises(self):
+        policy = RetryPolicy(backoff_base=0.0)
+        with pytest.raises(PoisonItemError):
+            list(stream_map(raise_value_error, ["a"],
+                            ParallelConfig.serial(), retry=policy))
+
+    def test_serial_poison_substituted(self):
+        policy = RetryPolicy(backoff_base=0.0)
+        subs = []
+
+        def on_poison(item, error):
+            subs.append((item, error.index))
+            return "filled"
+        out = list(stream_map(raise_value_error, ["a", "b"],
+                              ParallelConfig.serial(), retry=policy,
+                              on_poison=on_poison))
+        assert out == ["filled", "filled"]
+        assert subs == [("a", 0), ("b", 1)]
+
+
+@pytest.mark.slow
+class TestResilientPool:
+    """Pool-backed fault paths: crash, hang, degrade, abandonment.
+
+    Marked slow: each test pays process-pool startup, and the injected
+    faults add deliberate latency.  CI runs them in the fault-injection
+    job; ``pytest -m slow tests/core/test_resilience.py`` runs them
+    locally.
+    """
+
+    def test_parallel_retry_output_matches_serial(self, monkeypatch):
+        monkeypatch.setenv(ENV_FAULT_INJECT, "map:1:raise:0")
+        policy = RetryPolicy(backoff_base=0.0)
+        out = parallel_map(double, list(range(8)), TWO_WORKERS,
+                           retry=policy, site="map")
+        assert out == [2 * i for i in range(8)]
+
+    def test_worker_crash_recovered(self, monkeypatch):
+        monkeypatch.setenv(ENV_FAULT_INJECT, "stream:2:crash:0")
+        stats = ResilienceStats()
+        policy = RetryPolicy(backoff_base=0.0)
+        out = list(stream_map(double, list(range(6)), TWO_WORKERS,
+                              retry=policy, site="stream", stats=stats))
+        assert out == [0, 2, 4, 6, 8, 10]
+        assert stats.pool_losses >= 1
+        assert not stats.degraded
+
+    def test_hang_times_out_and_retries(self, monkeypatch):
+        monkeypatch.setenv(ENV_FAULT_INJECT, "stream:1:hang:0")
+        monkeypatch.setenv(ENV_HANG_SECONDS, "30")
+        stats = ResilienceStats()
+        policy = RetryPolicy(backoff_base=0.0, timeout=1.0)
+        start = time.monotonic()
+        out = list(stream_map(double, list(range(4)), TWO_WORKERS,
+                              retry=policy, site="stream", stats=stats))
+        elapsed = time.monotonic() - start
+        assert out == [0, 2, 4, 6]
+        assert stats.timeouts == 1
+        assert elapsed < 25, "timed-out item blocked the stream"
+
+    def test_repeated_pool_loss_degrades_to_serial(self, monkeypatch):
+        # Every attempt of item 1 crashes until the pool budget is
+        # spent; the dispatcher then degrades and finishes inline --
+        # where the injection rule no longer fires for the later
+        # attempt numbers the pool already charged.
+        monkeypatch.setenv(ENV_FAULT_INJECT,
+                           "stream:1:crash:0,stream:1:crash:1")
+        stats = ResilienceStats()
+        policy = RetryPolicy(max_attempts=4, backoff_base=0.0,
+                             pool_rebuilds=1)
+        out = list(stream_map(double, list(range(5)), TWO_WORKERS,
+                              retry=policy, site="stream", stats=stats))
+        assert out == [0, 2, 4, 6, 8]
+        assert stats.degraded
+        assert stats.pool_losses == 2
+
+    def test_abandoned_stream_shuts_down_promptly(self):
+        # Satellite regression: an early-stopping consumer must not
+        # hang in the generator's cleanup waiting for queued work.
+        start = time.monotonic()
+        stream = stream_map(slow_double, list(range(50)), TWO_WORKERS,
+                            window=4)
+        assert next(stream) == 0
+        stream.close()
+        assert time.monotonic() - start < 8, \
+            "abandoning the stream waited for queued items"
+
+    def test_abandoned_resilient_stream_shuts_down_promptly(self):
+        start = time.monotonic()
+        stream = stream_map(slow_double, list(range(50)), TWO_WORKERS,
+                            window=4, retry=RetryPolicy(backoff_base=0.0))
+        assert next(stream) == 0
+        stream.close()
+        assert time.monotonic() - start < 8, \
+            "abandoning the resilient stream waited for queued items"

@@ -168,7 +168,8 @@ class TestSinks:
             ["as100.pop0.example.com", "miss.unknown.net"], out)
         assert out.getvalue() == \
             "as100.pop0.example.com\t100\nmiss.unknown.net\t-\n"
-        assert summary == {"requests": 2, "annotated": 1, "misses": 1}
+        assert summary == {"requests": 2, "annotated": 1, "misses": 1,
+                           "errors": 0}
 
     def test_annotate_to_rejects_unknown_format(self):
         service = AnnotationService(learned_result())

@@ -1,0 +1,284 @@
+"""Fault-injection acceptance suite for resumable bulk annotation.
+
+Proves the three end-to-end robustness claims:
+
+a. a worker crash mid-annotate is absorbed and the output is
+   byte-identical to an unfaulted serial run;
+b. a poison chunk is dead-lettered (annotated as misses, counted in the
+   ``errors`` counter) without aborting the stream;
+c. a run killed mid-flight and rerun with the same ``--checkpoint``
+   resumes and produces byte-identical output.
+
+Pool-backed tests are marked slow (CI's fault-injection job and
+``pytest -m slow`` run them); the checkpoint tests run in tier 1.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.hoiho import Hoiho
+from repro.core.parallel import ParallelConfig
+from repro.core.resilience import ENV_FAULT_INJECT, RetryPolicy
+from repro.core.types import TrainingItem
+from repro.serve.engine import SITE_BULK_ANNOTATE, Checkpoint
+from repro.serve.service import AnnotationService
+from repro.serve import BulkAnnotator
+
+TWO_WORKERS = ParallelConfig(workers=2, backend="process")
+FAST_RETRY = RetryPolicy(backoff_base=0.0)
+
+
+def learned_result():
+    return Hoiho().run([
+        TrainingItem("as%d.pop%d.example.com" % (asn, i % 3), asn)
+        for i, asn in enumerate([3356, 1299, 174, 2914, 6453])])
+
+
+def workload(n=48):
+    hostnames = []
+    for i in range(n):
+        if i % 4 == 3:
+            hostnames.append("miss%d.unknown.net" % i)
+        else:
+            hostnames.append("as%d.pop%d.example.com" % (100 + i, i % 3))
+    return hostnames
+
+
+def serial_baseline(result, hostnames, fmt="tsv"):
+    out = io.StringIO()
+    summary = BulkAnnotator(AnnotationService(result),
+                            chunk_size=8).annotate_to(
+        iter(hostnames), out, fmt=fmt)
+    return out.getvalue(), summary
+
+
+@pytest.mark.slow
+class TestCrashRecovery:
+    def test_crash_mid_annotate_is_byte_identical(self, monkeypatch):
+        # Acceptance (a): kill the worker handling chunk 2 on its first
+        # attempt; the pool is rebuilt, the chunk replayed, and the
+        # output matches the unfaulted serial run byte for byte.
+        result = learned_result()
+        hostnames = workload()
+        baseline, base_summary = serial_baseline(result, hostnames)
+        monkeypatch.setenv(ENV_FAULT_INJECT,
+                           "%s:2:crash:0" % SITE_BULK_ANNOTATE)
+        service = AnnotationService(result)
+        annotator = BulkAnnotator(service, parallel=TWO_WORKERS,
+                                  chunk_size=8, retry=FAST_RETRY)
+        out = io.StringIO()
+        summary = annotator.annotate_to(iter(hostnames), out)
+        assert out.getvalue() == baseline
+        assert summary == base_summary
+        assert annotator.dead_letters == []
+        assert service.metrics.counter("errors").value == 0
+        assert service.metrics.counter("retries").value >= 1
+
+    def test_unfaulted_parallel_matches_serial(self):
+        result = learned_result()
+        hostnames = workload()
+        baseline, base_summary = serial_baseline(result, hostnames,
+                                                 fmt="jsonl")
+        out = io.StringIO()
+        summary = BulkAnnotator(
+            AnnotationService(result), parallel=TWO_WORKERS, chunk_size=8,
+            retry=FAST_RETRY).annotate_to(iter(hostnames), out, fmt="jsonl")
+        assert out.getvalue() == baseline
+        assert summary == base_summary
+
+
+@pytest.mark.slow
+class TestDeadLetters:
+    def test_poison_chunk_dead_lettered_not_fatal(self, monkeypatch):
+        # Acceptance (b): chunk 1 fails on every attempt; it must be
+        # recorded, annotated as misses, and counted in ``errors``
+        # while every other chunk annotates normally.
+        monkeypatch.setenv(ENV_FAULT_INJECT,
+                           "%s:1:raise" % SITE_BULK_ANNOTATE)
+        result = learned_result()
+        hostnames = workload()
+        service = AnnotationService(result)
+        annotator = BulkAnnotator(service, parallel=TWO_WORKERS,
+                                  chunk_size=8, retry=FAST_RETRY)
+        out = io.StringIO()
+        summary = annotator.annotate_to(iter(hostnames), out)
+        assert summary["requests"] == len(hostnames)
+        assert summary["errors"] == 8
+        assert len(annotator.dead_letters) == 1
+        dead = annotator.dead_letters[0]
+        assert dead.index == 1
+        assert dead.hostnames == hostnames[8:16]
+        assert dead.attempts == FAST_RETRY.max_attempts
+        assert "InjectedFault" in dead.error
+        lines = out.getvalue().splitlines()
+        assert len(lines) == len(hostnames)       # stream completed
+        assert all(line.endswith("\t-") for line in lines[8:16])
+        # metrics: dead-lettered hostnames count as requests + misses
+        # + errors, retried dispatches show up in ``retries``
+        counters = service.metrics
+        assert counters.counter("errors").value == 8
+        assert counters.counter("requests").value == len(hostnames)
+        assert counters.counter("retries").value == \
+            FAST_RETRY.max_attempts - 1
+
+
+class TestCheckpointResume:
+    def test_interrupted_run_resumes_byte_identically(self, tmp_path):
+        # Acceptance (c): a run killed after three chunks -- with a
+        # torn line from a mid-write kill -- resumes from the sidecar
+        # and converges on the exact serial bytes.
+        result = learned_result()
+        hostnames = workload()
+        baseline, base_summary = serial_baseline(result, hostnames)
+        out_path = tmp_path / "out.tsv"
+        checkpoint = Checkpoint(tmp_path / "progress.json")
+
+        lines = baseline.splitlines(True)
+        annotated_24 = sum(1 for line in lines[:24]
+                           if not line.rstrip("\n").endswith("\t-"))
+        checkpoint.record(requests=24, annotated=annotated_24, errors=0,
+                          fmt="tsv", chunk_size=8)
+        out_path.write_text("".join(lines[:24]) + "as1",  # torn tail
+                            encoding="utf-8")
+
+        with open(out_path, "r+", encoding="utf-8") as out:
+            summary = BulkAnnotator(
+                AnnotationService(result), chunk_size=8).annotate_to(
+                iter(hostnames), out, checkpoint=checkpoint)
+        assert out_path.read_text(encoding="utf-8") == baseline
+        assert summary == base_summary
+        state = json.loads(checkpoint.path.read_text(encoding="utf-8"))
+        assert state["complete"] is True
+        assert state["requests"] == len(hostnames)
+
+    def test_complete_run_resumes_as_noop(self, tmp_path):
+        result = learned_result()
+        hostnames = workload()
+        out_path = tmp_path / "out.tsv"
+        checkpoint = Checkpoint(tmp_path / "progress.json")
+        with open(out_path, "w", encoding="utf-8") as out:
+            first = BulkAnnotator(
+                AnnotationService(result), chunk_size=8).annotate_to(
+                iter(hostnames), out, checkpoint=checkpoint)
+        baseline = out_path.read_text(encoding="utf-8")
+        with open(out_path, "r+", encoding="utf-8") as out:
+            second = BulkAnnotator(
+                AnnotationService(result), chunk_size=8).annotate_to(
+                iter(hostnames), out, checkpoint=checkpoint)
+        assert out_path.read_text(encoding="utf-8") == baseline
+        assert second == first
+
+    def test_format_mismatch_rejected(self, tmp_path):
+        result = learned_result()
+        checkpoint = Checkpoint(tmp_path / "progress.json")
+        checkpoint.record(requests=0, annotated=0, errors=0,
+                          fmt="tsv", chunk_size=8)
+        with pytest.raises(ValueError, match="cannot resume"):
+            BulkAnnotator(AnnotationService(result)).annotate_to(
+                [], io.StringIO(), fmt="jsonl", checkpoint=checkpoint)
+
+    def test_truncated_sidecar_is_an_error(self, tmp_path):
+        checkpoint = Checkpoint(tmp_path / "progress.json")
+        checkpoint.path.write_text('{"requests": 4}', encoding="utf-8")
+        with pytest.raises(ValueError, match="missing"):
+            checkpoint.load()
+
+    def test_output_shorter_than_checkpoint_rejected(self, tmp_path):
+        result = learned_result()
+        checkpoint = Checkpoint(tmp_path / "progress.json")
+        checkpoint.record(requests=99, annotated=99, errors=0,
+                          fmt="tsv", chunk_size=8)
+        out_path = tmp_path / "out.tsv"
+        out_path.write_text("one.line\t-\n", encoding="utf-8")
+        with open(out_path, "r+", encoding="utf-8") as out:
+            with pytest.raises(ValueError, match="fewer lines"):
+                BulkAnnotator(AnnotationService(result)).annotate_to(
+                    workload(), out, checkpoint=checkpoint)
+
+    def test_unseekable_output_rejected(self, tmp_path):
+        result = learned_result()
+        checkpoint = Checkpoint(tmp_path / "progress.json")
+        checkpoint.record(requests=1, annotated=1, errors=0,
+                          fmt="tsv", chunk_size=8)
+
+        class Pipe(io.StringIO):
+            def seekable(self):
+                return False
+        with pytest.raises(ValueError, match="seekable"):
+            BulkAnnotator(AnnotationService(result)).annotate_to(
+                workload(), Pipe(), checkpoint=checkpoint)
+
+
+class TestCliFaultFlags:
+    def _conventions_file(self, tmp_path, capsys):
+        training = tmp_path / "train.txt"
+        training.write_text(
+            "as3356.lon1.example.com 3356\n"
+            "as1299.lon2.example.com 1299\n"
+            "as174.fra1.example.com 174\n"
+            "as2914.fra2.example.com 2914\n"
+            "as6453.ams1.example.com 6453\n", encoding="utf-8")
+        saved = tmp_path / "conv.json"
+        assert main(["learn", "--hostnames", str(training),
+                     "--save", str(saved)]) == 0
+        capsys.readouterr()
+        return saved
+
+    def test_negative_jobs_rejected(self, tmp_path, capsys):
+        # Regression (satellite): --jobs -1 used to silently run
+        # serially; now it is a usage error.
+        saved = self._conventions_file(tmp_path, capsys)
+        targets = tmp_path / "targets.txt"
+        targets.write_text("as1.ams1.example.com\n", encoding="utf-8")
+        assert main(["annotate", "--conventions", str(saved),
+                     "--hostnames", str(targets), "--jobs", "-1"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_negative_retries_rejected(self, tmp_path, capsys):
+        saved = self._conventions_file(tmp_path, capsys)
+        targets = tmp_path / "targets.txt"
+        targets.write_text("as1.ams1.example.com\n", encoding="utf-8")
+        assert main(["annotate", "--conventions", str(saved),
+                     "--hostnames", str(targets), "--retries", "-1"]) == 2
+        assert "retries" in capsys.readouterr().err
+
+    def test_checkpoint_requires_out_file(self, tmp_path, capsys):
+        saved = self._conventions_file(tmp_path, capsys)
+        targets = tmp_path / "targets.txt"
+        targets.write_text("as1.ams1.example.com\n", encoding="utf-8")
+        assert main(["annotate", "--conventions", str(saved),
+                     "--hostnames", str(targets),
+                     "--checkpoint", str(tmp_path / "ck.json")]) == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_checkpoint_round_trip(self, tmp_path, capsys):
+        saved = self._conventions_file(tmp_path, capsys)
+        targets = tmp_path / "targets.txt"
+        targets.write_text(
+            "".join("as%d.ams%d.example.com\n" % (100 + i, i % 4)
+                    for i in range(20)), encoding="utf-8")
+        base = tmp_path / "base.tsv"
+        assert main(["annotate", "--conventions", str(saved),
+                     "--hostnames", str(targets), "--chunk-size", "4",
+                     "--out", str(base)]) == 0
+        capsys.readouterr()
+
+        # interrupted run: two durable chunks plus a torn third line
+        out = tmp_path / "resumed.tsv"
+        checkpoint = tmp_path / "ck.json"
+        lines = base.read_text(encoding="utf-8").splitlines(True)
+        out.write_text("".join(lines[:8]) + "as10", encoding="utf-8")
+        Checkpoint(checkpoint).record(requests=8, annotated=8, errors=0,
+                                      fmt="tsv", chunk_size=4)
+        assert main(["annotate", "--conventions", str(saved),
+                     "--hostnames", str(targets), "--chunk-size", "4",
+                     "--out", str(out),
+                     "--checkpoint", str(checkpoint)]) == 0
+        capsys.readouterr()
+        assert out.read_text(encoding="utf-8") == \
+            base.read_text(encoding="utf-8")
+        assert json.loads(checkpoint.read_text(
+            encoding="utf-8"))["complete"] is True

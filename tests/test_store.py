@@ -55,6 +55,37 @@ class TestFingerprint:
                             STORE_SCHEMA_VERSION + 1)
         assert fingerprint(payload) != before
 
+    def test_payload_schema_key_does_not_mask_version(self, monkeypatch):
+        # Regression: a payload key named "schema" used to overwrite
+        # the store schema version in the fingerprint envelope, so a
+        # version bump failed to invalidate exactly those entries.
+        payload = {"schema": 123, "seed": 7}
+        before = fingerprint(payload)
+        monkeypatch.setattr("repro.store.STORE_SCHEMA_VERSION",
+                            STORE_SCHEMA_VERSION + 1)
+        assert fingerprint(payload) != before
+
+    def test_payload_schema_key_is_distinct(self):
+        # ...and the "schema" entry itself still contributes.
+        assert fingerprint({"schema": 1}) != fingerprint({"schema": 2})
+        assert fingerprint({"schema": STORE_SCHEMA_VERSION}) \
+            != fingerprint({})
+
+    def test_mixed_type_keys_fingerprint(self):
+        # Regression: sorted(value.items()) raised TypeError on
+        # mixed-type dict keys.
+        payload = {"m": {1: "a", "z": "b", None: "c", 2.5: "d"}}
+        assert fingerprint(payload) == fingerprint(payload)
+
+    def test_int_and_str_keys_do_not_alias(self):
+        # Regression: str(key) canonicalisation made {1: x} and
+        # {"1": x} share a fingerprint (two configs, one cache slot).
+        assert fingerprint({"m": {1: "x"}}) != fingerprint({"m": {"1": "x"}})
+        assert fingerprint({"m": {True: "x"}}) \
+            != fingerprint({"m": {1: "x"}})
+        assert fingerprint({"m": {None: "x"}}) \
+            != fingerprint({"m": {"None": "x"}})
+
 
 class TestStoreRoundTrip:
     def test_miss_then_hit(self, store):
@@ -87,7 +118,8 @@ class TestStoreRoundTrip:
         path = store.put(KIND_WORLD, payload, "artifact")
         sidecar = json.loads(path.with_suffix(".json").read_text())
         assert sidecar["schema"] == STORE_SCHEMA_VERSION
-        assert sidecar["payload"]["seed"] == 9
+        # canonical payload keys carry their type tag ("s:" = str)
+        assert sidecar["payload"]["s:seed"] == 9
 
     def test_contains(self, store):
         payload = {"seed": 2}
@@ -113,3 +145,48 @@ class TestStoreMaintenance:
         store = ArtifactStore(tmp_path / "never-created")
         assert store.info()["entries"] == 0
         assert store.clear() == 0
+
+
+class TestStoreDurability:
+    def test_sidecar_write_is_atomic(self, store, monkeypatch):
+        # Regression: the sidecar used to be written in place, so a
+        # crash mid-write left a truncated .json next to a valid .pkl.
+        # Now the failed write must leave no sidecar (and no tmp) at
+        # all -- the artifact itself is still durable.
+        payload = {"seed": 5}
+        store.put(KIND_WORLD, payload, "first")
+        path = store.path_for(KIND_WORLD, payload)
+        before = path.with_suffix(".json").read_text()
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("disk full")
+        monkeypatch.setattr("repro.store.json.dump", explode)
+        with pytest.raises(RuntimeError):
+            store.put(KIND_WORLD, payload, "second")
+        # old sidecar intact, not truncated, and no tmp left behind
+        assert path.with_suffix(".json").read_text() == before
+        assert store.stale_tmp() == []
+        # the pickle write succeeded before the sidecar exploded
+        assert store.get(KIND_WORLD, payload) == "second"
+
+    def test_pickle_write_failure_leaves_no_tmp(self, store, monkeypatch):
+        def explode(*args, **kwargs):
+            raise RuntimeError("disk full")
+        monkeypatch.setattr("repro.store.pickle.dump", explode)
+        with pytest.raises(RuntimeError):
+            store.put(KIND_WORLD, {"seed": 6}, "never lands")
+        assert store.stale_tmp() == []
+        assert not store.contains(KIND_WORLD, {"seed": 6})
+
+    def test_stale_tmp_reported_and_reaped(self, store):
+        # Regression: orphaned .tmp.<pid> files from a crashed writer
+        # were invisible to info() and survived clear() forever.
+        path = store.put(KIND_WORLD, {"seed": 7}, "fine")
+        orphan = path.parent / ("f" * 64 + ".pkl.tmp.12345")
+        orphan.write_bytes(b"half a pickle")
+        info = store.info()
+        assert info["stale_tmp"] == 1
+        assert info["entries"] == 1  # orphans are not entries
+        assert store.clear() == 1    # ...and do not count as removed
+        assert not orphan.exists()
+        assert store.stale_tmp() == []
