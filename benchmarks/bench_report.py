@@ -18,7 +18,11 @@ The JSON report tracks, across PRs:
 * the ``serve`` section: the linear apply loop vs suffix-trie dispatch
   (cold and warm) and serial vs parallel bulk annotation
   (``--serve-only`` refreshes just this section, as
-  ``make annotate-bench`` does).
+  ``make annotate-bench`` does);
+* the ``obs`` section: tracer overhead with tracing disabled (the
+  no-op span path, asserted under the 2% budget) and enabled
+  (``--obs-only`` refreshes just this section, as ``make obs-bench``
+  does).
 """
 
 from __future__ import annotations
@@ -26,8 +30,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.bench import render_report, write_pipeline_section, \
-    write_report, write_serve_section
+from repro.bench import render_report, write_obs_section, \
+    write_pipeline_section, write_report, write_serve_section
 
 
 def main(argv=None) -> int:
@@ -47,11 +51,16 @@ def main(argv=None) -> int:
     parser.add_argument("--serve-only", action="store_true",
                         help="refresh only the serve section of an "
                              "existing report")
+    parser.add_argument("--obs-only", action="store_true",
+                        help="refresh only the obs (tracer overhead) "
+                             "section of an existing report")
     args = parser.parse_args(argv)
     if args.pipeline_only:
         report = write_pipeline_section(args.output, jobs=args.jobs)
     elif args.serve_only:
         report = write_serve_section(args.output, jobs=args.jobs)
+    elif args.obs_only:
+        report = write_obs_section(args.output)
     else:
         report = write_report(args.output, rounds=args.rounds,
                               jobs=args.jobs)

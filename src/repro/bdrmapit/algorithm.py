@@ -37,6 +37,7 @@ from repro.asn.bgp import IXP_ASN, UNKNOWN_ASN
 from repro.asn.org import ASOrgMap
 from repro.asn.relationships import ASRelationships, Relationship
 from repro.bdrmapit.graph import NodeState, RouterGraph
+from repro.obs.trace import NULL_TRACER
 
 
 @dataclass
@@ -63,15 +64,29 @@ def _election(state: NodeState) -> Optional[int]:
 def annotate(graph: RouterGraph,
              relationships: ASRelationships,
              orgs: Optional[ASOrgMap] = None,
-             config: Optional[AnnotationConfig] = None) -> Dict[str, int]:
-    """Infer an operating AS for every node in the graph."""
+             config: Optional[AnnotationConfig] = None,
+             tracer=NULL_TRACER) -> Dict[str, int]:
+    """Infer an operating AS for every node in the graph.
+
+    ``tracer`` wraps the whole call in a ``bdrmapit.annotate`` span
+    with a ``bdrmapit.round`` child per pass over the graph.  This
+    reproduction's heuristics converge in a single pass (votes need no
+    prior annotations), so there is exactly one round -- the span
+    structure exists so the trace shape survives if iterative
+    refinement is ever added.
+    """
     config = config or AnnotationConfig()
     annotations: Dict[str, int] = {}
-    for node_id in graph.nodes():
-        decision = _annotate_node(graph.state(node_id), graph,
-                                  relationships, orgs, config)
-        if decision is not None:
-            annotations[node_id] = decision
+    with tracer.span("bdrmapit.annotate") as span:
+        nodes = list(graph.nodes())
+        with tracer.span("bdrmapit.round", round=1) as round_span:
+            for node_id in nodes:
+                decision = _annotate_node(graph.state(node_id), graph,
+                                          relationships, orgs, config)
+                if decision is not None:
+                    annotations[node_id] = decision
+            round_span.set(nodes=len(nodes), annotated=len(annotations))
+        span.set(nodes=len(nodes), annotated=len(annotations), rounds=1)
     return annotations
 
 

@@ -6,11 +6,13 @@ plus the pipeline kernels added in PR 2 (serial vs parallel timeline
 builds, eager vs lazy routing, cold vs warm artifact store) and the
 ``serve`` kernels added in PR 3 (linear ``HoihoResult.extract`` loop vs
 suffix-trie dispatch, cold vs warm service, serial vs parallel bulk
-annotation) and writes the numbers to ``BENCH_learner.json`` so the
-performance trajectory is tracked across PRs.  Run it via ``repro-hoiho
-bench``, ``make bench``, or ``python benchmarks/bench_report.py``;
-``make bench-pipeline`` / ``make annotate-bench`` refresh only the
-``pipeline`` / ``serve`` sections.
+annotation) and the ``obs`` section added in PR 5 (tracer overhead
+with tracing disabled and enabled, asserted against the <2% budget)
+and writes the numbers to ``BENCH_learner.json`` so the performance
+trajectory is tracked across PRs.  Run it via ``repro-hoiho bench``,
+``make bench``, or ``python benchmarks/bench_report.py``;
+``make bench-pipeline`` / ``make annotate-bench`` / ``make obs-bench``
+refresh only the ``pipeline`` / ``serve`` / ``obs`` sections.
 
 The learner and serving workloads are synthetic and fixed (no world
 generation); the pipeline kernels use a TINY world with a restricted
@@ -34,7 +36,10 @@ from repro.core.regex_model import Regex
 from repro.core.types import SuffixDataset, TrainingItem
 
 #: Schema version of BENCH_learner.json; bump on layout changes.
-BENCH_VERSION = 3
+BENCH_VERSION = 4
+
+#: The tracing-disabled overhead the instrumentation must stay under.
+OBS_OVERHEAD_BUDGET = 0.02
 
 #: ITDK labels the pipeline kernels build (restricted for speed).
 PIPELINE_BENCH_LABELS = ["2017-08", "2018-03", "2019-01", "2020-01"]
@@ -382,17 +387,116 @@ def run_serve_bench(rounds: int = 3,
     }
 
 
+def obs_world_items(n_suffixes: int = 16,
+                    per_suffix: int = 60) -> List[TrainingItem]:
+    """A genuinely multi-suffix workload for the tracer benchmark.
+
+    Unlike :func:`bench_world_items` (whose ``opNN.example.org`` names
+    all share the registered domain ``example.org`` and so collapse
+    into one dataset), ``opNN-bench.org`` is itself a registered domain
+    -- the run emits one ``learn.suffix`` tree per suffix, which is the
+    span volume the overhead numbers should be measured against.
+    """
+    items: List[TrainingItem] = []
+    for index in range(n_suffixes):
+        suffix = "op%02d-bench.org" % index
+        base = 2000 + 101 * index
+        for i in range(per_suffix):
+            items.append(TrainingItem(
+                "as%d-et%d.pop%d.%s" % (base + 13 * i, i % 4, i % 5,
+                                        suffix),
+                base + 13 * i))
+        for i in range(per_suffix // 3):
+            items.append(TrainingItem("lo0.cr%d.%s" % (i, suffix), base))
+    return items
+
+
+def run_obs_bench(rounds: int = 3) -> Dict[str, object]:
+    """Measure the observability layer's cost; returns the ``obs``
+    section.
+
+    Two numbers matter.  *Disabled* overhead -- what every un-traced
+    run pays for the instrumentation being present at all -- is the
+    per-call cost of a :data:`~repro.obs.trace.NULL_TRACER` span site
+    times the spans a traced run of the same workload would emit,
+    expressed as a fraction of the untraced wall time.  It is computed
+    rather than differenced because the true overhead is far below
+    run-to-run timing noise; the per-site cost itself is measured.
+    *Enabled* overhead is the straight wall-time ratio of a traced run
+    over an untraced one.  ``within_budget`` asserts the disabled
+    fraction stays under :data:`OBS_OVERHEAD_BUDGET`.
+    """
+    from repro.obs.trace import NULL_TRACER, Tracer
+
+    world_items = obs_world_items()
+    hoiho_off = Hoiho()
+    off_seconds = _best_of(lambda: hoiho_off.run(world_items), rounds)
+
+    hoiho_on = Hoiho()
+
+    def traced_run() -> int:
+        tracer = Tracer()
+        hoiho_on.tracer = tracer
+        hoiho_on.run(world_items)
+        tracer.close()
+        return len(tracer.records)
+
+    spans_per_run = traced_run()
+    on_seconds = _best_of(traced_run, rounds)
+
+    # Per-site cost of the no-op path: open + annotate + close one
+    # null span, amortised over a large loop.
+    loops = 200000
+
+    def null_sites() -> None:
+        span_site = NULL_TRACER.span
+        for _ in range(loops):
+            with span_site("bench", item=1) as span:
+                span.set(done=True)
+
+    null_span_seconds = _best_of(null_sites, max(rounds, 3)) / loops
+    disabled_overhead = (null_span_seconds * spans_per_run / off_seconds
+                         if off_seconds else 0.0)
+    enabled_overhead = (on_seconds / off_seconds - 1.0
+                        if off_seconds else 0.0)
+
+    return {
+        "workload": {
+            "world_items": len(world_items),
+            "world_suffixes": 16,
+            "rounds": rounds,
+            "null_span_loops": loops,
+        },
+        "disabled": {
+            "seconds": off_seconds,
+            "null_span_seconds": null_span_seconds,
+            "spans_per_run": spans_per_run,
+            "overhead_fraction": disabled_overhead,
+            "budget_fraction": OBS_OVERHEAD_BUDGET,
+            "within_budget": disabled_overhead < OBS_OVERHEAD_BUDGET,
+        },
+        "enabled": {
+            "seconds": on_seconds,
+            "spans_per_run": spans_per_run,
+            "overhead_fraction": enabled_overhead,
+        },
+    }
+
+
 def write_report(path: str = "BENCH_learner.json",
                  rounds: int = 5,
                  jobs: Optional[int] = None,
                  pipeline: bool = True,
-                 serve: bool = True) -> Dict[str, object]:
+                 serve: bool = True,
+                 obs: bool = True) -> Dict[str, object]:
     """Run the suite and write ``path``; returns the payload."""
     report = run_bench(rounds=rounds, jobs=jobs)
     if pipeline:
         report["pipeline"] = run_pipeline_bench(jobs=jobs)
     if serve:
         report["serve"] = run_serve_bench(jobs=jobs)
+    if obs:
+        report["obs"] = run_obs_bench()
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -441,6 +545,46 @@ def write_serve_section(path: str = "BENCH_learner.json",
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return report
+
+
+def write_obs_section(path: str = "BENCH_learner.json",
+                      rounds: int = 3) -> Dict[str, object]:
+    """Refresh only the ``obs`` section of an existing report.
+
+    Reads ``path`` if present (starting fresh otherwise), replaces the
+    ``obs`` key, and writes the file back -- every other section keeps
+    its previous numbers.  Used by ``make obs-bench``.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError):
+        report = {"version": BENCH_VERSION}
+    report["version"] = BENCH_VERSION
+    report["obs"] = run_obs_bench(rounds=rounds)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
+def render_obs_section(section: Dict[str, object]) -> str:
+    """Render an ``obs`` section (tracer overhead report)."""
+    disabled = section["disabled"]
+    enabled = section["enabled"]
+    verdict = "OK" if disabled["within_budget"] else "OVER BUDGET"
+    return "\n".join([
+        "observability benchmark (%d spans/run)"
+        % disabled["spans_per_run"],
+        "  tracing disabled : %.3fs  null-span %.1fns/site  "
+        "overhead %.4f%% of run  [%s, budget %.1f%%]"
+        % (disabled["seconds"],
+           disabled["null_span_seconds"] * 1e9,
+           100.0 * disabled["overhead_fraction"], verdict,
+           100.0 * disabled["budget_fraction"]),
+        "  tracing enabled  : %.3fs  overhead %.1f%% of run"
+        % (enabled["seconds"], 100.0 * enabled["overhead_fraction"]),
+    ])
 
 
 def render_serve_section(section: Dict[str, object]) -> str:
@@ -518,4 +662,7 @@ def render_report(report: Dict[str, object]) -> str:
     serve = report.get("serve")
     if serve:
         lines.append(render_serve_section(serve))
+    obs = report.get("obs")
+    if obs:
+        lines.append(render_obs_section(obs))
     return "\n".join(lines)

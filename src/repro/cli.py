@@ -46,7 +46,24 @@ points at a persistent artifact store: experiment runs reuse generated
 worlds/timelines and ``learn``/``report`` reuse learned conventions
 across invocations; ``--no-cache`` disables the store for one run.
 ``repro-hoiho cache info`` and ``repro-hoiho cache clear`` inspect and
-empty the store.
+empty the store (``cache info --json`` for machine consumption).
+
+Observability (see ``docs/OBSERVABILITY.md``)::
+
+    repro-hoiho run --scale small --trace-out trace.jsonl
+    repro-hoiho trace summary trace.jsonl --top 15
+    repro-hoiho serve-stats --metrics snap.json --format prom
+
+``run`` executes the core pipeline end to end (world, timeline,
+learned conventions).  ``--trace-out FILE`` -- honoured by ``run`` and
+every experiment command -- records a span trace as JSONL and writes a
+run manifest (config fingerprint, versions, per-stage durations,
+metric snapshot) next to it; ``--manifest-out`` overrides the manifest
+path.  ``trace summary`` renders a recorded trace: the per-stage tree
+(worker-side snapshot and suffix spans included), the slowest
+suffixes, and resilience/cache tables.  ``serve-stats --format prom``
+emits any metrics snapshot in Prometheus text exposition format, and
+``--json`` on ``serve-stats``/``cache info`` emits raw JSON.
 """
 
 from __future__ import annotations
@@ -54,6 +71,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 from typing import List, Optional, Tuple
 
 from repro.core.hoiho import Hoiho, HoihoConfig, HoihoResult
@@ -75,6 +93,10 @@ from repro.eval import (
     table1,
     table2,
 )
+from repro.obs.manifest import write_manifest
+from repro.obs.prom import to_prometheus
+from repro.obs.summary import render_summary
+from repro.obs.trace import NULL_TRACER, Tracer, load_trace
 from repro.serve import AnnotationService, BulkAnnotator, iter_hostnames
 from repro.serve.engine import Checkpoint, DEFAULT_CHUNK_SIZE, SINKS
 from repro.serve.metrics import render_snapshot
@@ -93,7 +115,10 @@ _EXPERIMENTS = {
 }
 
 _WORKFLOWS = ("learn", "report", "apply", "annotate", "serve",
-              "serve-stats", "bench", "cache")
+              "serve-stats", "bench", "cache", "run", "trace")
+
+#: ``--format`` values that are renderers, not streaming sinks.
+_RENDER_FORMATS = ("prom", "text")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -107,7 +132,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         + list(_WORKFLOWS),
                         help="experiment to reproduce, or workflow verb")
     parser.add_argument("subcommand", nargs="?", default=None,
-                        help="cache: 'info' (default) or 'clear'")
+                        help="cache: 'info' (default) or 'clear'; "
+                             "trace: 'summary'")
+    parser.add_argument("target", nargs="?", default=None,
+                        help="trace summary: the trace JSONL file to "
+                             "render")
     parser.add_argument("--seed", type=int, default=2020,
                         help="master seed for the synthetic world")
     parser.add_argument("--scale", choices=[s.value for s in Scale],
@@ -149,9 +178,12 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--chunk-size", type=int,
                         default=DEFAULT_CHUNK_SIZE, metavar="N",
                         help="annotate: hostnames per dispatched chunk")
-    parser.add_argument("--format", choices=sorted(SINKS), default="tsv",
-                        dest="sink_format",
-                        help="annotate: output format (default tsv)")
+    parser.add_argument("--format",
+                        choices=sorted(list(SINKS) + list(_RENDER_FORMATS)),
+                        default="tsv", dest="sink_format",
+                        help="annotate: output format (default tsv); "
+                             "serve-stats: 'prom' or 'text' rendering "
+                             "of a --metrics snapshot")
     parser.add_argument("--out", metavar="FILE", default="-",
                         help="annotate: output destination "
                              "(default '-' = stdout)")
@@ -161,6 +193,19 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--metrics", metavar="FILE",
                         help="serve-stats: render this metrics "
                              "snapshot instead of the bench section")
+    parser.add_argument("--trace-out", metavar="FILE",
+                        help="run/experiments: record a span trace "
+                             "here (JSONL) and write a run manifest "
+                             "next to it")
+    parser.add_argument("--manifest-out", metavar="FILE",
+                        help="override the manifest path (default: "
+                             "<trace-out stem>.manifest.json)")
+    parser.add_argument("--top", type=int, default=10, metavar="N",
+                        help="trace summary: slowest-suffix rows to "
+                             "show (default 10)")
+    parser.add_argument("--json", action="store_true",
+                        help="cache info / serve-stats: emit raw JSON "
+                             "instead of the human rendering")
     return parser
 
 
@@ -268,6 +313,11 @@ def _cmd_annotate(args: argparse.Namespace) -> int:
     alias): streaming input, chunked ``--jobs`` fan-out, TSV/JSONL
     sinks.  Memory stays bounded by the chunk window however large the
     input is."""
+    if args.sink_format not in SINKS:
+        print("%s --format must be a sink format (%s), not %r"
+              % (args.command, "/".join(sorted(SINKS)), args.sink_format),
+              file=sys.stderr)
+        return 2
     if args.conventions is None or args.hostnames is None:
         print("%s requires --conventions FILE and --hostnames FILE "
               "('-' = stdin)" % args.command, file=sys.stderr)
@@ -347,12 +397,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_serve_stats(args: argparse.Namespace) -> int:
     """Render a saved metrics snapshot (``--metrics FILE``) or the
     ``serve`` section of the bench report (``--output``, default
-    ``BENCH_learner.json``)."""
+    ``BENCH_learner.json``).  A ``--metrics`` snapshot additionally
+    renders as Prometheus text exposition (``--format prom``) or raw
+    JSON (``--json``)."""
     import json as _json
     if args.metrics:
-        with open(args.metrics, encoding="utf-8") as handle:
-            print(render_snapshot(_json.load(handle)))
+        try:
+            with open(args.metrics, encoding="utf-8") as handle:
+                snapshot = _json.load(handle)
+        except (OSError, ValueError) as exc:
+            print("cannot read metrics snapshot %s: %s"
+                  % (args.metrics, exc), file=sys.stderr)
+            return 2
+        if args.json:
+            print(_json.dumps(snapshot, indent=2, sort_keys=True))
+        elif args.sink_format == "prom":
+            print(to_prometheus(snapshot), end="")
+        else:
+            print(render_snapshot(snapshot))
         return 0
+    if args.sink_format == "prom":
+        print("serve-stats --format prom requires --metrics FILE "
+              "(the bench serve section is not a metrics snapshot)",
+              file=sys.stderr)
+        return 2
     from repro.bench import render_serve_section
     try:
         with open(args.output, encoding="utf-8") as handle:
@@ -366,6 +434,9 @@ def _cmd_serve_stats(args: argparse.Namespace) -> int:
         print("no serve section in %s (run `make annotate-bench`)"
               % args.output, file=sys.stderr)
         return 2
+    if args.json:
+        print(_json.dumps(section, indent=2, sort_keys=True))
+        return 0
     print(render_serve_section(section))
     return 0
 
@@ -396,6 +467,10 @@ def _cmd_cache(args: argparse.Namespace) -> int:
               % action, file=sys.stderr)
         return 2
     info = store.info()
+    if args.json:
+        import json as _json
+        print(_json.dumps(info, indent=2, sort_keys=True))
+        return 0
     print("artifact store: %s (schema v%s)" % (info["root"], info["schema"]))
     kinds = info["kinds"]
     if not kinds:
@@ -408,6 +483,77 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                  "y" if entry["entries"] == 1 else "ies", entry["bytes"]))
     print("  total      %4d entries  %10d bytes"
           % (info["entries"], info["bytes"]))
+    return 0
+
+
+def _tracer_from_args(args: argparse.Namespace):
+    """The tracer ``--trace-out`` selects (the no-op one without it)."""
+    return Tracer(path=args.trace_out) if args.trace_out else NULL_TRACER
+
+
+def _finish_trace(context: ExperimentContext, args: argparse.Namespace,
+                  wall_seconds: float) -> None:
+    """Close the trace sink and write the run manifest next to it.
+
+    The tracer must be closed *before* the manifest is built so any
+    still-open spans contribute their final durations to the export.
+    """
+    tracer = context.tracer
+    if not tracer.enabled:
+        return
+    tracer.close()
+    manifest_path = args.manifest_out or \
+        os.path.splitext(args.trace_out)[0] + ".manifest.json"
+    write_manifest(manifest_path,
+                   context.manifest(wall_seconds,
+                                    trace_path=args.trace_out))
+    print("# trace written to %s" % args.trace_out, file=sys.stderr)
+    print("# manifest written to %s" % manifest_path, file=sys.stderr)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    """The whole core pipeline, end to end: generate (or reload) the
+    world, build every training-set snapshot, learn conventions for all
+    of them.  The canonical traced entry point -- each stage is a
+    top-level span, so the manifest's per-stage durations account for
+    the run's full wall time."""
+    context = ExperimentContext(seed=args.seed, scale=Scale(args.scale),
+                                parallel=args.parallel,
+                                store=_store_from_args(args),
+                                retry=args.retry,
+                                tracer=_tracer_from_args(args))
+    started = time.perf_counter()
+    timeline = context.timeline
+    learned = context.learn_timeline()
+    wall = time.perf_counter() - started
+    conventions = sum(len(result.conventions)
+                      for result in learned.values())
+    items = sum(len(training_set.items) for training_set in timeline)
+    print("run complete: %d training set(s), %d item(s), "
+          "%d convention(s) learned in %.2fs"
+          % (len(timeline), items, conventions, wall))
+    _finish_trace(context, args, wall)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Render a recorded trace file (``trace summary FILE``)."""
+    action = args.subcommand or "summary"
+    if action != "summary":
+        print("unknown trace subcommand %r (expected summary)"
+              % action, file=sys.stderr)
+        return 2
+    if not args.target:
+        print("usage: repro-hoiho trace summary FILE [--top N]",
+              file=sys.stderr)
+        return 2
+    try:
+        records = load_trace(args.target)
+    except (OSError, ValueError) as exc:
+        print("cannot read trace %s: %s" % (args.target, exc),
+              file=sys.stderr)
+        return 2
+    print(render_summary(records, top=args.top))
     return 0
 
 
@@ -435,16 +581,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     context = ExperimentContext(seed=args.seed, scale=Scale(args.scale),
                                 parallel=args.parallel,
                                 store=_store_from_args(args),
-                                retry=args.retry)
+                                retry=args.retry,
+                                tracer=_tracer_from_args(args))
     names = sorted(_EXPERIMENTS) if args.command == "all" \
         else [args.command]
+    started = time.perf_counter()
     for index, name in enumerate(names):
         if index:
             print("\n" + "=" * 70 + "\n")
         print(_run_experiment(name, context))
+    _finish_trace(context, args, time.perf_counter() - started)
     return 0
 
 

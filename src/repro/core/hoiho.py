@@ -16,7 +16,15 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.core.evaluate import NCScore, evaluate_regex
 from repro.core.matchcache import CacheStats, MatchCache
 from repro.core.parallel import ParallelConfig, parallel_map
-from repro.core.resilience import RetryPolicy
+from repro.core.resilience import ResilienceStats, RetryPolicy
+from repro.obs.trace import (
+    NULL_TRACER,
+    Captured,
+    Tracer,
+    adopt_all,
+    resilience_to_span,
+    retry_to_span,
+)
 from repro.core.phase1 import generate_base_regexes
 from repro.core.phase2 import merge_regexes
 from repro.core.phase3 import specialise_regex
@@ -154,25 +162,55 @@ def _has_enough_apparent(dataset: SuffixDataset, config: HoihoConfig) -> bool:
 
 def learn_suffix(dataset: SuffixDataset,
                  config: Optional[HoihoConfig] = None,
-                 ) -> Optional[LearnedConvention]:
+                 tracer=NULL_TRACER) -> Optional[LearnedConvention]:
     """Learn a naming convention for one suffix, or None.
 
     Runs phase 1 (base regexes), phase 2 (merging), phase 3 (character
     classes) and phase 4 (regex sets), then applies the section-3.6
     selection rule and the section-4 usability gates.
     """
-    convention, _ = learn_suffix_traced(dataset, config, trace=False)
+    convention, _ = learn_suffix_traced(dataset, config, trace=False,
+                                        tracer=tracer)
     return convention
 
 
 def learn_suffix_traced(dataset: SuffixDataset,
                         config: Optional[HoihoConfig] = None,
                         trace: bool = True,
+                        tracer=NULL_TRACER,
                         ) -> Tuple[Optional[LearnedConvention],
                                    Optional[LearnTrace]]:
     """Like :func:`learn_suffix`, optionally recording a
-    :class:`LearnTrace` of every phase (figure-4 style walkthrough)."""
+    :class:`LearnTrace` of every phase (figure-4 style walkthrough).
+
+    ``tracer`` additionally wraps the whole call in a ``learn.suffix``
+    span with one child span per phase; the span carries the candidate
+    count, regexes kept, and the MatchCache hit-rate (the numbers
+    ``trace summary`` aggregates).  :data:`LearnTrace` and the span
+    are independent: one is the figure-4 walkthrough, the other the
+    timing record.
+    """
     config = config or HoihoConfig()
+    with tracer.span("learn.suffix", suffix=dataset.suffix,
+                     items=len(dataset)) as span:
+        convention, record = _learn_suffix_phases(dataset, config, trace,
+                                                  tracer, span)
+        span.set(kept=len(convention.regexes)
+                 if convention is not None else 0)
+        if record is not None and record.rejected_reason:
+            span.set(rejected=record.rejected_reason)
+    return convention, record
+
+
+def _learn_suffix_phases(dataset: SuffixDataset, config: HoihoConfig,
+                         trace: bool, tracer, span,
+                         ) -> Tuple[Optional[LearnedConvention],
+                                    Optional[LearnTrace]]:
+    """The phase 1-4 + select body of :func:`learn_suffix_traced`.
+
+    Split out so the ``learn.suffix`` span brackets everything --
+    including the cheap pre-check rejections that exit before phase 1.
+    """
     record = LearnTrace(suffix=dataset.suffix) if trace else None
     cache = MatchCache(dataset) if config.enable_cache else None
     if record is not None and cache is not None:
@@ -183,6 +221,21 @@ def learn_suffix_traced(dataset: SuffixDataset,
             record.rejected_reason = reason
         return None, record
 
+    try:
+        return _run_phases(dataset, config, tracer, span, record, cache,
+                           reject)
+    finally:
+        if cache is not None:
+            span.set(match_calls=cache.stats.match_calls,
+                     vector_hits=cache.stats.vector_hits,
+                     hit_rate=cache.stats.hit_rate)
+
+
+def _run_phases(dataset: SuffixDataset, config: HoihoConfig, tracer,
+                span, record: Optional[LearnTrace],
+                cache: Optional[MatchCache], reject,
+                ) -> Tuple[Optional[LearnedConvention],
+                           Optional[LearnTrace]]:
     if len(dataset) < config.min_hostnames:
         return reject("too few hostnames")
     if dataset.distinct_train_asns < config.min_distinct_asns:
@@ -190,21 +243,23 @@ def learn_suffix_traced(dataset: SuffixDataset,
     if not _has_enough_apparent(dataset, config):
         return reject("not enough apparent ASNs")
 
-    candidates = generate_base_regexes(
-        dataset, max_candidates=config.max_candidates,
-        sample=config.generation_sample)
-    if record is not None:
-        record.phase1_generated = len(candidates)
-    if not candidates:
-        return reject("no base regexes")
+    with tracer.span("learn.phase1"):
+        candidates = generate_base_regexes(
+            dataset, max_candidates=config.max_candidates,
+            sample=config.generation_sample)
+        if record is not None:
+            record.phase1_generated = len(candidates)
+        span.set(candidates=len(candidates))
+        if not candidates:
+            return reject("no base regexes")
 
-    scored: Dict[Regex, NCScore] = {}
-    for regex in candidates:
-        score = evaluate_regex(regex, dataset, cache=cache)
-        if score.tp > 0:
-            scored[regex] = score
-    if record is not None:
-        record.phase1_scored = list(scored.items())
+        scored: Dict[Regex, NCScore] = {}
+        for regex in candidates:
+            score = evaluate_regex(regex, dataset, cache=cache)
+            if score.tp > 0:
+                scored[regex] = score
+        if record is not None:
+            record.phase1_scored = list(scored.items())
     if not scored:
         return reject("no base regex extracts a congruent ASN")
 
@@ -214,39 +269,43 @@ def learn_suffix_traced(dataset: SuffixDataset,
     scored = {regex: scored[regex] for regex in ranked[:config.eval_pool]}
 
     if config.enable_merge:
-        for regex in merge_regexes(list(scored)):
-            score = evaluate_regex(regex, dataset, cache=cache)
-            if score.tp > 0:
-                scored[regex] = score
-                if record is not None:
-                    record.phase2_added.append((regex, score))
+        with tracer.span("learn.phase2"):
+            for regex in merge_regexes(list(scored)):
+                score = evaluate_regex(regex, dataset, cache=cache)
+                if score.tp > 0:
+                    scored[regex] = score
+                    if record is not None:
+                        record.phase2_added.append((regex, score))
 
     if config.enable_classes:
-        for regex in list(scored):
-            specialised = specialise_regex(regex, dataset, cache=cache)
-            if specialised is None or specialised in scored:
-                continue
-            score = evaluate_regex(specialised, dataset, cache=cache)
-            if score.atp >= scored[regex].atp:
-                scored[specialised] = score
-                if record is not None:
-                    record.phase3_added.append((specialised, score))
+        with tracer.span("learn.phase3"):
+            for regex in list(scored):
+                specialised = specialise_regex(regex, dataset, cache=cache)
+                if specialised is None or specialised in scored:
+                    continue
+                score = evaluate_regex(specialised, dataset, cache=cache)
+                if score.atp >= scored[regex].atp:
+                    scored[specialised] = score
+                    if record is not None:
+                        record.phase3_added.append((specialised, score))
 
-    if config.enable_sets:
-        conventions = build_regex_sets(scored, dataset,
-                                       pool_size=config.set_pool,
-                                       n_seeds=config.n_seeds,
-                                       cache=cache)
-    else:
-        ranked = sorted(scored,
-                        key=lambda r: scored[r].rank_key()
-                        + (r.specificity_cost(), r.pattern))
-        conventions = [((regex,), scored[regex])
-                       for regex in ranked[:config.set_pool]]
-    if record is not None:
-        record.conventions = conventions[:10]
+    with tracer.span("learn.phase4"):
+        if config.enable_sets:
+            conventions = build_regex_sets(scored, dataset,
+                                           pool_size=config.set_pool,
+                                           n_seeds=config.n_seeds,
+                                           cache=cache)
+        else:
+            ranked = sorted(scored,
+                            key=lambda r: scored[r].rank_key()
+                            + (r.specificity_cost(), r.pattern))
+            conventions = [((regex,), scored[regex])
+                           for regex in ranked[:config.set_pool]]
+        if record is not None:
+            record.conventions = conventions[:10]
 
-    selection = select_best(conventions, cache=cache)
+    with tracer.span("learn.select"):
+        selection = select_best(conventions, cache=cache)
     if selection is None:
         return reject("no convention selected")
     regexes, score = selection
@@ -266,6 +325,21 @@ def _learn_dataset_worker(config: HoihoConfig,
     return learn_suffix(dataset, config)
 
 
+def _learn_dataset_worker_traced(config: HoihoConfig,
+                                 dataset: SuffixDataset) -> Captured:
+    """Like :func:`_learn_dataset_worker`, but spans ride home too.
+
+    The worker builds its own in-memory tracer (tracers do not cross
+    process boundaries) and ships the captured ``learn.suffix`` span
+    tree back inside the return value; the coordinator adopts it under
+    its ``learn.run`` span.
+    """
+    tracer = Tracer()
+    convention = learn_suffix(dataset, config, tracer=tracer)
+    tracer.close()
+    return Captured(convention, tracer.export())
+
+
 def _learn_items_worker(config: HoihoConfig,
                         items: List[TrainingItem]) -> HoihoResult:
     """Learn a whole training set serially inside one worker process.
@@ -274,6 +348,15 @@ def _learn_items_worker(config: HoihoConfig,
     per-suffix pools are deliberately avoided.
     """
     return Hoiho(config).run(items)
+
+
+def _learn_items_worker_traced(config: HoihoConfig,
+                               items: List[TrainingItem]) -> Captured:
+    """Traced variant of :func:`_learn_items_worker` (span capture)."""
+    tracer = Tracer()
+    result = Hoiho(config, tracer=tracer).run(items)
+    tracer.close()
+    return Captured(result, tracer.export())
 
 
 class Hoiho:
@@ -296,11 +379,13 @@ class Hoiho:
     def __init__(self, config: Optional[HoihoConfig] = None,
                  psl: Optional[PublicSuffixList] = None,
                  parallel: Optional[ParallelConfig] = None,
-                 retry: Optional[RetryPolicy] = None) -> None:
+                 retry: Optional[RetryPolicy] = None,
+                 tracer=NULL_TRACER) -> None:
         self.config = config or HoihoConfig()
         self.psl = psl or default_psl()
         self.parallel = parallel or ParallelConfig.serial()
         self.retry = retry
+        self.tracer = tracer
 
     def run(self, items: Iterable[TrainingItem]) -> HoihoResult:
         """Group items by suffix and learn a convention per suffix."""
@@ -311,10 +396,43 @@ class Hoiho:
                      datasets: Iterable[SuffixDataset]) -> HoihoResult:
         """Learn over pre-grouped datasets."""
         ordered = sorted(datasets, key=lambda d: d.suffix)
-        worker = functools.partial(_learn_dataset_worker, self.config)
-        conventions = parallel_map(worker, ordered, self.parallel,
-                                   retry=self.retry, site=SITE_LEARN)
-        result = HoihoResult(suffixes_examined=len(ordered))
+        with self.tracer.span("learn.run", suffixes=len(ordered)) as span:
+            conventions = self._dispatch(ordered, span)
+            result = HoihoResult(suffixes_examined=len(ordered))
+            self._merge(ordered, conventions, result)
+            span.set(learned=len(result.conventions))
+        return result
+
+    def _dispatch(self, ordered: List[SuffixDataset],
+                  span) -> List[Optional[LearnedConvention]]:
+        """Fan the per-suffix learning out, capturing spans when traced.
+
+        With tracing on, workers run the traced entry point and their
+        span trees are adopted under ``learn.run``; retries surface as
+        live span events and the post-run :class:`ResilienceStats`
+        summary.  With tracing off the dispatch is byte-identical to
+        the untraced PR-4 path.
+        """
+        if not self.tracer.enabled:
+            worker = functools.partial(_learn_dataset_worker, self.config)
+            return parallel_map(worker, ordered, self.parallel,
+                                retry=self.retry, site=SITE_LEARN)
+        worker = functools.partial(_learn_dataset_worker_traced,
+                                   self.config)
+        stats = ResilienceStats()
+        captured = parallel_map(worker, ordered, self.parallel,
+                                retry=self.retry, site=SITE_LEARN,
+                                on_retry=retry_to_span(span, SITE_LEARN),
+                                stats=stats)
+        conventions = adopt_all(self.tracer, captured,
+                                parent_id=span.span_id)
+        if self.retry is not None:
+            resilience_to_span(span, SITE_LEARN, stats)
+        return conventions
+
+    def _merge(self, ordered: List[SuffixDataset],
+               conventions: List[Optional[LearnedConvention]],
+               result: HoihoResult) -> None:
         for dataset, convention in zip(ordered, conventions):
             if convention is not None:
                 result.conventions[dataset.suffix] = convention
@@ -323,4 +441,3 @@ class Hoiho:
                              convention.patterns())
         logger.info("examined %d suffixes, learned %d conventions",
                     result.suffixes_examined, len(result.conventions))
-        return result

@@ -13,10 +13,17 @@ import functools
 from typing import Dict, List, Optional
 
 from repro.core.hoiho import Hoiho, HoihoConfig, HoihoResult, \
-    SITE_LEARN, _learn_items_worker
+    SITE_LEARN, _learn_items_worker, _learn_items_worker_traced
 from repro.core.parallel import ParallelConfig, parallel_map
-from repro.core.resilience import RetryPolicy
+from repro.core.resilience import ResilienceStats, RetryPolicy
 from repro.eval.timeline import TrainingSet, build_timeline
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    NULL_TRACER,
+    adopt_all,
+    resilience_to_span,
+    retry_to_span,
+)
 from repro.store import ArtifactStore, KIND_HOIHO, KIND_TIMELINE, KIND_WORLD
 from repro.topology.world import World, WorldConfig, generate_world
 from repro.traceroute.routing import RoutingModel
@@ -64,7 +71,9 @@ class ExperimentContext:
                  include_pdb: bool = True,
                  parallel: Optional[ParallelConfig] = None,
                  store: Optional[ArtifactStore] = None,
-                 retry: Optional[RetryPolicy] = None) -> None:
+                 retry: Optional[RetryPolicy] = None,
+                 tracer=NULL_TRACER,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.seed = seed
         self.scale = scale
         self.hoiho_config = hoiho_config or HoihoConfig()
@@ -73,6 +82,13 @@ class ExperimentContext:
         self.parallel = parallel or ParallelConfig.serial()
         self.store = store
         self.retry = retry
+        self.tracer = tracer
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if store is not None:
+            # The store observes through the context's tracer/registry
+            # (store.get/store.put spans, store_* counters).
+            store.tracer = tracer
+            store.metrics = self.metrics
         self._world: Optional[World] = None
         self._routing: Optional[RoutingModel] = None
         self._timeline: Optional[List[TrainingSet]] = None
@@ -101,16 +117,20 @@ class ExperimentContext:
     def world(self) -> World:
         """The shared synthetic world."""
         if self._world is None:
-            if self.store is not None:
-                cached = self.store.get(KIND_WORLD, self._world_payload())
-                if cached is not None:
-                    self._world = cached
-                    return self._world
-            self._world = generate_world(self.seed,
-                                         self.scale.world_config())
-            if self.store is not None:
-                self.store.put(KIND_WORLD, self._world_payload(),
-                               self._world)
+            with self.tracer.span("stage.world", scale=self.scale.value,
+                                  seed=self.seed) as span:
+                if self.store is not None:
+                    cached = self.store.get(KIND_WORLD,
+                                            self._world_payload())
+                    if cached is not None:
+                        span.set(cached=True)
+                        self._world = cached
+                        return self._world
+                self._world = generate_world(self.seed,
+                                             self.scale.world_config())
+                if self.store is not None:
+                    self.store.put(KIND_WORLD, self._world_payload(),
+                                   self._world)
         return self._world
 
     @property
@@ -124,22 +144,27 @@ class ExperimentContext:
     def timeline(self) -> List[TrainingSet]:
         """All training sets (17 ITDK + 2 PeeringDB by default)."""
         if self._timeline is None:
-            if self.store is not None:
-                cached = self.store.get(KIND_TIMELINE,
-                                        self._timeline_payload())
-                if cached is not None:
-                    self._timeline = self._adopt_timeline(cached)
-                    return self._timeline
-            self._timeline = build_timeline(
-                self.world, self.seed, self.routing,
-                itdk_labels=self.itdk_labels,
-                include_pdb=self.include_pdb,
-                parallel=self.parallel,
-                retry=self.retry)
-            if self.store is not None:
-                self.store.put(KIND_TIMELINE, self._timeline_payload(),
-                               self._strip_worlds(self._timeline))
-                self._adopt_timeline(self._timeline)
+            world = self.world  # materialise outside the timeline stage
+            with self.tracer.span("stage.timeline") as span:
+                if self.store is not None:
+                    cached = self.store.get(KIND_TIMELINE,
+                                            self._timeline_payload())
+                    if cached is not None:
+                        span.set(cached=True)
+                        self._timeline = self._adopt_timeline(cached)
+                        return self._timeline
+                self._timeline = build_timeline(
+                    world, self.seed, self.routing,
+                    itdk_labels=self.itdk_labels,
+                    include_pdb=self.include_pdb,
+                    parallel=self.parallel,
+                    retry=self.retry,
+                    tracer=self.tracer)
+                span.set(sets=len(self._timeline))
+                if self.store is not None:
+                    self.store.put(KIND_TIMELINE, self._timeline_payload(),
+                                   self._strip_worlds(self._timeline))
+                    self._adopt_timeline(self._timeline)
         return self._timeline
 
     @staticmethod
@@ -173,19 +198,23 @@ class ExperimentContext:
     def learned(self, label: str) -> HoihoResult:
         """Learned conventions for one training set (memoised)."""
         if label not in self._learned:
-            if self.store is not None:
-                cached = self.store.get(KIND_HOIHO,
-                                        self._hoiho_payload(label))
-                if cached is not None:
-                    self._learned[label] = cached
-                    return self._learned[label]
-            training_set = self.training_set(label)
-            hoiho = Hoiho(self.hoiho_config, parallel=self.parallel,
-                          retry=self.retry)
-            self._learned[label] = hoiho.run(training_set.items)
-            if self.store is not None:
-                self.store.put(KIND_HOIHO, self._hoiho_payload(label),
-                               self._learned[label])
+            # No eager self.timeline here: a warm hoiho cache must keep
+            # skipping the timeline build entirely.
+            with self.tracer.span("stage.learn", label=label) as span:
+                if self.store is not None:
+                    cached = self.store.get(KIND_HOIHO,
+                                            self._hoiho_payload(label))
+                    if cached is not None:
+                        span.set(cached=True)
+                        self._learned[label] = cached
+                        return self._learned[label]
+                training_set = self.training_set(label)
+                hoiho = Hoiho(self.hoiho_config, parallel=self.parallel,
+                              retry=self.retry, tracer=self.tracer)
+                self._learned[label] = hoiho.run(training_set.items)
+                if self.store is not None:
+                    self.store.put(KIND_HOIHO, self._hoiho_payload(label),
+                                   self._learned[label])
         return self._learned[label]
 
     def learn_timeline(self,
@@ -202,28 +231,83 @@ class ExperimentContext:
         if labels is None:
             labels = [t.label for t in self.timeline]
         missing = [label for label in labels if label not in self._learned]
-        if missing and self.store is not None:
-            still_missing = []
-            for label in missing:
-                cached = self.store.get(KIND_HOIHO,
-                                        self._hoiho_payload(label))
-                if cached is not None:
-                    self._learned[label] = cached
-                else:
-                    still_missing.append(label)
-            missing = still_missing
-        if missing:
+        if not missing:
+            return {label: self._learned[label] for label in labels}
+        with self.tracer.span("stage.learn", sets=len(missing)) as span:
+            if self.store is not None:
+                still_missing = []
+                for label in missing:
+                    cached = self.store.get(KIND_HOIHO,
+                                            self._hoiho_payload(label))
+                    if cached is not None:
+                        self._learned[label] = cached
+                    else:
+                        still_missing.append(label)
+                missing = still_missing
+                span.set(cached=len(labels) - len(missing))
+            if missing:
+                self._learn_missing(missing, span)
+        return {label: self._learned[label] for label in labels}
+
+    def _learn_missing(self, missing: List[str], span) -> None:
+        """Fan the uncached training sets out to the learner workers.
+
+        With tracing on, workers run the traced entry point and their
+        span trees (one ``learn.run`` per training set) are adopted
+        under the ``stage.learn`` span; retries surface as live span
+        events plus a post-run :class:`ResilienceStats` summary.
+        """
+        batches = [self.training_set(label).items for label in missing]
+        if not self.tracer.enabled:
             worker = functools.partial(_learn_items_worker,
                                        self.hoiho_config)
-            batches = [self.training_set(label).items for label in missing]
             results = parallel_map(worker, batches, self.parallel,
                                    retry=self.retry, site=SITE_LEARN)
-            for label, result in zip(missing, results):
-                self._learned[label] = result
-                if self.store is not None:
-                    self.store.put(KIND_HOIHO, self._hoiho_payload(label),
-                                   result)
-        return {label: self._learned[label] for label in labels}
+        else:
+            worker = functools.partial(_learn_items_worker_traced,
+                                       self.hoiho_config)
+            stats = ResilienceStats()
+            captured = parallel_map(
+                worker, batches, self.parallel, retry=self.retry,
+                site=SITE_LEARN,
+                on_retry=retry_to_span(span, SITE_LEARN), stats=stats)
+            results = adopt_all(self.tracer, captured,
+                                parent_id=span.span_id)
+            if self.retry is not None:
+                resilience_to_span(span, SITE_LEARN, stats)
+        for label, result in zip(missing, results):
+            self._learned[label] = result
+            if self.store is not None:
+                self.store.put(KIND_HOIHO, self._hoiho_payload(label),
+                               result)
+
+    def run_fingerprint(self) -> str:
+        """One fingerprint covering everything a run depends on.
+
+        The union of the timeline payload and the learner config -- the
+        same inputs whose pieces key the artifact store -- so two runs
+        with identical manifest fingerprints produced identical
+        artifacts.
+        """
+        from repro.store import fingerprint
+        payload = self._timeline_payload()
+        payload.update({"kind": "run", "hoiho_config": self.hoiho_config})
+        return fingerprint(payload)
+
+    def manifest(self, wall_seconds: float,
+                 trace_path: Optional[str] = None) -> Dict[str, object]:
+        """The run manifest document (see :mod:`repro.obs.manifest`).
+
+        Call after the run's stages completed; per-stage durations are
+        aggregated from the tracer's top-level spans and the metrics
+        snapshot captures the registry at this moment.
+        """
+        from repro.obs.manifest import build_manifest
+        return build_manifest(
+            fingerprint=self.run_fingerprint(), seed=self.seed,
+            scale=self.scale.value, records=self.tracer.export(),
+            wall_seconds=wall_seconds,
+            metrics=self.metrics.snapshot(), trace_path=trace_path)
 
     def latest_itdk(self) -> TrainingSet:
         """The most recent ITDK training set in this context."""

@@ -20,7 +20,15 @@ from repro.core.types import TrainingItem
 from repro.itdk.builder import BuildConfig
 from repro.naming.assigner import NamingConfig
 from repro.traceroute.campaign import CampaignConfig
-from repro.core.resilience import RetryPolicy
+from repro.core.resilience import ResilienceStats, RetryPolicy
+from repro.obs.trace import (
+    NULL_TRACER,
+    Captured,
+    Tracer,
+    adopt_all,
+    resilience_to_span,
+    retry_to_span,
+)
 from repro.pipeline import (
     METHOD_BDRMAPIT,
     METHOD_RTAA,
@@ -133,12 +141,32 @@ def _timeline_worker(task: object) -> object:
     return run_peeringdb_snapshot_task(task)
 
 
+def _timeline_worker_traced(task: object) -> Captured:
+    """Like :func:`_timeline_worker`, with worker-side span capture.
+
+    Each worker builds its own in-memory tracer and ships the captured
+    per-snapshot span tree home inside the result;
+    :func:`build_timeline` adopts the records under its ``timeline``
+    span so the merged trace reads as one tree.
+    """
+    tracer = Tracer()
+    if isinstance(task, SnapshotTask):
+        result = run_snapshot_task(task, tracer=tracer)
+    else:
+        assert isinstance(task, PeeringDBTask)
+        with tracer.span("snapshot.peeringdb", snapshot=task.label):
+            result = run_peeringdb_snapshot_task(task)
+    tracer.close()
+    return Captured(result, tracer.export())
+
+
 def build_timeline(world: World, seed: int,
                    routing: Optional[RoutingModel] = None,
                    itdk_labels: Optional[List[str]] = None,
                    include_pdb: bool = True,
                    parallel: Optional[ParallelConfig] = None,
                    retry: Optional[RetryPolicy] = None,
+                   tracer=NULL_TRACER,
                    ) -> List[TrainingSet]:
     """Produce all training sets for ``world``.
 
@@ -152,13 +180,27 @@ def build_timeline(world: World, seed: int,
     worker faults and pool losses are retried instead of aborting the
     build (a snapshot that fails permanently still raises -- a timeline
     with holes would silently skew every downstream experiment).
+    ``tracer`` wraps the build in a ``timeline`` span; workers capture
+    their per-snapshot spans and the coordinator adopts them under it,
+    with retries surfacing live as ``retry`` span events.
     """
     if routing is None:
         routing = RoutingModel(world.graph)
     parallel = parallel or ParallelConfig.serial()
     tasks = _timeline_tasks(world, seed, routing, itdk_labels, include_pdb)
-    results = parallel_map(_timeline_worker, tasks, parallel,
-                           retry=retry, site=SITE_TIMELINE)
+    with tracer.span("timeline", snapshots=len(tasks)) as span:
+        if not tracer.enabled:
+            results = parallel_map(_timeline_worker, tasks, parallel,
+                                   retry=retry, site=SITE_TIMELINE)
+        else:
+            stats = ResilienceStats()
+            captured = parallel_map(
+                _timeline_worker_traced, tasks, parallel, retry=retry,
+                site=SITE_TIMELINE,
+                on_retry=retry_to_span(span, SITE_TIMELINE), stats=stats)
+            results = adopt_all(tracer, captured, parent_id=span.span_id)
+            if retry is not None:
+                resilience_to_span(span, SITE_TIMELINE, stats)
 
     sets: List[TrainingSet] = []
     for task, result in zip(tasks, results):

@@ -1,0 +1,58 @@
+"""repro.obs: the dependency-free observability core.
+
+One package owns introspection for the whole pipeline:
+
+* :mod:`repro.obs.trace` -- nested spans, JSONL traces, worker span
+  capture, and the always-on :data:`NULL_TRACER` no-op;
+* :mod:`repro.obs.metrics` -- counters/histograms and the
+  :class:`MetricsRegistry` shared by serve, learner, pipeline, store;
+* :mod:`repro.obs.prom` -- Prometheus text exposition of any snapshot;
+* :mod:`repro.obs.manifest` -- run manifests and schema validation;
+* :mod:`repro.obs.summary` -- the ``trace summary`` renderer.
+
+See docs/OBSERVABILITY.md for the span model and file formats.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_LATENCY_BOUNDS,
+    DEFAULT_PERCENTILES,
+    Histogram,
+    LabelledCounter,
+    MetricsRegistry,
+    merge_outcomes,
+    render_snapshot,
+)
+from repro.obs.trace import (
+    Captured,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    adopt_all,
+    load_trace,
+    resilience_to_span,
+    retry_to_span,
+    unwrap,
+)
+
+__all__ = [
+    "Captured",
+    "Counter",
+    "DEFAULT_LATENCY_BOUNDS",
+    "DEFAULT_PERCENTILES",
+    "Histogram",
+    "LabelledCounter",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "adopt_all",
+    "load_trace",
+    "merge_outcomes",
+    "render_snapshot",
+    "resilience_to_span",
+    "retry_to_span",
+    "unwrap",
+]

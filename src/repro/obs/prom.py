@@ -1,0 +1,100 @@
+"""Prometheus text exposition for any :class:`MetricsRegistry` snapshot.
+
+One renderer serves every registry in the repo (serve, learner,
+pipeline, store): it consumes the JSON-ready dict produced by
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot` rather than the live
+registry, so saved snapshots (``--metrics-out`` files, manifest metric
+sections) render identically to in-process state.
+
+The output follows the Prometheus text format, version 0.0.4:
+
+* plain counters become ``<ns>_<name>`` with ``# TYPE ... counter``;
+* labelled counter families become one sample per label,
+  ``<ns>_<name>{<label_key>="..."}``, with label values escaped per the
+  format rules (backslash, double-quote, newline);
+* histograms become cumulative ``_bucket{le="..."}`` samples -- the
+  upper-inclusive bucket semantics of :class:`Histogram` map directly
+  onto Prometheus's ``le`` convention -- plus ``{le="+Inf"}``, ``_sum``
+  and ``_count``.
+
+Metric names are sanitised to ``[a-zA-Z_][a-zA-Z0-9_]*`` (every other
+character becomes ``_``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+_NAME_OK = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _metric_name(namespace: str, name: str) -> str:
+    full = "%s_%s" % (namespace, name) if namespace else name
+    full = re.sub(r"[^a-zA-Z0-9_]", "_", full)
+    if not _NAME_OK.match(full):
+        full = "_" + full
+    return full
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def to_prometheus(snapshot: Dict[str, object], namespace: str = "repro",
+                  label_key: str = "label") -> str:
+    """Render a registry snapshot in Prometheus text exposition format.
+
+    ``label_key`` names the single label dimension of labelled counter
+    families (the registry stores one label per family, e.g. the
+    suffix of an extraction).
+    """
+    lines: List[str] = []
+
+    counters: Dict[str, int] = snapshot.get("counters", {})  # type: ignore
+    for name in sorted(counters):
+        metric = _metric_name(namespace, name)
+        lines.append("# TYPE %s counter" % metric)
+        lines.append("%s %s" % (metric, _format_value(counters[name])))
+
+    labelled: Dict[str, Dict[str, int]] = \
+        snapshot.get("labelled", {})  # type: ignore
+    for name in sorted(labelled):
+        metric = _metric_name(namespace, name)
+        lines.append("# TYPE %s counter" % metric)
+        family = labelled[name]
+        for label in sorted(family):
+            lines.append('%s{%s="%s"} %s'
+                         % (metric, label_key, _escape_label(label),
+                            _format_value(family[label])))
+
+    histograms: Dict[str, Dict[str, object]] = \
+        snapshot.get("histograms", {})  # type: ignore
+    for name in sorted(histograms):
+        metric = _metric_name(namespace, name)
+        hist = histograms[name]
+        lines.append("# TYPE %s histogram" % metric)
+        bounds = hist.get("bounds") or []
+        buckets = hist.get("buckets") or []
+        cumulative = 0
+        for bound, bucket in zip(bounds, buckets):
+            cumulative += bucket
+            lines.append('%s_bucket{le="%s"} %d'
+                         % (metric, _format_value(bound), cumulative))
+        count = hist.get("count", 0)
+        lines.append('%s_bucket{le="+Inf"} %d' % (metric, count))
+        lines.append("%s_sum %s"
+                     % (metric, _format_value(hist.get("sum", 0.0))))
+        lines.append("%s_count %d" % (metric, count))
+
+    return "\n".join(lines) + ("\n" if lines else "")

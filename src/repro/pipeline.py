@@ -20,6 +20,7 @@ from repro.core.types import TrainingItem
 from repro.itdk.builder import BuildConfig, BuiltSnapshot, build_snapshot
 from repro.itdk.snapshot import ITDKSnapshot
 from repro.naming.assigner import NamingConfig, NamingOutcome, assign_hostnames
+from repro.obs.trace import NULL_TRACER
 from repro.peeringdb.builder import PeeringDBConfig, build_peeringdb
 from repro.peeringdb.snapshot import PeeringDBSnapshot
 from repro.rtaa.rtaa import assign_asns as rtaa_assign
@@ -73,30 +74,47 @@ class SnapshotResult:
 
 
 def run_snapshot(world: World, spec: SnapshotSpec,
-                 routing: Optional[RoutingModel] = None) -> SnapshotResult:
-    """Produce one snapshot's ITDK, annotations, and training items."""
-    if routing is None:
-        routing = RoutingModel(world.graph)
-    naming = assign_hostnames(world, spec.seed, spec.naming_config())
-    built: BuiltSnapshot = build_snapshot(
-        world, naming, spec.seed, spec.label, routing=routing,
-        config=spec.build_config())
-    snapshot = built.snapshot
-    graph = build_router_graph(snapshot.resolution, built.traces,
-                               world.plan.route_table)
+                 routing: Optional[RoutingModel] = None,
+                 tracer=NULL_TRACER) -> SnapshotResult:
+    """Produce one snapshot's ITDK, annotations, and training items.
 
-    if spec.method == METHOD_RTAA:
-        annotations = rtaa_assign(snapshot.resolution,
-                                  world.plan.route_table,
-                                  world.graph.relationships)
-    elif spec.method == METHOD_BDRMAPIT:
-        annotations = annotate(graph, world.graph.relationships,
-                               world.graph.orgs, AnnotationConfig())
-    else:
-        raise ValueError("unknown method %r" % spec.method)
-    snapshot.set_annotations(annotations, spec.method)
+    ``tracer`` wraps the run in a ``snapshot`` span (labelled with the
+    spec's label/method) with one child span per stage -- the record
+    ``trace summary`` renders per snapshot when the timeline fans these
+    out to worker processes.
+    """
+    with tracer.span("snapshot", snapshot=spec.label,
+                     method=spec.method) as span:
+        if routing is None:
+            routing = RoutingModel(world.graph)
+        with tracer.span("snapshot.naming"):
+            naming = assign_hostnames(world, spec.seed,
+                                      spec.naming_config())
+        with tracer.span("snapshot.build"):
+            built: BuiltSnapshot = build_snapshot(
+                world, naming, spec.seed, spec.label, routing=routing,
+                config=spec.build_config())
+            snapshot = built.snapshot
+        with tracer.span("snapshot.graph"):
+            graph = build_router_graph(snapshot.resolution, built.traces,
+                                       world.plan.route_table)
 
-    training = training_items_from_itdk(snapshot)
+        with tracer.span("snapshot.annotate", method=spec.method):
+            if spec.method == METHOD_RTAA:
+                annotations = rtaa_assign(snapshot.resolution,
+                                          world.plan.route_table,
+                                          world.graph.relationships)
+            elif spec.method == METHOD_BDRMAPIT:
+                annotations = annotate(graph, world.graph.relationships,
+                                       world.graph.orgs,
+                                       AnnotationConfig(), tracer=tracer)
+            else:
+                raise ValueError("unknown method %r" % spec.method)
+            snapshot.set_annotations(annotations, spec.method)
+
+        with tracer.span("snapshot.training"):
+            training = training_items_from_itdk(snapshot)
+        span.set(items=len(training))
     return SnapshotResult(spec=spec, world=world, naming=naming,
                           snapshot=snapshot, graph=graph,
                           annotations=annotations, training=training,
@@ -170,7 +188,8 @@ class PeeringDBTask:
     year: float = 2020.0
 
 
-def run_snapshot_task(task: SnapshotTask) -> SnapshotResult:
+def run_snapshot_task(task: SnapshotTask,
+                      tracer=NULL_TRACER) -> SnapshotResult:
     """Worker entry point: build one ITDK snapshot.
 
     The returned result carries ``world=None`` -- shipping the world
@@ -178,7 +197,8 @@ def run_snapshot_task(task: SnapshotTask) -> SnapshotResult:
     snapshot count; the caller re-attaches its own reference
     (:func:`reattach_world`).
     """
-    result = run_snapshot(task.world, task.spec, task.routing)
+    result = run_snapshot(task.world, task.spec, task.routing,
+                          tracer=tracer)
     result.world = None  # type: ignore[assignment]
     return result
 

@@ -58,8 +58,9 @@ from typing import (
 
 from repro.core.parallel import ParallelConfig, stream_map
 from repro.core.resilience import PoisonItemError, RetryPolicy
+from repro.obs.metrics import merge_outcomes
+from repro.obs.trace import NULL_TRACER, Captured, Tracer
 from repro.serve.index import DispatchIndex
-from repro.serve.metrics import merge_outcomes
 from repro.serve.service import AnnotationService
 
 #: Hostnames per dispatched chunk; large enough to amortise pickling,
@@ -117,6 +118,17 @@ def _annotate_chunk(chunk: List[str],
     index = _WORKER_INDEX
     assert index is not None, "worker initializer did not run"
     return [(hostname, index.annotate(hostname)) for hostname in chunk]
+
+
+def _annotate_chunk_traced(chunk: List[str]) -> Captured:
+    """Like :func:`_annotate_chunk`, shipping a ``serve.chunk`` span
+    home with the result for the coordinator to adopt."""
+    tracer = Tracer()
+    with tracer.span("serve.chunk", size=len(chunk)) as span:
+        pairs = _annotate_chunk(chunk)
+        span.set(annotated=sum(1 for _, asn in pairs if asn is not None))
+    tracer.close()
+    return Captured(pairs, tracer.export())
 
 
 # -- sinks -------------------------------------------------------------------
@@ -232,7 +244,8 @@ class BulkAnnotator:
                  parallel: Optional[ParallelConfig] = None,
                  chunk_size: int = DEFAULT_CHUNK_SIZE,
                  window: Optional[int] = None,
-                 retry: Optional[RetryPolicy] = None) -> None:
+                 retry: Optional[RetryPolicy] = None,
+                 tracer=NULL_TRACER) -> None:
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1, got %d" % chunk_size)
         self.service = service
@@ -240,7 +253,11 @@ class BulkAnnotator:
         self.chunk_size = chunk_size
         self.window = window
         self.retry = retry
+        self.tracer = tracer
         self.dead_letters: List[DeadLetter] = []
+        # The live ``serve.bulk`` span while a run is in flight, so the
+        # parent-side fault hooks can attach events to it.
+        self._span = None
         # Created up front so stats snapshots show zeros before (and
         # without) any faults.
         self._errors = service.metrics.counter("errors")
@@ -256,37 +273,112 @@ class BulkAnnotator:
             error="%s: %s" % (type(error.cause).__name__, error.cause),
             attempts=error.attempts))
         self._errors.inc(len(chunk))
+        if self._span is not None:
+            self._span.event("poisoned", site=SITE_BULK_ANNOTATE,
+                             chunk=error.index, count=len(chunk))
         return [(hostname, None) for hostname in chunk]
 
     def _on_retry(self, chunk: List[str], attempts: int,
                   exc: Optional[BaseException]) -> None:
         self._retries.inc()
+        if self._span is not None:
+            self._span.event("retry", site=SITE_BULK_ANNOTATE,
+                             attempts=attempts,
+                             error=type(exc).__name__ if exc is not None
+                             else "pool-loss")
 
     # -- annotation ----------------------------------------------------------
 
     def _annotate_chunks(self, hostnames: Iterable[str],
                          ) -> Iterator[List[Tuple[str, Optional[int]]]]:
         """Lazily yield per-chunk ``(hostname, annotation)`` lists in
-        input order, folding aggregate metrics into the service."""
+        input order, folding aggregate metrics into the service.
+
+        A ``serve.bulk`` span brackets the whole streaming run, opened
+        and finished manually because the run is a generator: the span
+        covers first pull to exhaustion, which includes consumer-side
+        time between pulls -- the price of complete bracketing.
+        Per-chunk ``serve.chunk`` spans record where annotation time
+        went.
+        """
+        span = self.tracer.span("serve.bulk",
+                                chunk_size=self.chunk_size,
+                                parallel=self.parallel.is_parallel)
+        self._span = span if self.tracer.enabled else None
+        chunks_done = 0
+        try:
+            for pairs in self._dispatch_chunks(hostnames, span):
+                chunks_done += 1
+                yield pairs
+        except BaseException as exc:
+            span.fail(exc)
+            raise
+        finally:
+            span.set(chunks=chunks_done)
+            span.finish()
+            self._span = None
+
+    def _dispatch_chunks(self, hostnames: Iterable[str], span,
+                         ) -> Iterator[List[Tuple[str, Optional[int]]]]:
         if not self.parallel.is_parallel:
             # Serial: straight through the service (full per-request
             # metrics, no serialization round-trip).  Worker faults
             # cannot happen in-process, so the retry policy is moot.
-            yield from _chunked_pairs(
-                self.service.annotate_pairs(hostnames), self.chunk_size)
+            yield from self._serial_chunks(hostnames)
             return
         chunks = _chunked(hostnames, self.chunk_size)
+        worker = (_annotate_chunk_traced if self.tracer.enabled
+                  else _annotate_chunk)
         results = stream_map(
-            _annotate_chunk, chunks, self.parallel, window=self.window,
+            worker, chunks, self.parallel, window=self.window,
             initializer=_init_annotation_worker,
             initargs=(self.service.to_json(),),
             retry=self.retry, site=SITE_BULK_ANNOTATE,
             on_poison=self._on_poison if self.retry is not None else None,
             on_retry=self._on_retry if self.retry is not None else None)
-        for pairs in results:
+        for result in results:
+            if isinstance(result, Captured):
+                self.tracer.adopt(result.spans, parent_id=span.span_id)
+                pairs = result.value
+            else:
+                # Plain list: untraced worker, or an ``on_poison``
+                # dead-letter substitute (those carry no spans).
+                pairs = result
             annotated = sum(1 for _, asn in pairs if asn is not None)
             merge_outcomes(self.service.metrics, len(pairs), annotated)
             yield pairs
+
+    def _serial_chunks(self, hostnames: Iterable[str],
+                       ) -> Iterator[List[Tuple[str, Optional[int]]]]:
+        """The in-process path, one ``serve.chunk`` span per chunk.
+
+        The annotation work happens while *pulling* the next chunk from
+        the lazy pair stream, so each span is opened before the pull
+        and finished after it; the final span (the one that discovers
+        end-of-input) is marked ``eos`` and measures only that
+        discovery.
+        """
+        iterator = _chunked_pairs(
+            self.service.annotate_pairs(hostnames), self.chunk_size)
+        index = 0
+        while True:
+            chunk_span = self.tracer.span("serve.chunk", chunk=index)
+            try:
+                pairs = next(iterator)
+            except StopIteration:
+                chunk_span.set(eos=True)
+                chunk_span.finish()
+                return
+            except BaseException as exc:
+                chunk_span.fail(exc)
+                chunk_span.finish()
+                raise
+            chunk_span.set(size=len(pairs),
+                           annotated=sum(1 for _, asn in pairs
+                                         if asn is not None))
+            chunk_span.finish()
+            yield pairs
+            index += 1
 
     def annotate(self, hostnames: Iterable[str],
                  ) -> Iterator[Tuple[str, Optional[int]]]:
@@ -294,9 +386,11 @@ class BulkAnnotator:
 
         In serial mode this is item-by-item lazy; in parallel mode the
         chunk window bounds how far ahead of the consumer input is
-        pulled.
+        pulled.  A traced serial run goes through the chunked path too
+        (laziness coarsens to ``chunk_size``) so ``serve.bulk`` /
+        ``serve.chunk`` spans exist regardless of the backend.
         """
-        if not self.parallel.is_parallel:
+        if not self.parallel.is_parallel and not self.tracer.enabled:
             yield from self.service.annotate_pairs(hostnames)
             return
         for pairs in self._annotate_chunks(hostnames):

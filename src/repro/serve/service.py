@@ -15,7 +15,7 @@ into an always-on annotator with
   (``None``/empty/non-string inputs annotate as ``None`` and count as
   ``malformed``, they never raise);
 * **observability** -- every request updates the service's
-  :class:`~repro.serve.metrics.MetricsRegistry`: ``requests``,
+  :class:`~repro.obs.metrics.MetricsRegistry`: ``requests``,
   ``annotated``, ``misses`` (known suffix, no pattern match, plus
   unknown suffixes), ``malformed``, per-suffix ``extracted`` counts,
   and a ``latency_seconds`` histogram.
@@ -33,7 +33,7 @@ from typing import Iterable, Iterator, List, Mapping, Optional, Tuple
 from repro.core.hoiho import HoihoResult
 from repro.core.io import conventions_from_json, conventions_to_json
 from repro.serve.index import DispatchIndex, normalize_hostname
-from repro.serve.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry
 from repro.store import KIND_HOIHO, ArtifactStore
 
 

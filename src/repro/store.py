@@ -125,9 +125,15 @@ class ArtifactStore:
     the offending files are ignored, not deleted).
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(self, root: Union[str, Path], tracer=None,
+                 metrics=None) -> None:
+        from repro.obs.trace import NULL_TRACER
         self.root = Path(root)
         self.stats = StoreStats()
+        # Attachable after construction too (ExperimentContext wires
+        # its tracer into a store the CLI built earlier).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
 
     # -- keying ------------------------------------------------------------
 
@@ -149,18 +155,29 @@ class ArtifactStore:
     def get(self, kind: str, payload: Mapping) -> Optional[object]:
         """The stored artifact, or ``None`` on miss/corruption."""
         path = self.path_for(kind, payload)
+        with self.tracer.span("store.get", kind=kind,
+                              fingerprint=path.stem) as span:
+            artifact = self._read(path)
+            hit = artifact is not None
+            span.set(hit=hit)
+            if hit:
+                self.stats.hits += 1
+            else:
+                self.stats.misses += 1
+            if self.metrics is not None:
+                name = "store_hits" if hit else "store_misses"
+                self.metrics.counter(name).inc()
+        return artifact
+
+    def _read(self, path: Path) -> Optional[object]:
         if not path.is_file():
-            self.stats.misses += 1
             return None
         try:
             with open(path, "rb") as handle:
-                artifact = pickle.load(handle)
+                return pickle.load(handle)
         except Exception as exc:  # corrupt entry reads as a miss
             logger.warning("store: unreadable entry %s (%s)", path, exc)
-            self.stats.misses += 1
             return None
-        self.stats.hits += 1
-        return artifact
 
     def put(self, kind: str, payload: Mapping, artifact: object) -> Path:
         """Persist ``artifact`` under ``payload``'s fingerprint.
@@ -172,29 +189,33 @@ class ArtifactStore:
         :meth:`clear` and reported by :meth:`info`.
         """
         path = self.path_for(kind, payload)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".pkl.tmp.%d" % os.getpid())
-        try:
-            with open(tmp, "wb") as handle:
-                pickle.dump(artifact, handle,
-                            protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        finally:
-            if tmp.exists():
-                tmp.unlink()
-        meta = path.with_suffix(".json")
-        meta_tmp = path.with_suffix(".json.tmp.%d" % os.getpid())
-        try:
-            with open(meta_tmp, "w", encoding="utf-8") as handle:
-                json.dump({"schema": STORE_SCHEMA_VERSION,
-                           "payload": _canonical(payload)},
-                          handle, indent=2, sort_keys=True)
-                handle.write("\n")
-            os.replace(meta_tmp, meta)
-        finally:
-            if meta_tmp.exists():
-                meta_tmp.unlink()
-        self.stats.writes += 1
+        with self.tracer.span("store.put", kind=kind,
+                              fingerprint=path.stem):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".pkl.tmp.%d" % os.getpid())
+            try:
+                with open(tmp, "wb") as handle:
+                    pickle.dump(artifact, handle,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            finally:
+                if tmp.exists():
+                    tmp.unlink()
+            meta = path.with_suffix(".json")
+            meta_tmp = path.with_suffix(".json.tmp.%d" % os.getpid())
+            try:
+                with open(meta_tmp, "w", encoding="utf-8") as handle:
+                    json.dump({"schema": STORE_SCHEMA_VERSION,
+                               "payload": _canonical(payload)},
+                              handle, indent=2, sort_keys=True)
+                    handle.write("\n")
+                os.replace(meta_tmp, meta)
+            finally:
+                if meta_tmp.exists():
+                    meta_tmp.unlink()
+            self.stats.writes += 1
+            if self.metrics is not None:
+                self.metrics.counter("store_writes").inc()
         return path
 
     # -- maintenance -------------------------------------------------------

@@ -298,3 +298,146 @@ class TestCliServe:
         assert main(["serve-stats", "--output", str(report)]) == 2
         assert main(["serve-stats",
                      "--output", str(tmp_path / "absent.json")]) == 2
+
+
+class TestCliObservability:
+    TRAINING = ("as3356.lon1.example.com 3356\n"
+                "as1299.lon2.example.com 1299\n"
+                "as174.fra1.example.com 174\n"
+                "as2914.fra2.example.com 2914\n"
+                "as6453.ams1.example.com 6453\n")
+
+    def test_run_trace_out_writes_valid_artifacts(self, tmp_path, capsys):
+        from repro.obs.manifest import (validate_manifest_file,
+                                        validate_trace_file)
+        trace = tmp_path / "trace.jsonl"
+        manifest = tmp_path / "run.manifest.json"
+        assert main(["run", "--scale", "tiny",
+                     "--trace-out", str(trace),
+                     "--manifest-out", str(manifest)]) == 0
+        captured = capsys.readouterr()
+        assert "run complete:" in captured.out
+        assert "# trace written to" in captured.err
+        assert validate_trace_file(str(trace)) == []
+        assert validate_manifest_file(str(manifest)) == []
+
+    def test_run_manifest_path_defaults_beside_trace(self, tmp_path,
+                                                     capsys):
+        import json
+        trace = tmp_path / "trace.jsonl"
+        assert main(["run", "--scale", "tiny",
+                     "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        manifest = tmp_path / "trace.manifest.json"
+        assert manifest.exists()
+        document = json.loads(manifest.read_text(encoding="utf-8"))
+        stage_names = [s["name"] for s in document["stages"]]
+        assert stage_names == ["stage.world", "stage.timeline",
+                               "stage.learn"]
+        # Stage wall times must account for (almost all of) the run.
+        assert sum(s["wall"] for s in document["stages"]) <= \
+            document["wall_seconds"]
+
+    def test_run_without_trace_writes_nothing(self, tmp_path, capsys):
+        assert main(["run", "--scale", "tiny"]) == 0
+        captured = capsys.readouterr()
+        assert "trace written" not in captured.err
+        assert list(tmp_path.iterdir()) == []
+
+    def test_trace_summary_renders_stage_tree(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["run", "--scale", "tiny",
+                     "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summary", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "stage.timeline" in out
+        assert "snapshot" in out
+        assert "slowest suffixes" in out
+
+    def test_trace_summary_requires_target(self, capsys):
+        assert main(["trace", "summary"]) == 2
+
+    def test_trace_summary_missing_file(self, tmp_path, capsys):
+        assert main(["trace", "summary",
+                     str(tmp_path / "absent.jsonl")]) == 2
+
+    def test_trace_rejects_unknown_subcommand(self, tmp_path, capsys):
+        assert main(["trace", "frobnicate",
+                     str(tmp_path / "t.jsonl")]) == 2
+
+    def test_experiment_trace_out(self, tmp_path, capsys):
+        from repro.obs.manifest import validate_trace_file
+        trace = tmp_path / "fig5.jsonl"
+        assert main(["figure5", "--scale", "tiny",
+                     "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        assert validate_trace_file(str(trace)) == []
+
+    def test_cache_info_json(self, tmp_path, capsys):
+        import json
+        training = tmp_path / "train.txt"
+        training.write_text(self.TRAINING, encoding="utf-8")
+        cache = tmp_path / "cache"
+        assert main(["learn", "--hostnames", str(training),
+                     "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", str(cache),
+                     "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["kinds"]["hoiho"]["entries"] == 1
+        assert info["entries"] == 1
+
+    def test_serve_stats_prom_exposition(self, tmp_path, capsys,
+                                         monkeypatch):
+        import io
+        training = tmp_path / "train.txt"
+        training.write_text(self.TRAINING, encoding="utf-8")
+        saved = tmp_path / "conv.json"
+        assert main(["learn", "--hostnames", str(training),
+                     "--save", str(saved)]) == 0
+        capsys.readouterr()
+        metrics = tmp_path / "metrics.json"
+        monkeypatch.setattr("sys.stdin",
+                            io.StringIO("as8075.ams9.example.com\n"))
+        assert main(["serve", "--conventions", str(saved),
+                     "--metrics-out", str(metrics)]) == 0
+        capsys.readouterr()
+        assert main(["serve-stats", "--metrics", str(metrics),
+                     "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_requests counter" in out
+        assert "repro_requests 1" in out
+        assert 'le="+Inf"' in out
+
+    def test_serve_stats_json(self, tmp_path, capsys, monkeypatch):
+        import io
+        import json
+        training = tmp_path / "train.txt"
+        training.write_text(self.TRAINING, encoding="utf-8")
+        saved = tmp_path / "conv.json"
+        assert main(["learn", "--hostnames", str(training),
+                     "--save", str(saved)]) == 0
+        capsys.readouterr()
+        metrics = tmp_path / "metrics.json"
+        monkeypatch.setattr("sys.stdin",
+                            io.StringIO("as8075.ams9.example.com\n"))
+        assert main(["serve", "--conventions", str(saved),
+                     "--metrics-out", str(metrics)]) == 0
+        capsys.readouterr()
+        assert main(["serve-stats", "--metrics", str(metrics),
+                     "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["counters"]["requests"] == 1
+
+    def test_serve_stats_prom_requires_metrics_file(self, tmp_path,
+                                                    capsys):
+        import json
+        report = tmp_path / "bench.json"
+        report.write_text(json.dumps({"serve": {}}), encoding="utf-8")
+        assert main(["serve-stats", "--output", str(report),
+                     "--format", "prom"]) == 2
+
+    def test_annotate_rejects_render_formats(self, tmp_path, capsys):
+        assert main(["annotate", "--format", "prom"]) == 2
+        assert "sink format" in capsys.readouterr().err

@@ -1,0 +1,72 @@
+"""Prometheus text exposition of metrics snapshots."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import to_prometheus
+
+
+def _snapshot():
+    registry = MetricsRegistry()
+    registry.counter("requests").inc(10)
+    registry.labelled("by_suffix").inc("example.com", 3)
+    hist = registry.histogram("latency_seconds", bounds=(0.001, 0.01))
+    hist.observe(0.0005)
+    hist.observe(0.005)
+    hist.observe(5.0)  # overflow
+    return registry.snapshot()
+
+
+class TestExposition:
+    def test_counter_lines(self):
+        text = to_prometheus(_snapshot())
+        assert "# TYPE repro_requests counter" in text
+        assert "\nrepro_requests 10\n" in text
+
+    def test_labelled_counter_lines(self):
+        text = to_prometheus(_snapshot())
+        assert 'repro_by_suffix{label="example.com"} 3' in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        lines = to_prometheus(_snapshot()).splitlines()
+        bucket_lines = [l for l in lines
+                        if l.startswith("repro_latency_seconds_bucket")]
+        assert bucket_lines == [
+            'repro_latency_seconds_bucket{le="0.001"} 1',
+            'repro_latency_seconds_bucket{le="0.01"} 2',
+            'repro_latency_seconds_bucket{le="+Inf"} 3',
+        ]
+        assert "repro_latency_seconds_count 3" in lines
+        assert any(l.startswith("repro_latency_seconds_sum ")
+                   for l in lines)
+
+    def test_type_line_precedes_samples(self):
+        lines = to_prometheus(_snapshot()).splitlines()
+        type_index = lines.index("# TYPE repro_latency_seconds histogram")
+        sample_index = next(
+            i for i, l in enumerate(lines)
+            if l.startswith("repro_latency_seconds_bucket"))
+        assert type_index < sample_index
+
+    def test_name_sanitisation(self):
+        registry = MetricsRegistry()
+        registry.counter("weird-name.v2").inc()
+        text = to_prometheus(registry.snapshot())
+        assert "repro_weird_name_v2 1" in text
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.labelled("family").inc('a"b\\c\nd')
+        text = to_prometheus(registry.snapshot())
+        assert 'label="a\\"b\\\\c\\nd"' in text
+
+    def test_custom_namespace_and_label_key(self):
+        registry = MetricsRegistry()
+        registry.labelled("hits").inc("world")
+        text = to_prometheus(registry.snapshot(), namespace="hoiho",
+                             label_key="kind")
+        assert 'hoiho_hits{kind="world"} 1' in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert to_prometheus(MetricsRegistry().snapshot()) == ""
+
+    def test_output_ends_with_newline(self):
+        assert to_prometheus(_snapshot()).endswith("\n")

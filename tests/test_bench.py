@@ -149,3 +149,71 @@ class TestServeSection:
         assert set(report) == {"workload", "linear_apply", "dispatch",
                                "bulk"}
         assert report["dispatch"]["speedup_vs_linear"] > 1.0
+
+
+FAKE_OBS = {
+    "workload": {"world_items": 1280, "world_suffixes": 16, "rounds": 3,
+                 "null_span_loops": 200000},
+    "disabled": {"seconds": 0.2, "null_span_seconds": 4.5e-07,
+                 "spans_per_run": 97, "overhead_fraction": 0.0002,
+                 "budget_fraction": 0.02, "within_budget": True},
+    "enabled": {"seconds": 0.21, "spans_per_run": 97,
+                "overhead_fraction": 0.05},
+}
+
+
+class TestObsSection:
+    def test_write_obs_section_preserves_other_sections(
+            self, tmp_path, monkeypatch):
+        path = tmp_path / "BENCH.json"
+        existing = {"version": bench.BENCH_VERSION,
+                    "pipeline": FAKE_PIPELINE,
+                    "serve": FAKE_SERVE,
+                    "obs": {"stale": True}}
+        path.write_text(json.dumps(existing), encoding="utf-8")
+        monkeypatch.setattr(bench, "run_obs_bench",
+                            lambda rounds=3: FAKE_OBS)
+        report = bench.write_obs_section(str(path))
+        assert report["pipeline"] == FAKE_PIPELINE
+        assert report["serve"] == FAKE_SERVE
+        assert report["obs"] == FAKE_OBS
+        on_disk = json.loads(path.read_text(encoding="utf-8"))
+        assert on_disk["obs"]["disabled"]["within_budget"] is True
+
+    def test_write_obs_section_from_scratch(self, tmp_path, monkeypatch):
+        path = tmp_path / "BENCH.json"
+        monkeypatch.setattr(bench, "run_obs_bench",
+                            lambda rounds=3: FAKE_OBS)
+        report = bench.write_obs_section(str(path))
+        assert report["version"] == bench.BENCH_VERSION
+        assert path.is_file()
+
+    def test_render_obs_section(self):
+        text = bench.render_obs_section(FAKE_OBS)
+        assert "tracing disabled" in text
+        assert "tracing enabled" in text
+        assert "OK, budget 2.0%" in text
+
+    def test_render_obs_section_flags_budget_breach(self):
+        over = json.loads(json.dumps(FAKE_OBS))
+        over["disabled"]["within_budget"] = False
+        assert "OVER BUDGET" in bench.render_obs_section(over)
+
+    def test_render_report_with_obs(self):
+        text = bench.render_report({"version": bench.BENCH_VERSION,
+                                    "obs": FAKE_OBS})
+        assert "observability benchmark" in text
+
+    def test_obs_workload_is_genuinely_multi_suffix(self):
+        from repro.core.types import group_by_suffix
+        groups = group_by_suffix(bench.obs_world_items(n_suffixes=4))
+        assert len(groups) == 4
+
+    def test_run_obs_bench_meets_budget(self):
+        # The real measurement, small rounds: the acceptance gate that
+        # tracing-disabled instrumentation overhead stays under 2%.
+        section = bench.run_obs_bench(rounds=1)
+        assert section["disabled"]["within_budget"] is True
+        assert section["disabled"]["overhead_fraction"] < \
+            bench.OBS_OVERHEAD_BUDGET
+        assert section["disabled"]["spans_per_run"] > 16
