@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-slow test-faults bench bench-pipeline annotate-bench \
-	obs-bench bench-tables lint
+	dispatch-bench obs-bench bench-tables lint
 
 # Tier-1: slow (full-scale pipeline) tests are excluded by the default
 # pytest addopts (-m "not slow"); `make test-slow` runs only those.
@@ -29,6 +29,11 @@ bench-pipeline:
 # parallel) into the `serve` section of BENCH_learner.json.
 annotate-bench:
 	$(PYTHON) benchmarks/bench_report.py --serve-only
+
+# Single-core hot-path kernels only (fused dispatch + Zipf memo),
+# keeping the bulk fan-out numbers of the serve section intact.
+dispatch-bench:
+	$(PYTHON) benchmarks/bench_report.py --dispatch-only
 
 # Tracer overhead (tracing disabled vs enabled, asserted under the
 # 2% budget) into the `obs` section of BENCH_learner.json.

@@ -15,10 +15,12 @@ The JSON report tracks, across PRs:
   vs lazy routing, and cold vs warm artifact-store runs
   (``--pipeline-only`` refreshes just this section, as
   ``make bench-pipeline`` does);
-* the ``serve`` section: the linear apply loop vs suffix-trie dispatch
-  (cold and warm) and serial vs parallel bulk annotation
-  (``--serve-only`` refreshes just this section, as
-  ``make annotate-bench`` does);
+* the ``serve`` section: the linear apply loop vs fused-regex
+  suffix-trie dispatch (cold and warm), the memoized Zipf hot path,
+  and serial vs parallel bulk annotation (``--serve-only`` refreshes
+  the whole section, as ``make annotate-bench`` does;
+  ``--dispatch-only`` refreshes just the single-core kernels, keeping
+  the fan-out numbers, as ``make dispatch-bench`` does);
 * the ``obs`` section: tracer overhead with tracing disabled (the
   no-op span path, asserted under the 2% budget) and enabled
   (``--obs-only`` refreshes just this section, as ``make obs-bench``
@@ -30,8 +32,9 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.bench import render_report, write_obs_section, \
-    write_pipeline_section, write_report, write_serve_section
+from repro.bench import render_report, write_dispatch_section, \
+    write_obs_section, write_pipeline_section, write_report, \
+    write_serve_section
 
 
 def main(argv=None) -> int:
@@ -51,6 +54,10 @@ def main(argv=None) -> int:
     parser.add_argument("--serve-only", action="store_true",
                         help="refresh only the serve section of an "
                              "existing report")
+    parser.add_argument("--dispatch-only", action="store_true",
+                        help="refresh only the single-core dispatch/"
+                             "memo kernels of the serve section, "
+                             "keeping the bulk fan-out numbers")
     parser.add_argument("--obs-only", action="store_true",
                         help="refresh only the obs (tracer overhead) "
                              "section of an existing report")
@@ -59,6 +66,8 @@ def main(argv=None) -> int:
         report = write_pipeline_section(args.output, jobs=args.jobs)
     elif args.serve_only:
         report = write_serve_section(args.output, jobs=args.jobs)
+    elif args.dispatch_only:
+        report = write_dispatch_section(args.output, jobs=args.jobs)
     elif args.obs_only:
         report = write_obs_section(args.output)
     else:

@@ -99,6 +99,7 @@ from repro.obs.summary import render_summary
 from repro.obs.trace import NULL_TRACER, Tracer, load_trace
 from repro.serve import AnnotationService, BulkAnnotator, iter_hostnames
 from repro.serve.engine import Checkpoint, DEFAULT_CHUNK_SIZE, SINKS
+from repro.serve.memo import DEFAULT_MEMO_SIZE
 from repro.serve.metrics import render_snapshot
 from repro.store import KIND_HOIHO, ArtifactStore
 
@@ -176,8 +177,15 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore the artifact store for this run")
     parser.add_argument("--chunk-size", type=int,
-                        default=DEFAULT_CHUNK_SIZE, metavar="N",
-                        help="annotate: hostnames per dispatched chunk")
+                        default=None, metavar="N",
+                        help="annotate: hostnames per dispatched chunk "
+                             "(default: adaptive ramp, %d fixed for "
+                             "the serial path)" % DEFAULT_CHUNK_SIZE)
+    parser.add_argument("--memo-size", type=int,
+                        default=DEFAULT_MEMO_SIZE, metavar="N",
+                        help="annotate/serve: hostname-memo capacity "
+                             "(0 disables memoization; default %d)"
+                             % DEFAULT_MEMO_SIZE)
     parser.add_argument("--format",
                         choices=sorted(list(SINKS) + list(_RENDER_FORMATS)),
                         default="tsv", dest="sink_format",
@@ -326,7 +334,12 @@ def _cmd_annotate(args: argparse.Namespace) -> int:
         print("--checkpoint requires --out FILE (stdout cannot be "
               "resumed)", file=sys.stderr)
         return 2
-    service = AnnotationService.from_json_file(args.conventions)
+    if args.memo_size < 0:
+        print("--memo-size must be >= 0, got %d" % args.memo_size,
+              file=sys.stderr)
+        return 2
+    service = AnnotationService.from_json_file(args.conventions,
+                                               memo_size=args.memo_size)
     service.warm()
     annotator = BulkAnnotator(service,
                               parallel=args.parallel,
@@ -377,7 +390,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.conventions is None:
         print("serve requires --conventions FILE", file=sys.stderr)
         return 2
-    service = AnnotationService.from_json_file(args.conventions)
+    if args.memo_size < 0:
+        print("--memo-size must be >= 0, got %d" % args.memo_size,
+              file=sys.stderr)
+        return 2
+    service = AnnotationService.from_json_file(args.conventions,
+                                               memo_size=args.memo_size)
     warmed = service.warm()
     print("# serving %d convention(s) from %s"
           % (warmed, args.conventions), file=sys.stderr)

@@ -60,6 +60,64 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+def fork_inheritance_available() -> bool:
+    """Whether worker processes inherit this process's memory.
+
+    Under the ``fork`` start method, module-level state built *before*
+    the pool starts is visible in every worker for free -- the serving
+    engine uses this to hand workers a prebuilt dispatch index instead
+    of re-parsing conventions JSON per worker.  ``spawn``/``forkserver``
+    children re-import modules from scratch, so callers must keep a
+    pickle-able fallback either way.
+    """
+    import multiprocessing
+    try:
+        return multiprocessing.get_start_method() == "fork"
+    except (ValueError, RuntimeError):
+        return False
+
+
+#: First chunk size of an adaptive ramp: small enough that every worker
+#: gets work within milliseconds of the stream starting.
+ADAPTIVE_CHUNK_MIN = 512
+
+#: Ramp ceiling: large enough to amortise per-chunk dispatch overhead
+#: (pickling, queue hops) down to noise on long streams.
+ADAPTIVE_CHUNK_MAX = 16384
+
+
+def adaptive_chunks(items: Iterable[_T],
+                    start: int = ADAPTIVE_CHUNK_MIN,
+                    limit: int = ADAPTIVE_CHUNK_MAX,
+                    ) -> Iterator[List[_T]]:
+    """Chunk ``items`` on a deterministic doubling ramp.
+
+    Fixed-size chunking forces a trade-off the stream shouldn't have to
+    make: small chunks keep pipeline fill latency low but drown long
+    runs in dispatch overhead; large chunks amortise dispatch but leave
+    workers idle while the first chunks fill.  The ramp takes both:
+    chunk sizes double from ``start`` to ``limit`` and stay there, so a
+    short input finishes promptly and a long one pays near-``limit``
+    amortisation for all but its opening chunks.  The schedule depends
+    only on ``start``/``limit``, never on timing, so chunk boundaries
+    -- and therefore parallel output -- stay deterministic.
+    """
+    if start < 1 or limit < start:
+        raise ValueError("need 1 <= start <= limit, got %d/%d"
+                         % (start, limit))
+    size = start
+    chunk: List[_T] = []
+    for item in items:
+        chunk.append(item)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+            if size < limit:
+                size = min(size * 2, limit)
+    if chunk:
+        yield chunk
+
+
 @dataclass(frozen=True)
 class ParallelConfig:
     """How to fan out independent learning work.

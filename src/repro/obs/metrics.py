@@ -140,6 +140,31 @@ class Histogram:
         if self.maximum is None or value > self.maximum:
             self.maximum = value
 
+    def observe_many(self, value: float, count: int) -> None:
+        """Record ``count`` samples that all equal ``value``.
+
+        The batch counterpart to :meth:`observe`: one bisect and one
+        bucket update however many samples the batch carried.  The
+        annotation batch path uses this to record amortised per-item
+        latency while keeping the histogram's ``count`` equal to the
+        number of requests.
+        """
+        if count < 0:
+            raise ValueError("sample count must be >= 0 (got %d)" % count)
+        if count == 0:
+            return
+        index = bisect.bisect_left(self.bounds, value)
+        if index < len(self.bounds):
+            self.buckets[index] += count
+        else:
+            self.overflow += count
+        self.count += count
+        self.total += value * count
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
     @property
     def mean(self) -> float:
         """Arithmetic mean of all samples (0 when empty)."""

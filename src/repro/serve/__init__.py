@@ -7,13 +7,20 @@ pairs, this package *applies* them at production rates, in four layers:
   suffix trie mapping a hostname to its owning convention's
   pre-compiled :class:`AnnotationPlan` in O(labels), replacing the
   per-hostname public-suffix-list scan of ``HoihoResult.extract``;
+  each plan's pattern list is additionally fused -- when provably
+  equivalent -- into a single alternation regex so one ``re.match``
+  replaces the sequential first-match loop;
+* :mod:`repro.serve.memo` -- :class:`AnnotationMemo`, the bounded LRU
+  memo fronting dispatch on Zipf-skewed hostname streams;
 * :mod:`repro.serve.service` -- :class:`AnnotationService`, the
   embeddable façade: load/warm/reload conventions (JSON or
   :class:`~repro.store.ArtifactStore`), ``annotate_one`` /
   ``annotate_batch``, graceful malformed-hostname handling;
 * :mod:`repro.serve.engine` -- :class:`BulkAnnotator`, chunked
   order-preserving streaming over files/stdin with optional process
-  fan-out (byte-identical to serial) and TSV/JSONL sinks;
+  fan-out (byte-identical to serial; packed single-buffer chunk IPC,
+  fork-inherited dispatch index, adaptive chunk sizing) and TSV/JSONL
+  sinks;
 * :mod:`repro.serve.metrics` -- :class:`MetricsRegistry`, live
   counters, per-suffix extraction counts, and latency percentiles.
 
@@ -36,7 +43,14 @@ from repro.serve.engine import (
 from repro.serve.index import (
     AnnotationPlan,
     DispatchIndex,
+    MAX_FUSED_GROUPS,
+    fuse_patterns,
     normalize_hostname,
+)
+from repro.serve.memo import (
+    ABSENT,
+    AnnotationMemo,
+    DEFAULT_MEMO_SIZE,
 )
 from repro.serve.metrics import (
     Counter,
@@ -48,18 +62,23 @@ from repro.serve.metrics import (
 from repro.serve.service import AnnotationService
 
 __all__ = [
+    "ABSENT",
+    "AnnotationMemo",
     "AnnotationPlan",
     "AnnotationService",
     "BulkAnnotator",
     "Checkpoint",
     "Counter",
     "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_MEMO_SIZE",
     "DeadLetter",
     "DispatchIndex",
     "Histogram",
     "LabelledCounter",
+    "MAX_FUSED_GROUPS",
     "MetricsRegistry",
     "SINKS",
+    "fuse_patterns",
     "iter_hostnames",
     "jsonl_line",
     "normalize_hostname",

@@ -8,13 +8,27 @@ to millions of PTR records):
   (or stdin) lazily: first whitespace-separated field per line, blank
   lines and ``#`` comments skipped.  Nothing is materialised, so memory
   stays bounded by the chunk window regardless of input size.
-* **chunked fan-out** -- hostnames are grouped into fixed-size chunks;
-  under a parallel :class:`~repro.core.parallel.ParallelConfig` the
-  chunks flow through :func:`~repro.core.parallel.stream_map`, whose
-  worker processes each build the dispatch index **once** (from the
-  service's serialized conventions, via the pool initializer) and then
-  annotate chunk after chunk.  Results come back in input order, so
+* **chunked fan-out** -- hostnames are grouped into chunks (a
+  deterministic adaptive ramp by default, fixed-size on request); under
+  a parallel :class:`~repro.core.parallel.ParallelConfig` the chunks
+  flow through :func:`~repro.core.parallel.stream_map`, whose worker
+  processes each hold the dispatch index: inherited prebuilt from the
+  parent where the ``fork`` start method allows, else built **once**
+  per worker from the service's serialized conventions via the pool
+  initializer.  Each worker fronts its index with its own
+  :class:`~repro.serve.memo.AnnotationMemo` (bulk PTR streams are as
+  Zipf-skewed as live ones).  Results come back in input order, so
   parallel output is byte-identical to serial output.
+* **cheap chunk IPC** -- untraced chunks ship to workers as a single
+  packed ``bytes`` payload (newline-joined hostnames) and come back as
+  one ``array('q')`` of ASNs (``-1`` = miss), one buffer each way
+  instead of a per-hostname object graph; the parent retains each
+  chunk's hostname list (results arrive in dispatch order, so a deque
+  realigns them) and zips pairs back together.  Chunks that cannot be
+  packed safely (non-string items, embedded newlines, unencodable
+  surrogates) fall back to the legacy list payload per chunk, and
+  ASNs too large for a signed 64-bit slot fall back to a plain list
+  result -- both byte-identical, just slower.
 * **fault tolerance** -- with a
   :class:`~repro.core.resilience.RetryPolicy`, worker crashes rebuild
   the pool and replay in-flight chunks, transient faults retry with
@@ -42,6 +56,8 @@ from __future__ import annotations
 import itertools
 import json
 import os
+from array import array
+from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
@@ -56,15 +72,25 @@ from typing import (
     Union,
 )
 
-from repro.core.parallel import ParallelConfig, stream_map
+from repro.core.parallel import (
+    ParallelConfig,
+    adaptive_chunks,
+    fork_inheritance_available,
+    stream_map,
+)
 from repro.core.resilience import PoisonItemError, RetryPolicy
 from repro.obs.metrics import merge_outcomes
 from repro.obs.trace import NULL_TRACER, Captured, Tracer
-from repro.serve.index import DispatchIndex
+from repro.serve.index import DispatchIndex, normalize_hostname
+from repro.serve.memo import ABSENT, AnnotationMemo, DEFAULT_MEMO_SIZE
 from repro.serve.service import AnnotationService
 
-#: Hostnames per dispatched chunk; large enough to amortise pickling,
-#: small enough that a handful of in-flight chunks stay cheap.
+#: Hostnames per dispatched chunk when a fixed ``chunk_size`` is
+#: requested (``chunk_size=None`` -- the default -- uses the adaptive
+#: ramp from :func:`repro.core.parallel.adaptive_chunks` instead).
+#: Large enough to amortise pickling, small enough that a handful of
+#: in-flight chunks stay cheap.  The serial path also coarsens traced
+#: laziness to this size.
 DEFAULT_CHUNK_SIZE = 2048
 
 #: Fault-injection site label for the bulk annotation fan-out.
@@ -98,31 +124,114 @@ def _chunked(items: Iterable[str], size: int) -> Iterator[List[str]]:
 
 # -- worker side -------------------------------------------------------------
 
-_WORKER_INDEX: Optional[DispatchIndex] = None
+#: Per-worker ``(index, memo)`` pair, set by the pool initializer.  The
+#: worker memo caches bare ASNs (``None`` for misses) keyed on the
+#: normalized hostname -- workers keep no per-suffix metrics, so the
+#: service memo's ``(asn, suffix)`` entries would be dead weight here.
+_WORKER_STATE: Optional[Tuple[DispatchIndex,
+                              Optional[AnnotationMemo]]] = None
+
+#: Fork-inheritance handoff.  Right before creating a pool, the parent
+#: parks its prebuilt, warmed index here together with a dispatch-unique
+#: token; under the ``fork`` start method every worker inherits the
+#: globals and the initializer adopts the index (zero per-worker parse
+#: or compile).  Under ``spawn``/``forkserver`` the child re-imports
+#: this module, sees ``None``, and falls back to the shipped JSON.  Two
+#: interleaved bulk runs in one process overwrite the parking spot; the
+#: token mismatch then routes later-forked workers to the JSON fallback
+#: -- slower, never wrong.
+_FORK_TOKEN: Optional[Tuple[int, int]] = None
+_FORK_INDEX: Optional[DispatchIndex] = None
+_fork_tokens = itertools.count(1)
 
 
-def _init_annotation_worker(conventions_json: str) -> None:
-    """Pool initializer: build + warm the dispatch index once per
-    worker process (module-level so the process backend can pickle the
-    reference; the JSON ships once per worker, not per chunk)."""
-    global _WORKER_INDEX
-    from repro.core.io import conventions_from_json
-    _WORKER_INDEX = DispatchIndex.from_result(
-        conventions_from_json(conventions_json))
-    _WORKER_INDEX.warm()
+def _init_annotation_worker(conventions_json: str,
+                            fork_token: Optional[Tuple[int, int]] = None,
+                            memo_size: int = DEFAULT_MEMO_SIZE) -> None:
+    """Pool initializer: adopt the fork-inherited index when the token
+    matches, else build + warm one from ``conventions_json`` (which
+    ships once per worker, not per chunk)."""
+    global _WORKER_STATE
+    if fork_token is not None and fork_token == _FORK_TOKEN \
+            and _FORK_INDEX is not None:
+        index = _FORK_INDEX
+    else:
+        from repro.core.io import conventions_from_json
+        index = DispatchIndex.from_result(
+            conventions_from_json(conventions_json))
+        index.warm()
+    _WORKER_STATE = (index,
+                     AnnotationMemo(memo_size) if memo_size else None)
 
 
-def _annotate_chunk(chunk: List[str],
-                    ) -> List[Tuple[str, Optional[int]]]:
-    """Annotate one chunk against the worker's index."""
-    index = _WORKER_INDEX
-    assert index is not None, "worker initializer did not run"
-    return [(hostname, index.annotate(hostname)) for hostname in chunk]
+def _pack_chunk(chunk: List[str]) -> Union[bytes, List[str]]:
+    """One UTF-8 buffer for the whole chunk, or the chunk itself when
+    packing would be lossy (non-``str`` items, embedded newlines,
+    surrogates UTF-8 cannot encode)."""
+    for hostname in chunk:
+        if type(hostname) is not str or "\n" in hostname:
+            return chunk
+    try:
+        return "\n".join(chunk).encode("utf-8")
+    except UnicodeEncodeError:
+        return chunk
+
+
+def _unpack_item(item: Union[bytes, List[str]]) -> List[str]:
+    """The hostname list behind a dispatched payload (chunks are never
+    empty, so ``b"".split`` ambiguity cannot arise)."""
+    if isinstance(item, bytes):
+        return item.decode("utf-8").split("\n")
+    return list(item)
+
+
+def _annotate_one(hostname: object, index: DispatchIndex,
+                  memo: Optional[AnnotationMemo]) -> Optional[int]:
+    """One worker-side annotation through the memo front."""
+    normalized = normalize_hostname(hostname)
+    if normalized is None:
+        return None
+    if memo is None:
+        plan = index.lookup_normalized(normalized)
+        return plan.extract(normalized) if plan is not None else None
+    asn = memo.data.get(normalized, ABSENT)
+    if asn is ABSENT:
+        plan = index.lookup_normalized(normalized)
+        asn = plan.extract(normalized) if plan is not None else None
+        memo.put(normalized, asn)
+    return asn
+
+
+def _annotate_chunk(payload: Union[bytes, List[str]],
+                    ) -> Union["array", List]:
+    """Annotate one dispatched payload against the worker's state.
+
+    A packed ``bytes`` payload returns an ``array('q')`` of ASNs with
+    ``-1`` for misses/malformed (extracted ASNs are non-negative, so
+    the sentinel cannot collide) -- one pickling buffer instead of a
+    list of tuples.  An ASN beyond the signed-64-bit range falls back
+    to a plain ``Optional[int]`` list.  A legacy list payload returns
+    the historical ``(hostname, asn)`` pairs.
+    """
+    state = _WORKER_STATE
+    assert state is not None, "worker initializer did not run"
+    index, memo = state
+    if not isinstance(payload, bytes):
+        return [(hostname, _annotate_one(hostname, index, memo))
+                for hostname in payload]
+    asns = [_annotate_one(hostname, index, memo)
+            for hostname in payload.decode("utf-8").split("\n")]
+    try:
+        return array("q", (-1 if asn is None else asn for asn in asns))
+    except OverflowError:
+        return asns
 
 
 def _annotate_chunk_traced(chunk: List[str]) -> Captured:
     """Like :func:`_annotate_chunk`, shipping a ``serve.chunk`` span
-    home with the result for the coordinator to adopt."""
+    home with the result for the coordinator to adopt.  Traced runs
+    always dispatch legacy list payloads (spans want hostnames, not
+    packed buffers)."""
     tracer = Tracer()
     with tracer.span("serve.chunk", size=len(chunk)) as span:
         pairs = _annotate_chunk(chunk)
@@ -242,11 +351,11 @@ class BulkAnnotator:
 
     def __init__(self, service: AnnotationService,
                  parallel: Optional[ParallelConfig] = None,
-                 chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 chunk_size: Optional[int] = None,
                  window: Optional[int] = None,
                  retry: Optional[RetryPolicy] = None,
                  tracer=NULL_TRACER) -> None:
-        if chunk_size < 1:
+        if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1, got %d" % chunk_size)
         self.service = service
         self.parallel = parallel or ParallelConfig.serial()
@@ -265,18 +374,21 @@ class BulkAnnotator:
 
     # -- fault hooks ---------------------------------------------------------
 
-    def _on_poison(self, chunk: List[str],
+    def _on_poison(self, item: Union[bytes, List[str]],
                    error: PoisonItemError) -> List[Tuple[str, Optional[int]]]:
-        """Dead-letter a permanently failed chunk as misses."""
+        """Dead-letter a permanently failed chunk as misses.  The
+        dispatched item may be a packed payload; the dead letter always
+        records the real hostnames."""
+        hostnames = _unpack_item(item)
         self.dead_letters.append(DeadLetter(
-            index=error.index, hostnames=list(chunk),
+            index=error.index, hostnames=hostnames,
             error="%s: %s" % (type(error.cause).__name__, error.cause),
             attempts=error.attempts))
-        self._errors.inc(len(chunk))
+        self._errors.inc(len(hostnames))
         if self._span is not None:
             self._span.event("poisoned", site=SITE_BULK_ANNOTATE,
-                             chunk=error.index, count=len(chunk))
-        return [(hostname, None) for hostname in chunk]
+                             chunk=error.index, count=len(hostnames))
+        return [(hostname, None) for hostname in hostnames]
 
     def _on_retry(self, chunk: List[str], attempts: int,
                   exc: Optional[BaseException]) -> None:
@@ -301,9 +413,11 @@ class BulkAnnotator:
         Per-chunk ``serve.chunk`` spans record where annotation time
         went.
         """
-        span = self.tracer.span("serve.bulk",
-                                chunk_size=self.chunk_size,
-                                parallel=self.parallel.is_parallel)
+        span = self.tracer.span(
+            "serve.bulk",
+            chunk_size=self.chunk_size if self.chunk_size is not None
+            else "adaptive",
+            parallel=self.parallel.is_parallel)
         self._span = span if self.tracer.enabled else None
         chunks_done = 0
         try:
@@ -315,8 +429,20 @@ class BulkAnnotator:
             raise
         finally:
             span.set(chunks=chunks_done)
+            memo = self.service.memo
+            if memo is not None:
+                span.set(memo_hits=memo.hits, memo_misses=memo.misses,
+                         memo_evictions=memo.evictions)
             span.finish()
             self._span = None
+
+    def _chunk_stream(self, hostnames: Iterable[str],
+                      ) -> Iterator[List[str]]:
+        """Chunks under the configured policy: fixed size when one was
+        requested, the deterministic adaptive ramp otherwise."""
+        if self.chunk_size is not None:
+            return _chunked(hostnames, self.chunk_size)
+        return adaptive_chunks(hostnames)
 
     def _dispatch_chunks(self, hostnames: Iterable[str], span,
                          ) -> Iterator[List[Tuple[str, Optional[int]]]]:
@@ -326,27 +452,72 @@ class BulkAnnotator:
             # cannot happen in-process, so the retry policy is moot.
             yield from self._serial_chunks(hostnames)
             return
-        chunks = _chunked(hostnames, self.chunk_size)
-        worker = (_annotate_chunk_traced if self.tracer.enabled
-                  else _annotate_chunk)
-        results = stream_map(
-            worker, chunks, self.parallel, window=self.window,
-            initializer=_init_annotation_worker,
-            initargs=(self.service.to_json(),),
-            retry=self.retry, site=SITE_BULK_ANNOTATE,
-            on_poison=self._on_poison if self.retry is not None else None,
-            on_retry=self._on_retry if self.retry is not None else None)
-        for result in results:
-            if isinstance(result, Captured):
-                self.tracer.adopt(result.spans, parent_id=span.span_id)
-                pairs = result.value
-            else:
-                # Plain list: untraced worker, or an ``on_poison``
-                # dead-letter substitute (those carry no spans).
-                pairs = result
-            annotated = sum(1 for _, asn in pairs if asn is not None)
-            merge_outcomes(self.service.metrics, len(pairs), annotated)
-            yield pairs
+        global _FORK_TOKEN, _FORK_INDEX
+        chunks = self._chunk_stream(hostnames)
+        packed = not self.tracer.enabled
+        if packed:
+            # Retain each chunk's hostname list parent-side; results
+            # come back strictly in dispatch order (stream_map's
+            # contract, faults included), so a deque realigns them.
+            retained: Optional[deque] = deque()
+            worker: Callable = _annotate_chunk
+
+            def payloads() -> Iterator[Union[bytes, List[str]]]:
+                for chunk in chunks:
+                    retained.append(chunk)
+                    yield _pack_chunk(chunk)
+
+            items: Iterable = payloads()
+        else:
+            retained = None
+            worker = _annotate_chunk_traced
+            items = chunks
+        token = None
+        if fork_inheritance_available():
+            # Park the live index for fork inheritance: workers adopt
+            # the parent's already-built, already-fused trie instead of
+            # re-parsing conventions JSON.
+            index = self.service.index
+            index.warm()
+            token = (os.getpid(), next(_fork_tokens))
+            _FORK_INDEX = index
+            _FORK_TOKEN = token
+        span.set(payloads="packed" if packed else "list",
+                 fork_shared=token is not None)
+        try:
+            results = stream_map(
+                worker, items, self.parallel, window=self.window,
+                initializer=_init_annotation_worker,
+                initargs=(self.service.to_json(), token,
+                          self.service.memo_size),
+                retry=self.retry, site=SITE_BULK_ANNOTATE,
+                on_poison=self._on_poison if self.retry is not None
+                else None,
+                on_retry=self._on_retry if self.retry is not None
+                else None)
+            for result in results:
+                chunk = retained.popleft() if retained is not None else None
+                if isinstance(result, Captured):
+                    self.tracer.adopt(result.spans, parent_id=span.span_id)
+                    pairs = result.value
+                elif isinstance(result, array):
+                    # Packed result: ASNs only, -1 = miss.
+                    pairs = [(hostname, None if asn < 0 else asn)
+                             for hostname, asn in zip(chunk, result)]
+                elif result and not isinstance(result[0], tuple):
+                    # Overflow fallback: plain Optional[int] list.
+                    pairs = list(zip(chunk, result))
+                else:
+                    # Pairs: legacy list payload, or an ``on_poison``
+                    # dead-letter substitute (those carry no spans).
+                    pairs = result
+                annotated = sum(1 for _, asn in pairs if asn is not None)
+                merge_outcomes(self.service.metrics, len(pairs), annotated)
+                yield pairs
+        finally:
+            if token is not None and _FORK_TOKEN == token:
+                _FORK_TOKEN = None
+                _FORK_INDEX = None
 
     def _serial_chunks(self, hostnames: Iterable[str],
                        ) -> Iterator[List[Tuple[str, Optional[int]]]]:
@@ -359,7 +530,9 @@ class BulkAnnotator:
         discovery.
         """
         iterator = _chunked_pairs(
-            self.service.annotate_pairs(hostnames), self.chunk_size)
+            self.service.annotate_pairs(hostnames),
+            self.chunk_size if self.chunk_size is not None
+            else DEFAULT_CHUNK_SIZE)
         index = 0
         while True:
             chunk_span = self.tracer.span("serve.chunk", chunk=index)
@@ -449,12 +622,13 @@ class BulkAnnotator:
                 _flush(out)
                 checkpoint.record(requests=requests, annotated=annotated,
                                   errors=errors, fmt=fmt,
-                                  chunk_size=self.chunk_size)
+                                  chunk_size=self.chunk_size or 0)
         if checkpoint is not None:
             _flush(out)
             checkpoint.record(requests=requests, annotated=annotated,
                               errors=errors, fmt=fmt,
-                              chunk_size=self.chunk_size, complete=True)
+                              chunk_size=self.chunk_size or 0,
+                              complete=True)
         return {"requests": requests, "annotated": annotated,
                 "misses": requests - annotated, "errors": errors}
 

@@ -29,11 +29,33 @@ occupies the ``ck -> www`` trie path, and hostnames under other
 Hostnames are normalised (lower-cased, surrounding dots stripped)
 before dispatch, so trailing-dot FQDNs and uppercase labels annotate
 identically to their canonical forms.
+
+**Fused matchers** (the dispatch hot path): a plan's ordered pattern
+list is additionally compiled -- when safe -- into a *single*
+alternation regex, ``(p1)|(p2)|...``, so one ``re.match`` call replaces
+the sequential first-match loop.  Python's regex alternation is
+leftmost-first at a fixed position, and ``re.match`` anchors every
+alternative at position 0, so the fused program tries exactly the same
+candidates in exactly the same order as the loop -- first match wins
+either way.  Each alternative is wrapped in its own capture group;
+after a match, the branch that fired is recovered from
+``Match.lastindex`` (only one branch's groups can participate) and the
+branch's original group 1 -- the ASN capture -- is read at its shifted
+offset.  Fusion falls back to the proven sequential loop whenever
+equivalence cannot be guaranteed syntactically: numbered or named
+backreferences and conditionals (group renumbering would re-target
+them), global inline flags like ``(?i)`` (they would leak across
+alternatives), patterns without a capture group, duplicate group
+names, or a fused program that would exceed
+:data:`MAX_FUSED_GROUPS`.  ``AnnotationPlan.extract`` is
+result-identical either way (property-tested in
+``tests/props/test_hotpath_props.py``).
 """
 
 from __future__ import annotations
 
 import re
+from bisect import bisect_right
 from typing import Dict, Iterable, List, Optional, Pattern, Tuple
 
 from repro.core.hoiho import HoihoResult
@@ -42,6 +64,106 @@ from repro.core.select import LearnedConvention, NCClass
 #: Trie-node key holding the node's plan (labels are plain strings, so
 #: any non-string sentinel cannot collide).
 _PLAN_KEY = object()
+
+#: Most capture groups a fused program may use.  Stays under the
+#: classic ``re`` backreference limit (100) with margin; plans whose
+#: alternation would exceed it keep the sequential loop.
+MAX_FUSED_GROUPS = 96
+
+#: Global inline flags -- ``(?i)``, ``(?im)``, ... -- apply to the
+#: whole expression, so fusing them into an alternation would leak one
+#: pattern's flags onto its siblings.  Scoped groups like ``(?i:...)``
+#: are local and stay fusable.  The scan is conservative (a literal
+#: ``(?i)`` inside a character class also triggers fallback).
+_GLOBAL_FLAGS = re.compile(r"\(\?[aiLmsux]+\)")
+
+#: Backreferences and conditionals name groups by number or name;
+#: fusion renumbers groups, so any of these forces the sequential
+#: fallback.  ``\\[1-9]`` is conservative: an escaped backslash before
+#: a digit (``\\1`` matching literal ``\1``) also triggers fallback.
+_BACKREF = re.compile(r"\\[1-9]|\(\?P=|\(\?\(")
+
+
+class _SequentialMatcher:
+    """The proven first-match loop over individually compiled patterns."""
+
+    __slots__ = ("patterns",)
+
+    fused = False
+
+    def __init__(self, patterns: Tuple[Pattern[str], ...]) -> None:
+        self.patterns = patterns
+
+    def extract(self, hostname: str) -> Optional[int]:
+        for pattern in self.patterns:
+            match = pattern.match(hostname)
+            if match is not None:
+                return int(match.group(1))
+        return None
+
+
+class _FusedMatcher:
+    """One alternation regex replacing the sequential first-match loop.
+
+    ``bases[i]`` is the capture group wrapping alternative ``i``; the
+    alternative's ASN group (its original group 1) sits at
+    ``bases[i] + 1``.  Exactly one branch participates in any match, so
+    ``Match.lastindex`` -- the highest-numbered group that matched --
+    always falls inside the winning branch's group range, and a bisect
+    over ``bases`` recovers the branch without re-testing groups.
+    """
+
+    __slots__ = ("regex", "bases")
+
+    fused = True
+
+    def __init__(self, regex: Pattern[str], bases: Tuple[int, ...]) -> None:
+        self.regex = regex
+        self.bases = bases
+
+    def extract(self, hostname: str) -> Optional[int]:
+        match = self.regex.match(hostname)
+        if match is None:
+            return None
+        bases = self.bases
+        base = bases[bisect_right(bases, match.lastindex) - 1]
+        return int(match.group(base + 1))
+
+
+def fuse_patterns(patterns: Tuple[str, ...],
+                  compiled: Tuple[Pattern[str], ...],
+                  ) -> Optional[_FusedMatcher]:
+    """The fused program for ``patterns``, or ``None`` when fusion
+    cannot be proven equivalent to the sequential loop (see the module
+    docstring for the exact fallback conditions)."""
+    if len(patterns) < 2:
+        return None
+    for pattern, regex in zip(patterns, compiled):
+        if regex.groups == 0:
+            # No ASN capture: the sequential loop would raise on a
+            # match; keep that (surfaced) behaviour rather than guess.
+            return None
+        if _GLOBAL_FLAGS.search(pattern) or _BACKREF.search(pattern):
+            return None
+    total = sum(regex.groups for regex in compiled) + len(compiled)
+    if total > MAX_FUSED_GROUPS:
+        return None
+    bases: List[int] = []
+    parts: List[str] = []
+    offset = 0
+    for pattern, regex in zip(patterns, compiled):
+        bases.append(offset + 1)
+        parts.append("(%s)" % pattern)
+        offset += regex.groups + 1
+    try:
+        fused = re.compile("|".join(parts))
+    except re.error:
+        # Duplicate named groups across alternatives, engine limits --
+        # anything the syntactic screen missed lands here.
+        return None
+    if fused.groups != total:
+        return None
+    return _FusedMatcher(fused, tuple(bases))
 
 
 def normalize_hostname(hostname: object) -> Optional[str]:
@@ -63,25 +185,38 @@ class AnnotationPlan:
 
     The pattern order mirrors :meth:`LearnedConvention.extract`: the
     first matching regex supplies the extraction.  Compilation is lazy
-    (:attr:`compiled`) so building an index over thousands of suffixes
-    stays cheap; :meth:`warm` forces it.
+    (:attr:`compiled` / :attr:`matcher`) so building an index over
+    thousands of suffixes stays cheap; :meth:`warm` forces it.
+
+    Lazy compilation is **thread-safe by idempotence**: the compiled
+    artifacts are built completely in a local, then published with a
+    single attribute assignment (atomic under the GIL).  Two threads
+    racing first access may both compile, but each publishes a complete,
+    equivalent program and every reader sees either ``None`` or a fully
+    built one -- never a partial.  Servers should still call
+    :meth:`warm` (or :meth:`DispatchIndex.warm`) before accepting
+    traffic so no request pays the compile.
     """
 
-    __slots__ = ("suffix", "patterns", "nc_class", "_compiled")
+    __slots__ = ("suffix", "patterns", "nc_class", "fuse", "_compiled",
+                 "_matcher")
 
     def __init__(self, suffix: str, patterns: Iterable[str],
-                 nc_class: NCClass = NCClass.GOOD) -> None:
+                 nc_class: NCClass = NCClass.GOOD,
+                 fuse: bool = True) -> None:
         self.suffix = suffix
         self.patterns: Tuple[str, ...] = tuple(patterns)
         self.nc_class = nc_class
+        self.fuse = fuse
         self._compiled: Optional[Tuple[Pattern[str], ...]] = None
+        self._matcher = None
 
     @classmethod
     def from_convention(cls, convention: LearnedConvention,
-                        ) -> "AnnotationPlan":
+                        fuse: bool = True) -> "AnnotationPlan":
         """The plan equivalent of a learned convention."""
         return cls(convention.suffix, convention.patterns(),
-                   convention.nc_class)
+                   convention.nc_class, fuse=fuse)
 
     @property
     def usable(self) -> bool:
@@ -90,22 +225,43 @@ class AnnotationPlan:
 
     @property
     def compiled(self) -> Tuple[Pattern[str], ...]:
-        """The compiled patterns, compiling on first access."""
-        if self._compiled is None:
-            self._compiled = tuple(re.compile(p) for p in self.patterns)
-        return self._compiled
+        """The individually compiled patterns, compiling on first
+        access (complete-then-publish, so concurrent first calls are
+        safe)."""
+        compiled = self._compiled
+        if compiled is None:
+            compiled = tuple(re.compile(p) for p in self.patterns)
+            self._compiled = compiled
+        return compiled
+
+    @property
+    def matcher(self):
+        """The extraction program: fused when provably equivalent,
+        else the sequential loop (see the module docstring)."""
+        matcher = self._matcher
+        if matcher is None:
+            compiled = self.compiled
+            matcher = (fuse_patterns(self.patterns, compiled)
+                       if self.fuse else None) \
+                or _SequentialMatcher(compiled)
+            self._matcher = matcher
+        return matcher
+
+    @property
+    def fused(self) -> bool:
+        """Whether extraction runs the fused program (compiles it)."""
+        return self.matcher.fused
 
     def warm(self) -> None:
-        """Force pattern compilation now."""
-        self.compiled
+        """Force pattern + matcher compilation now."""
+        self.matcher
 
     def extract(self, hostname: str) -> Optional[int]:
         """Extract an ASN from an already-normalised hostname."""
-        for pattern in self.compiled:
-            match = pattern.match(hostname)
-            if match is not None:
-                return int(match.group(1))
-        return None
+        matcher = self._matcher
+        if matcher is None:
+            matcher = self.matcher
+        return matcher.extract(hostname)
 
     def __repr__(self) -> str:
         return "AnnotationPlan(%s, %d pattern%s)" % (
@@ -138,10 +294,13 @@ class DispatchIndex:
 
     @classmethod
     def from_result(cls, result: HoihoResult,
-                    usable_only: bool = False) -> "DispatchIndex":
+                    usable_only: bool = False,
+                    fuse: bool = True) -> "DispatchIndex":
         """Index every convention of ``result`` (optionally only the
-        usable ones)."""
-        return cls(AnnotationPlan.from_convention(convention)
+        usable ones).  ``fuse=False`` pins every plan to the sequential
+        matcher -- the reference path the fused program is property-
+        tested against."""
+        return cls(AnnotationPlan.from_convention(convention, fuse=fuse)
                    for convention in result.conventions.values()
                    if not usable_only or convention.usable)
 
@@ -173,6 +332,10 @@ class DispatchIndex:
         for plan in self._plans.values():
             plan.warm()
         return len(self._plans)
+
+    def fused_plans(self) -> int:
+        """How many plans run the fused program (compiles them)."""
+        return sum(1 for plan in self._plans.values() if plan.fused)
 
     def lookup(self, hostname: str) -> Optional[AnnotationPlan]:
         """The owning plan of ``hostname`` (normalising first), or None."""

@@ -5,10 +5,14 @@ import pytest
 from repro.core.hoiho import Hoiho, HoihoConfig
 from repro.core.io import conventions_to_json
 from repro.core.parallel import (
+    ADAPTIVE_CHUNK_MAX,
+    ADAPTIVE_CHUNK_MIN,
     BACKEND_PROCESS,
     BACKEND_SERIAL,
     ParallelConfig,
+    adaptive_chunks,
     default_workers,
+    fork_inheritance_available,
     parallel_map,
 )
 from repro.core.types import SuffixDataset, TrainingItem, group_by_suffix
@@ -123,3 +127,50 @@ class TestDeterminism:
             workers=2, backend=BACKEND_PROCESS)).run_datasets(
                 list(reversed(datasets)))
         assert conventions_to_json(forward) == conventions_to_json(backward)
+
+
+class TestAdaptiveChunks:
+    def test_doubling_ramp_schedule(self):
+        sizes = [len(c) for c in adaptive_chunks(range(70), start=4,
+                                                 limit=16)]
+        # 4, 8, 16, 16, ... then the remainder.
+        assert sizes == [4, 8, 16, 16, 16, 10]
+
+    def test_ramp_caps_at_limit(self):
+        sizes = [len(c) for c in adaptive_chunks(range(2000), start=512,
+                                                 limit=512)]
+        assert sizes == [512, 512, 512, 464]
+
+    def test_defaults_ramp_from_min_to_max(self):
+        n = ADAPTIVE_CHUNK_MIN + ADAPTIVE_CHUNK_MAX + 7
+        sizes = [len(c) for c in adaptive_chunks(range(n))]
+        assert sizes[0] == ADAPTIVE_CHUNK_MIN
+        assert max(sizes) <= ADAPTIVE_CHUNK_MAX
+        assert sum(sizes) == n
+
+    def test_preserves_order_and_items(self):
+        items = list(range(100))
+        chained = [x for chunk in adaptive_chunks(items, start=3, limit=7)
+                   for x in chunk]
+        assert chained == items
+
+    def test_empty_input_yields_nothing(self):
+        assert list(adaptive_chunks([])) == []
+
+    def test_deterministic(self):
+        first = list(adaptive_chunks(range(500), start=8, limit=64))
+        second = list(adaptive_chunks(range(500), start=8, limit=64))
+        assert first == second
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            list(adaptive_chunks([1], start=0, limit=4))
+        with pytest.raises(ValueError):
+            list(adaptive_chunks([1], start=8, limit=4))
+
+
+class TestForkInheritance:
+    def test_matches_start_method(self):
+        import multiprocessing
+        expected = multiprocessing.get_start_method() == "fork"
+        assert fork_inheritance_available() is expected

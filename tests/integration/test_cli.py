@@ -254,7 +254,9 @@ class TestCliServe:
         assert "# serving 1 convention(s)" in captured.err
         snapshot = json.loads(metrics.read_text(encoding="utf-8"))
         assert snapshot["counters"] == {
-            "annotated": 1, "malformed": 0, "misses": 1, "requests": 2}
+            "annotated": 1, "malformed": 0, "misses": 1, "requests": 2,
+            "memo_hits": 0, "memo_misses": 2, "memo_evictions": 0}
+        assert snapshot["memo"]["size"] == 2
 
     def test_serve_requires_conventions(self, capsys):
         assert main(["serve"]) == 2

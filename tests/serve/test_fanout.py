@@ -1,0 +1,206 @@
+"""Tests for the cheap fan-out machinery: packed chunk IPC, the worker
+protocol and its fallbacks, fork-inherited dispatch indexes, and
+adaptive chunking through the engine."""
+
+from array import array
+
+import pytest
+
+import repro.serve.engine as engine_module
+from repro.core.hoiho import Hoiho
+from repro.core.io import conventions_to_json
+from repro.core.parallel import ParallelConfig
+from repro.core.types import TrainingItem
+from repro.serve.engine import (
+    BulkAnnotator,
+    _annotate_chunk,
+    _init_annotation_worker,
+    _pack_chunk,
+    _unpack_item,
+)
+from repro.serve.index import DispatchIndex
+from repro.serve.service import AnnotationService
+
+
+def learned_result():
+    return Hoiho().run([
+        TrainingItem("as%d.pop%d.example.com" % (asn, i % 3), asn)
+        for i, asn in enumerate([3356, 1299, 174, 2914, 6453])])
+
+
+def workload(n=100):
+    hostnames = []
+    for i in range(n):
+        if i % 4 == 3:
+            hostnames.append("miss%d.unknown.net" % i)
+        else:
+            hostnames.append("as%d.pop%d.example.com" % (100 + i, i % 3))
+    return hostnames
+
+
+@pytest.fixture
+def worker_state():
+    """Initialize module-level worker state, restoring it afterwards."""
+    saved = engine_module._WORKER_STATE
+    _init_annotation_worker(conventions_to_json(learned_result()))
+    yield engine_module._WORKER_STATE
+    engine_module._WORKER_STATE = saved
+
+
+class TestPacking:
+    def test_round_trip(self):
+        chunk = ["as100.pop0.example.com", "miss.unknown.net"]
+        packed = _pack_chunk(chunk)
+        assert isinstance(packed, bytes)
+        assert _unpack_item(packed) == chunk
+
+    def test_non_string_item_falls_back_to_list(self):
+        chunk = ["a.example.com", 42]
+        assert _pack_chunk(chunk) is chunk
+
+    def test_embedded_newline_falls_back_to_list(self):
+        chunk = ["a.example.com", "evil\nhost.example.com"]
+        assert _pack_chunk(chunk) is chunk
+
+    def test_unencodable_surrogate_falls_back_to_list(self):
+        chunk = ["a.example.com", "bad\udc80host"]
+        assert _pack_chunk(chunk) is chunk
+
+    def test_unpack_list_copies(self):
+        chunk = ["a.example.com"]
+        unpacked = _unpack_item(chunk)
+        assert unpacked == chunk
+        assert unpacked is not chunk
+
+    def test_unicode_hostnames_survive(self):
+        chunk = ["xn--bcher-kva.example.com", "bücher.example.com"]
+        assert _unpack_item(_pack_chunk(chunk)) == chunk
+
+
+class TestWorkerProtocol:
+    def test_packed_payload_returns_asn_array(self, worker_state):
+        chunk = ["as100.pop0.example.com", "miss.unknown.net",
+                 "as101.pop1.example.com"]
+        result = _annotate_chunk(_pack_chunk(chunk))
+        assert isinstance(result, array)
+        assert result.typecode == "q"
+        assert list(result) == [100, -1, 101]
+
+    def test_list_payload_returns_pairs(self, worker_state):
+        chunk = ["as100.pop0.example.com", "miss.unknown.net"]
+        result = _annotate_chunk(chunk)
+        assert result == [("as100.pop0.example.com", 100),
+                          ("miss.unknown.net", None)]
+
+    def test_worker_memo_caches_repeats(self, worker_state):
+        index, memo = worker_state
+        _annotate_chunk(_pack_chunk(["as100.pop0.example.com"] * 5))
+        assert memo is not None
+        assert memo.data["as100.pop0.example.com"] == 100
+        assert len(memo.data) == 1
+
+    def test_memo_size_zero_disables_worker_memo(self):
+        saved = engine_module._WORKER_STATE
+        try:
+            _init_annotation_worker(conventions_to_json(learned_result()),
+                                    memo_size=0)
+            index, memo = engine_module._WORKER_STATE
+            assert memo is None
+            result = _annotate_chunk(_pack_chunk(["as100.pop0.example.com"]))
+            assert list(result) == [100]
+        finally:
+            engine_module._WORKER_STATE = saved
+
+    def test_oversized_asn_falls_back_to_list(self, worker_state):
+        index, memo = worker_state
+        # Poison the memo with an ASN beyond the signed-64-bit range so
+        # the packed array overflows and the worker ships a plain list.
+        memo.put("huge.example.com", 2 ** 70)
+        result = _annotate_chunk(_pack_chunk(["huge.example.com",
+                                              "as100.pop0.example.com"]))
+        assert isinstance(result, list)
+        assert result == [2 ** 70, 100]
+
+
+class TestForkInheritance:
+    def test_initializer_adopts_parked_index_on_token_match(self):
+        saved = (engine_module._WORKER_STATE, engine_module._FORK_TOKEN,
+                 engine_module._FORK_INDEX)
+        try:
+            parked = DispatchIndex.from_result(learned_result())
+            token = (1234, 1)
+            engine_module._FORK_INDEX = parked
+            engine_module._FORK_TOKEN = token
+            _init_annotation_worker("{}", fork_token=token)
+            index, _ = engine_module._WORKER_STATE
+            assert index is parked
+        finally:
+            (engine_module._WORKER_STATE, engine_module._FORK_TOKEN,
+             engine_module._FORK_INDEX) = saved
+
+    def test_initializer_parses_json_on_token_mismatch(self):
+        saved = (engine_module._WORKER_STATE, engine_module._FORK_TOKEN,
+                 engine_module._FORK_INDEX)
+        try:
+            parked = DispatchIndex.from_result(learned_result())
+            engine_module._FORK_INDEX = parked
+            engine_module._FORK_TOKEN = (1234, 1)
+            _init_annotation_worker(conventions_to_json(learned_result()),
+                                    fork_token=(1234, 2))
+            index, _ = engine_module._WORKER_STATE
+            assert index is not parked
+            assert index.suffixes() == parked.suffixes()
+        finally:
+            (engine_module._WORKER_STATE, engine_module._FORK_TOKEN,
+             engine_module._FORK_INDEX) = saved
+
+    def test_parking_spot_cleared_after_parallel_run(self):
+        service = AnnotationService(learned_result())
+        annotator = BulkAnnotator(service,
+                                  parallel=ParallelConfig.from_jobs(2),
+                                  chunk_size=16)
+        list(annotator.annotate(workload(64)))
+        assert engine_module._FORK_TOKEN is None
+        assert engine_module._FORK_INDEX is None
+
+
+class TestParallelIdentity:
+    def test_packed_parallel_identical_to_serial(self):
+        hostnames = workload(200)
+        serial = list(BulkAnnotator(
+            AnnotationService(learned_result())).annotate(hostnames))
+        parallel = list(BulkAnnotator(
+            AnnotationService(learned_result()),
+            parallel=ParallelConfig.from_jobs(2),
+            chunk_size=32).annotate(hostnames))
+        assert parallel == serial
+
+    def test_adaptive_chunks_parallel_identical_to_serial(self):
+        hostnames = workload(300)
+        serial = list(BulkAnnotator(
+            AnnotationService(learned_result())).annotate(hostnames))
+        parallel = list(BulkAnnotator(
+            AnnotationService(learned_result()),
+            parallel=ParallelConfig.from_jobs(2)).annotate(hostnames))
+        assert parallel == serial
+
+    def test_unpackable_chunk_still_correct_in_parallel(self):
+        # A non-string item forces the legacy list payload for its
+        # chunk; results must match the serial path item for item.
+        hostnames = workload(40) + [None, 42] + workload(8)
+        serial = list(BulkAnnotator(
+            AnnotationService(learned_result())).annotate(hostnames))
+        parallel = list(BulkAnnotator(
+            AnnotationService(learned_result()),
+            parallel=ParallelConfig.from_jobs(2),
+            chunk_size=8).annotate(hostnames))
+        assert parallel == serial
+
+    def test_default_chunk_size_is_adaptive(self):
+        annotator = BulkAnnotator(AnnotationService(learned_result()))
+        assert annotator.chunk_size is None
+
+    def test_zero_chunk_size_still_rejected(self):
+        with pytest.raises(ValueError):
+            BulkAnnotator(AnnotationService(learned_result()),
+                          chunk_size=0)

@@ -85,13 +85,18 @@ class TestWorkload:
 
 FAKE_SERVE = {
     "workload": {"conventions": 24, "hostnames": 20000,
+                 "zipf_hostnames": 20000,
                  "parallel_workers": 2, "rounds": 1},
     "linear_apply": {"seconds": 1.4, "hostnames_per_second": 14285.0},
     "dispatch": {"cold_seconds": 0.06, "warm_seconds": 0.046,
                  "warm_hostnames_per_second": 434000.0,
-                 "speedup_vs_linear": 30.4},
-    "bulk": {"serial_seconds": 0.051, "parallel_seconds": 0.052,
-             "parallel_speedup": 0.98},
+                 "speedup_vs_linear": 30.4, "fused_plans": 24},
+    "memo": {"zipf_hostnames": 20000, "zipf_universe": 1400,
+             "uncached_seconds": 0.04, "warm_seconds": 0.01,
+             "warm_hostnames_per_second": 2000000.0,
+             "memo_speedup": 4.0, "hit_rate": 0.93, "capacity": 65536},
+    "bulk": {"serial_seconds": 0.051, "parallel_seconds": 0.026,
+             "parallel_speedup": 1.96, "parallel_workers": 2},
 }
 
 
@@ -123,7 +128,17 @@ class TestServeSection:
         text = bench.render_serve_section(FAKE_SERVE)
         assert "trie dispatch" in text
         assert "30.4x vs linear" in text
+        assert "zipf memo" in text
+        assert "hit rate 93.0%" in text
         assert "bulk streaming" in text
+
+    def test_render_serve_section_tolerates_pre_v5_shape(self):
+        legacy = {key: value for key, value in FAKE_SERVE.items()
+                  if key not in ("memo", "bulk")}
+        text = bench.render_serve_section(legacy)
+        assert "trie dispatch" in text
+        assert "zipf memo" not in text
+        assert "bulk streaming" not in text
 
     def test_render_report_with_serve(self):
         text = bench.render_report({"version": bench.BENCH_VERSION,
@@ -143,22 +158,80 @@ class TestServeSection:
         for suffix in result.conventions:
             assert psl.registered_domain(suffix) == suffix
 
+    def test_zipf_workload_is_deterministic_and_skewed(self):
+        first = bench.zipf_hostnames(n=2000, universe=500)
+        second = bench.zipf_hostnames(n=2000, universe=500)
+        assert first == second                      # fixed seed
+        distinct = len(set(first))
+        assert distinct < len(first) / 2            # heavy repeats
+        assert distinct > 10                        # but a real stream
+
+    def test_bulk_workers_caps_at_four(self, monkeypatch):
+        monkeypatch.setattr(bench, "default_workers", lambda: 16)
+        assert bench.bulk_workers() == 4
+        assert bench.bulk_workers(jobs=8) == 8      # explicit wins
+        monkeypatch.setattr(bench, "default_workers", lambda: 1)
+        assert bench.bulk_workers() == 1
+
+    def test_write_dispatch_section_keeps_bulk_numbers(
+            self, tmp_path, monkeypatch):
+        path = tmp_path / "BENCH.json"
+        existing = {"version": bench.BENCH_VERSION,
+                    "pipeline": FAKE_PIPELINE,
+                    "serve": json.loads(json.dumps(FAKE_SERVE))}
+        path.write_text(json.dumps(existing), encoding="utf-8")
+        fresh = {"workload": {"conventions": 24, "hostnames": 20000,
+                              "zipf_hostnames": 20000, "rounds": 9},
+                 "linear_apply": {"seconds": 2.0,
+                                  "hostnames_per_second": 10000.0},
+                 "dispatch": {"cold_seconds": 0.05, "warm_seconds": 0.02,
+                              "warm_hostnames_per_second": 1000000.0,
+                              "speedup_vs_linear": 100.0,
+                              "fused_plans": 24},
+                 "memo": {"zipf_hostnames": 20000, "zipf_universe": 1400,
+                          "uncached_seconds": 0.04, "warm_seconds": 0.005,
+                          "warm_hostnames_per_second": 4000000.0,
+                          "memo_speedup": 8.0, "hit_rate": 0.93,
+                          "capacity": 65536}}
+        monkeypatch.setattr(bench, "run_dispatch_bench",
+                            lambda rounds=3, jobs=None:
+                            json.loads(json.dumps(fresh)))
+        report = bench.write_dispatch_section(str(path))
+        serve = report["serve"]
+        assert serve["dispatch"]["speedup_vs_linear"] == 100.0
+        assert serve["memo"]["memo_speedup"] == 8.0
+        # The fan-out numbers (and their worker count) survive.
+        assert serve["bulk"] == FAKE_SERVE["bulk"]
+        assert serve["workload"]["parallel_workers"] == 2
+        assert report["pipeline"] == FAKE_PIPELINE
+
     @pytest.mark.slow
     def test_run_serve_bench_shape(self):
         report = bench.run_serve_bench(rounds=1)
         assert set(report) == {"workload", "linear_apply", "dispatch",
-                               "bulk"}
+                               "memo", "bulk"}
         assert report["dispatch"]["speedup_vs_linear"] > 1.0
+        assert report["memo"]["memo_speedup"] > 1.0
+        assert report["bulk"]["parallel_workers"] == \
+            report["workload"]["parallel_workers"]
+
+    @pytest.mark.slow
+    def test_run_dispatch_bench_shape(self):
+        report = bench.run_dispatch_bench(rounds=1)
+        assert set(report) == {"workload", "linear_apply", "dispatch",
+                               "memo"}
+        assert report["dispatch"]["fused_plans"] > 0
 
 
 FAKE_OBS = {
-    "workload": {"world_items": 1280, "world_suffixes": 16, "rounds": 3,
+    "workload": {"world_items": 1280, "world_suffixes": 16, "rounds": 5,
                  "null_span_loops": 200000},
     "disabled": {"seconds": 0.2, "null_span_seconds": 4.5e-07,
                  "spans_per_run": 97, "overhead_fraction": 0.0002,
                  "budget_fraction": 0.02, "within_budget": True},
     "enabled": {"seconds": 0.21, "spans_per_run": 97,
-                "overhead_fraction": 0.05},
+                "overhead_fraction": 0.05,
+                "overhead_fraction_raw": 0.05, "noise_floor": False},
 }
 
 
@@ -217,3 +290,9 @@ class TestObsSection:
         assert section["disabled"]["overhead_fraction"] < \
             bench.OBS_OVERHEAD_BUDGET
         assert section["disabled"]["spans_per_run"] > 16
+        # The reported enabled fraction is never negative; when the
+        # raw measurement is, the noise_floor flag says so.
+        enabled = section["enabled"]
+        assert enabled["overhead_fraction"] >= 0.0
+        assert enabled["noise_floor"] == \
+            (enabled["overhead_fraction_raw"] < 0.0)
