@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-slow test-faults bench bench-pipeline annotate-bench \
-	dispatch-bench obs-bench bench-tables lint
+	dispatch-bench obs-bench incremental-bench bench-tables lint
 
 # Tier-1: slow (full-scale pipeline) tests are excluded by the default
 # pytest addopts (-m "not slow"); `make test-slow` runs only those.
@@ -39,6 +39,11 @@ dispatch-bench:
 # 2% budget) into the `obs` section of BENCH_learner.json.
 obs-bench:
 	$(PYTHON) benchmarks/bench_report.py --obs-only
+
+# Incremental learning (cold vs warm-repeat vs perturbed timeline
+# through the per-suffix cache) into the `incremental` section.
+incremental-bench:
+	$(PYTHON) benchmarks/bench_report.py --incremental-only
 
 bench-tables:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -24,7 +24,11 @@ The JSON report tracks, across PRs:
 * the ``obs`` section: tracer overhead with tracing disabled (the
   no-op span path, asserted under the 2% budget) and enabled
   (``--obs-only`` refreshes just this section, as ``make obs-bench``
-  does).
+  does);
+* the ``incremental`` section: cold vs warm-repeat vs 5%-perturbed
+  timeline learning through the per-suffix cache, with hit/miss
+  counters and the byte-identity check (``--incremental-only``
+  refreshes just this section, as ``make incremental-bench`` does).
 """
 
 from __future__ import annotations
@@ -33,8 +37,8 @@ import argparse
 import sys
 
 from repro.bench import render_report, write_dispatch_section, \
-    write_obs_section, write_pipeline_section, write_report, \
-    write_serve_section
+    write_incremental_section, write_obs_section, \
+    write_pipeline_section, write_report, write_serve_section
 
 
 def main(argv=None) -> int:
@@ -61,6 +65,10 @@ def main(argv=None) -> int:
     parser.add_argument("--obs-only", action="store_true",
                         help="refresh only the obs (tracer overhead) "
                              "section of an existing report")
+    parser.add_argument("--incremental-only", action="store_true",
+                        help="refresh only the incremental "
+                             "(delta-learning) section of an existing "
+                             "report")
     args = parser.parse_args(argv)
     if args.pipeline_only:
         report = write_pipeline_section(args.output, jobs=args.jobs)
@@ -70,6 +78,8 @@ def main(argv=None) -> int:
         report = write_dispatch_section(args.output, jobs=args.jobs)
     elif args.obs_only:
         report = write_obs_section(args.output)
+    elif args.incremental_only:
+        report = write_incremental_section(args.output, jobs=args.jobs)
     else:
         report = write_report(args.output, rounds=args.rounds,
                               jobs=args.jobs)

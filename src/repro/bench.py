@@ -8,11 +8,14 @@ builds, eager vs lazy routing, cold vs warm artifact store) and the
 suffix-trie dispatch, cold vs warm service, serial vs parallel bulk
 annotation) and the ``obs`` section added in PR 5 (tracer overhead
 with tracing disabled and enabled, asserted against the <2% budget)
+and the ``incremental`` section added in PR 7 (cold vs warm-repeat vs
+perturbed timeline learning through the per-suffix cache)
 and writes the numbers to ``BENCH_learner.json`` so the performance
 trajectory is tracked across PRs.  Run it via ``repro-hoiho bench``,
 ``make bench``, or ``python benchmarks/bench_report.py``;
 ``make bench-pipeline`` / ``make annotate-bench`` / ``make obs-bench``
-refresh only the ``pipeline`` / ``serve`` / ``obs`` sections.
+/ ``make incremental-bench`` refresh only the ``pipeline`` / ``serve``
+/ ``obs`` / ``incremental`` sections.
 
 The learner and serving workloads are synthetic and fixed (no world
 generation); the pipeline kernels use a TINY world with a restricted
@@ -41,7 +44,10 @@ from repro.core.types import SuffixDataset, TrainingItem
 #: ``fused_plans``; multi-worker sections record the worker count they
 #: actually ran with; obs ``enabled.overhead_fraction`` is clamped >= 0
 #: with the raw value and a ``noise_floor`` flag alongside.
-BENCH_VERSION = 5
+#: v6: new ``incremental`` section -- cold vs warm-repeat vs
+#: 5%-perturbed timeline learning through the per-suffix cache, with
+#: ``suffix_cache`` hit/miss counters and ``parallel_workers``.
+BENCH_VERSION = 6
 
 #: The tracing-disabled overhead the instrumentation must stay under.
 OBS_OVERHEAD_BUDGET = 0.02
@@ -499,6 +505,137 @@ def run_serve_bench(rounds: int = 3,
     return section
 
 
+def incremental_training_sets(n_suffixes: int = 24,
+                              per_suffix: int = 40,
+                              perturb_fraction: float = 0.05):
+    """Two synthetic snapshots for the incremental-learning kernels.
+
+    ``snap0`` is the baseline; ``snap1`` mutates ~``perturb_fraction``
+    of its suffixes (their base ASN shifts, so every hostname and
+    training ASN in those suffixes changes) and leaves the rest
+    byte-identical -- the cross-snapshot shape the delta planner is
+    built for.  Suffixes are registered domains (``incNN-bench.org``)
+    so each one really is its own dataset under the embedded PSL.
+
+    Returns ``(snap0, snap1, n_mutated)``.
+    """
+    from repro.eval.timeline import TrainingSet
+
+    n_mutated = max(1, round(n_suffixes * perturb_fraction))
+    mutated = set(range(n_mutated))
+
+    def snapshot(label: str, mutate: bool) -> "TrainingSet":
+        items: List[TrainingItem] = []
+        for index in range(n_suffixes):
+            suffix = "inc%02d-bench.org" % index
+            base = 3000 + 101 * index
+            if mutate and index in mutated:
+                base += 17
+            for i in range(per_suffix):
+                items.append(TrainingItem(
+                    "as%d-et%d.pop%d.%s" % (base + 13 * i, i % 4, i % 5,
+                                            suffix),
+                    base + 13 * i))
+            for i in range(per_suffix // 4):
+                items.append(TrainingItem("lo0.cr%d.%s" % (i, suffix),
+                                          base))
+        return TrainingSet(label=label, kind="itdk", method="rtaa",
+                           year=2020.0, items=items)
+
+    return snapshot("snap0", False), snapshot("snap1", True), n_mutated
+
+
+def run_incremental_bench(rounds: int = 2,
+                          jobs: Optional[int] = None) -> Dict[str, object]:
+    """The incremental-learning kernels; returns the ``incremental``
+    section.
+
+    Three timings over a two-snapshot synthetic timeline: a **cold**
+    ``learn_timeline`` against an empty store, a **warm repeat** of the
+    identical run (served by the layered whole-result cache), and a
+    **perturbed** snapshot -- ~5% of suffixes mutated, arriving under a
+    new label -- measured both from scratch (no store) and
+    incrementally (warm store: only changed suffixes relearn).
+    ``identical`` asserts the incremental results are byte-identical
+    (conventions JSON) to the from-scratch ones.
+    """
+    from repro.core.io import conventions_to_json
+    from repro.eval.context import ExperimentContext, Scale
+    from repro.store import ArtifactStore
+
+    snap0, snap1, n_mutated = incremental_training_sets()
+    workers = bulk_workers(jobs)
+    parallel = ParallelConfig(workers=workers, backend="process")
+
+    def context(store, training_set):
+        ctx = ExperimentContext(seed=2020, scale=Scale.TINY,
+                                parallel=parallel, store=store)
+        # The synthetic snapshots stand in for the generated timeline.
+        ctx._timeline = [training_set]
+        return ctx
+
+    cold_best = warm_best = scratch_best = inc_best = float("inf")
+    hits = misses = 0
+    identical = True
+    for _ in range(max(1, rounds)):
+        with tempfile.TemporaryDirectory(prefix="repro-bench-inc-") as tmp:
+            def timed(store, training_set):
+                ctx = context(store, training_set)
+                start = time.perf_counter()
+                learned = ctx.learn_timeline()
+                return time.perf_counter() - start, learned, ctx
+
+            cold_s, cold, _ = timed(ArtifactStore(tmp), snap0)
+            warm_s, warm, _ = timed(ArtifactStore(tmp), snap0)
+            scratch_s, scratch, _ = timed(None, snap1)
+            inc_s, inc, inc_ctx = timed(ArtifactStore(tmp), snap1)
+
+            counters = inc_ctx.metrics.snapshot()["counters"]
+            hits = counters.get("suffix_cache_hits", 0)
+            misses = counters.get("suffix_cache_misses", 0)
+            identical = identical and all(
+                conventions_to_json(inc[label])
+                == conventions_to_json(scratch[label])
+                for label in scratch)
+            identical = identical and all(
+                conventions_to_json(warm[label])
+                == conventions_to_json(cold[label])
+                for label in cold)
+            cold_best = min(cold_best, cold_s)
+            warm_best = min(warm_best, warm_s)
+            scratch_best = min(scratch_best, scratch_s)
+            inc_best = min(inc_best, inc_s)
+
+    resolved = hits + misses
+    n_suffixes = 24
+    return {
+        "workload": {
+            "suffixes": n_suffixes,
+            "items": len(snap0.items),
+            "perturbed_suffixes": n_mutated,
+            "perturbed_fraction": n_mutated / n_suffixes,
+            "rounds": rounds,
+            "parallel_workers": workers,
+        },
+        "cold": {"seconds": cold_best},
+        "warm_repeat": {
+            "seconds": warm_best,
+            "speedup": cold_best / warm_best if warm_best else 0.0,
+        },
+        "perturbed": {
+            "from_scratch_seconds": scratch_best,
+            "incremental_seconds": inc_best,
+            "speedup": scratch_best / inc_best if inc_best else 0.0,
+            "suffix_cache": {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / resolved if resolved else 0.0,
+            },
+            "identical": identical,
+        },
+    }
+
+
 def obs_world_items(n_suffixes: int = 16,
                     per_suffix: int = 60) -> List[TrainingItem]:
     """A genuinely multi-suffix workload for the tracer benchmark.
@@ -611,7 +748,8 @@ def write_report(path: str = "BENCH_learner.json",
                  jobs: Optional[int] = None,
                  pipeline: bool = True,
                  serve: bool = True,
-                 obs: bool = True) -> Dict[str, object]:
+                 obs: bool = True,
+                 incremental: bool = True) -> Dict[str, object]:
     """Run the suite and write ``path``; returns the payload."""
     report = run_bench(rounds=rounds, jobs=jobs)
     if pipeline:
@@ -620,6 +758,8 @@ def write_report(path: str = "BENCH_learner.json",
         report["serve"] = run_serve_bench(jobs=jobs)
     if obs:
         report["obs"] = run_obs_bench()
+    if incremental:
+        report["incremental"] = run_incremental_bench(jobs=jobs)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -721,6 +861,57 @@ def write_obs_section(path: str = "BENCH_learner.json",
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return report
+
+
+def write_incremental_section(path: str = "BENCH_learner.json",
+                              rounds: int = 2,
+                              jobs: Optional[int] = None,
+                              ) -> Dict[str, object]:
+    """Refresh only the ``incremental`` section of an existing report.
+
+    Reads ``path`` if present (starting fresh otherwise), replaces the
+    ``incremental`` key, and writes the file back -- every other
+    section keeps its previous numbers.  Used by
+    ``make incremental-bench``.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError):
+        report = {"version": BENCH_VERSION}
+    report["version"] = BENCH_VERSION
+    report["incremental"] = run_incremental_bench(rounds=rounds,
+                                                  jobs=jobs)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
+def render_incremental_section(section: Dict[str, object]) -> str:
+    """Render an ``incremental`` section (delta-learning report)."""
+    workload = section["workload"]
+    cold = section["cold"]
+    warm = section["warm_repeat"]
+    perturbed = section["perturbed"]
+    cache = perturbed["suffix_cache"]
+    return "\n".join([
+        "incremental benchmark (%d suffixes, %d mutated, %s workers)"
+        % (workload["suffixes"], workload["perturbed_suffixes"],
+           workload.get("parallel_workers", "-")),
+        "  cold timeline    : %.3fs" % cold["seconds"],
+        "  warm repeat      : %.3fs  speedup %.1fx"
+        % (warm["seconds"], warm["speedup"]),
+        "  perturbed (~%d%%) : scratch %.3fs  incremental %.3fs  "
+        "speedup %.1fx" % (round(100 * workload["perturbed_fraction"]),
+                           perturbed["from_scratch_seconds"],
+                           perturbed["incremental_seconds"],
+                           perturbed["speedup"]),
+        "  suffix cache     : %d hit(s), %d miss(es), hit rate %.1f%%  "
+        "byte-identical: %s"
+        % (cache["hits"], cache["misses"], 100.0 * cache["hit_rate"],
+           "yes" if perturbed["identical"] else "NO"),
+    ])
 
 
 def render_obs_section(section: Dict[str, object]) -> str:
@@ -838,4 +1029,7 @@ def render_report(report: Dict[str, object]) -> str:
     obs = report.get("obs")
     if obs:
         lines.append(render_obs_section(obs))
+    incremental = report.get("incremental")
+    if incremental:
+        lines.append(render_incremental_section(incremental))
     return "\n".join(lines)

@@ -46,7 +46,12 @@ points at a persistent artifact store: experiment runs reuse generated
 worlds/timelines and ``learn``/``report`` reuse learned conventions
 across invocations; ``--no-cache`` disables the store for one run.
 ``repro-hoiho cache info`` and ``repro-hoiho cache clear`` inspect and
-empty the store (``cache info --json`` for machine consumption).
+empty the store (``cache info --json`` for machine consumption, with
+per-namespace entry counts and bytes; ``cache clear --namespace
+suffixes`` flushes one namespace).  With a store attached, timeline
+learning is incremental at suffix granularity -- only suffixes whose
+training data changed since the cached snapshot relearn;
+``--no-suffix-cache`` disables that layer for one run.
 
 Observability (see ``docs/OBSERVABILITY.md``)::
 
@@ -101,7 +106,7 @@ from repro.serve import AnnotationService, BulkAnnotator, iter_hostnames
 from repro.serve.engine import Checkpoint, DEFAULT_CHUNK_SIZE, SINKS
 from repro.serve.memo import DEFAULT_MEMO_SIZE
 from repro.serve.metrics import render_snapshot
-from repro.store import KIND_HOIHO, ArtifactStore
+from repro.store import KIND_HOIHO, KINDS, ArtifactStore
 
 _EXPERIMENTS = {
     "figure5": figure5,
@@ -176,6 +181,12 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(default: $REPRO_CACHE_DIR, else off)")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore the artifact store for this run")
+    parser.add_argument("--no-suffix-cache", action="store_true",
+                        help="disable the per-suffix incremental cache "
+                             "layer (whole-result caching still applies)")
+    parser.add_argument("--namespace", choices=KINDS, metavar="KIND",
+                        help="cache clear: restrict the sweep to one "
+                             "namespace (%s)" % "/".join(KINDS))
     parser.add_argument("--chunk-size", type=int,
                         default=None, metavar="N",
                         help="annotate: hostnames per dispatched chunk "
@@ -277,7 +288,9 @@ def _learn_items(items: List[TrainingItem],
         cached = store.get(KIND_HOIHO, payload)
         if cached is not None:
             return cached
-    result = Hoiho(parallel=args.parallel, retry=args.retry).run(items)
+    suffix_store = None if args.no_suffix_cache else store
+    result = Hoiho(parallel=args.parallel, retry=args.retry,
+                   store=suffix_store).run(items)
     if store is not None:
         store.put(KIND_HOIHO, payload, result)
     return result
@@ -476,9 +489,10 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     store = ArtifactStore(args.cache_dir)
     action = args.subcommand or "info"
     if action == "clear":
-        removed = store.clear()
-        print("cleared %d cached artifact(s) from %s"
-              % (removed, store.root))
+        removed = store.clear(kind=args.namespace)
+        scope = " (namespace %s)" % args.namespace if args.namespace else ""
+        print("cleared %d cached artifact(s) from %s%s"
+              % (removed, store.root, scope))
         return 0
     if action != "info":
         print("unknown cache subcommand %r (expected info or clear)"
@@ -491,11 +505,15 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         return 0
     print("artifact store: %s (schema v%s)" % (info["root"], info["schema"]))
     kinds = info["kinds"]
-    if not kinds:
+    if not info["entries"]:
         print("  empty")
         return 0
+    # Human rendering shows only populated namespaces; --json reports
+    # every registered one (including zeros).
     for kind in sorted(kinds):
         entry = kinds[kind]
+        if not entry["entries"]:
+            continue
         print("  %-10s %4d entr%s  %10d bytes"
               % (kind, entry["entries"],
                  "y" if entry["entries"] == 1 else "ies", entry["bytes"]))
@@ -539,7 +557,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                                 parallel=args.parallel,
                                 store=_store_from_args(args),
                                 retry=args.retry,
-                                tracer=_tracer_from_args(args))
+                                tracer=_tracer_from_args(args),
+                                suffix_cache=not args.no_suffix_cache)
     started = time.perf_counter()
     timeline = context.timeline
     learned = context.learn_timeline()
@@ -607,7 +626,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                                 parallel=args.parallel,
                                 store=_store_from_args(args),
                                 retry=args.retry,
-                                tracer=_tracer_from_args(args))
+                                tracer=_tracer_from_args(args),
+                                suffix_cache=not args.no_suffix_cache)
     names = sorted(_EXPERIMENTS) if args.command == "all" \
         else [args.command]
     started = time.perf_counter()

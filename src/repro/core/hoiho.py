@@ -8,6 +8,7 @@ grouping by public suffix first.
 
 from __future__ import annotations
 
+import dataclasses
 import functools
 import logging
 from dataclasses import dataclass, field
@@ -68,6 +69,77 @@ class HoihoConfig:
     enable_classes: bool = True     # phase 3
     enable_sets: bool = True        # phase 4
     enable_cache: bool = True       # match-vector evaluation cache
+
+
+def suffix_cache_payload(dataset: SuffixDataset,
+                         config: HoihoConfig) -> Dict[str, object]:
+    """The fingerprint payload keying one suffix's learned artifact.
+
+    Everything the learned convention is a function of: the suffix, its
+    full (normalised, deduplicated, sorted) training observations, and
+    every :class:`HoihoConfig` field.  The config participates whole --
+    even ``enable_cache``, which cannot change *which* convention is
+    selected but does change whether per-item outcomes ride along on
+    the winning score -- so a cached artifact is exactly what a fresh
+    learn under the same config would have produced, field for field.
+    """
+    return {
+        "kind": "suffix",
+        "suffix": dataset.suffix,
+        "items": [(item.hostname, item.train_asn, item.address)
+                  for item in dataset.items],
+        "hoiho_config": {f.name: getattr(config, f.name)
+                         for f in dataclasses.fields(config)},
+    }
+
+
+def suffix_fingerprint(dataset: SuffixDataset,
+                       config: HoihoConfig) -> str:
+    """Content-addressed identity of one suffix's training problem.
+
+    Two snapshots whose training data for a suffix is identical (and
+    learned under the same config) share this fingerprint -- the
+    property the incremental timeline learner exploits to relearn only
+    changed suffixes.
+    """
+    from repro.store import fingerprint
+    return fingerprint(suffix_cache_payload(dataset, config))
+
+
+@dataclass
+class SuffixArtifact:
+    """What the per-suffix cache stores for one (training set, config).
+
+    A *negative* outcome (no convention learned) is cached too --
+    ``convention`` is ``None`` and ``rejected_reason`` says why -- so a
+    suffix that was examined and rejected is never re-examined until
+    its training data changes.  ``phases`` and ``cache_stats`` carry
+    the per-phase bookkeeping (candidate counts, match-cache counters)
+    so cache hits can still report how the convention came to be.
+    """
+
+    suffix: str
+    convention: Optional[LearnedConvention]
+    rejected_reason: Optional[str] = None
+    phases: Dict[str, int] = field(default_factory=dict)
+    cache_stats: Dict[str, object] = field(default_factory=dict)
+
+
+def _suffix_artifact(dataset: SuffixDataset,
+                     convention: Optional[LearnedConvention],
+                     record: LearnTrace) -> SuffixArtifact:
+    """Condense a traced learn into its cacheable artifact."""
+    phases = {
+        "phase1_generated": record.phase1_generated,
+        "phase1_scored": len(record.phase1_scored),
+        "phase2_added": len(record.phase2_added),
+        "phase3_added": len(record.phase3_added),
+        "conventions": len(record.conventions),
+    }
+    stats = record.cache_stats.as_dict() if record.cache_stats else {}
+    return SuffixArtifact(suffix=dataset.suffix, convention=convention,
+                          rejected_reason=record.rejected_reason,
+                          phases=phases, cache_stats=stats)
 
 
 @dataclass
@@ -340,6 +412,29 @@ def _learn_dataset_worker_traced(config: HoihoConfig,
     return Captured(convention, tracer.export())
 
 
+def _learn_artifact_worker(config: HoihoConfig,
+                           dataset: SuffixDataset) -> SuffixArtifact:
+    """Learn one suffix and return its cacheable artifact.
+
+    Runs the traced learner (trace recording never changes the learned
+    result, only observes it) so the artifact carries the rejection
+    reason and per-phase counters alongside the convention.
+    """
+    convention, record = learn_suffix_traced(dataset, config, trace=True)
+    return _suffix_artifact(dataset, convention, record)
+
+
+def _learn_artifact_worker_traced(config: HoihoConfig,
+                                  dataset: SuffixDataset) -> Captured:
+    """Like :func:`_learn_artifact_worker`, but spans ride home too."""
+    tracer = Tracer()
+    convention, record = learn_suffix_traced(dataset, config, trace=True,
+                                             tracer=tracer)
+    tracer.close()
+    return Captured(_suffix_artifact(dataset, convention, record),
+                    tracer.export())
+
+
 def _learn_items_worker(config: HoihoConfig,
                         items: List[TrainingItem]) -> HoihoResult:
     """Learn a whole training set serially inside one worker process.
@@ -368,6 +463,16 @@ class Hoiho:
     the resilient dispatcher (worker loss and transient faults are
     retried; a suffix that fails permanently still raises).
 
+    ``store`` plugs in a persistent
+    :class:`~repro.store.ArtifactStore` and turns the run incremental:
+    each suffix's training set + config is fingerprinted
+    (:func:`suffix_fingerprint`) and looked up in the store's
+    ``suffixes/`` namespace before any learning happens; hits skip
+    phases 1-4 entirely (negative results included), misses are
+    dispatched as usual and their artifacts written back.  Results are
+    byte-identical to a storeless run.  ``suffix_cache=False`` disables
+    the per-suffix layer without touching the store otherwise.
+
     >>> hoiho = Hoiho()
     >>> items = [TrainingItem("as%d.lon%d.example.com" % (a, i % 3), a)
     ...          for i, a in enumerate([3356, 1299, 174, 2914, 6453])]
@@ -380,12 +485,18 @@ class Hoiho:
                  psl: Optional[PublicSuffixList] = None,
                  parallel: Optional[ParallelConfig] = None,
                  retry: Optional[RetryPolicy] = None,
-                 tracer=NULL_TRACER) -> None:
+                 tracer=NULL_TRACER,
+                 store=None,
+                 suffix_cache: bool = True,
+                 metrics=None) -> None:
         self.config = config or HoihoConfig()
         self.psl = psl or default_psl()
         self.parallel = parallel or ParallelConfig.serial()
         self.retry = retry
         self.tracer = tracer
+        self.store = store
+        self.suffix_cache = suffix_cache
+        self.metrics = metrics
 
     def run(self, items: Iterable[TrainingItem]) -> HoihoResult:
         """Group items by suffix and learn a convention per suffix."""
@@ -397,14 +508,44 @@ class Hoiho:
         """Learn over pre-grouped datasets."""
         ordered = sorted(datasets, key=lambda d: d.suffix)
         with self.tracer.span("learn.run", suffixes=len(ordered)) as span:
-            conventions = self._dispatch(ordered, span)
+            if self.store is not None and self.suffix_cache:
+                conventions = self._run_cached(ordered, span)
+            else:
+                conventions = self._dispatch(ordered, span)
             result = HoihoResult(suffixes_examined=len(ordered))
             self._merge(ordered, conventions, result)
             span.set(learned=len(result.conventions))
         return result
 
-    def _dispatch(self, ordered: List[SuffixDataset],
-                  span) -> List[Optional[LearnedConvention]]:
+    def _run_cached(self, ordered: List[SuffixDataset],
+                    span) -> List[Optional[LearnedConvention]]:
+        """The incremental path: serve cached suffixes, learn the rest.
+
+        Suffixes whose fingerprinted artifact is already in the store
+        skip phases 1-4 entirely; only the misses are dispatched (in
+        sorted-suffix order, so parallel stays bit-identical to
+        serial), and their artifacts are written back for the next run.
+        """
+        from repro.core.delta import plan_datasets, resolve_plans
+        from repro.store import KIND_SUFFIX
+        plans = plan_datasets(ordered, self.config)
+        hits, misses = resolve_plans(self.store, plans,
+                                     metrics=self.metrics)
+        span.set(suffix_cache_hits=len(hits),
+                 suffix_cache_misses=len(misses))
+        artifacts = {plan.suffix: artifact for plan, artifact in hits}
+        learned = self._dispatch([plan.dataset for plan in misses], span,
+                                 worker=_learn_artifact_worker,
+                                 traced_worker=_learn_artifact_worker_traced)
+        for plan, artifact in zip(misses, learned):
+            self.store.put(KIND_SUFFIX, plan.payload, artifact)
+            artifacts[plan.suffix] = artifact
+        return [artifacts[dataset.suffix].convention
+                for dataset in ordered]
+
+    def _dispatch(self, ordered: List[SuffixDataset], span,
+                  worker=_learn_dataset_worker,
+                  traced_worker=_learn_dataset_worker_traced) -> List:
         """Fan the per-suffix learning out, capturing spans when traced.
 
         With tracing on, workers run the traced entry point and their
@@ -414,21 +555,20 @@ class Hoiho:
         the untraced PR-4 path.
         """
         if not self.tracer.enabled:
-            worker = functools.partial(_learn_dataset_worker, self.config)
-            return parallel_map(worker, ordered, self.parallel,
+            bound = functools.partial(worker, self.config)
+            return parallel_map(bound, ordered, self.parallel,
                                 retry=self.retry, site=SITE_LEARN)
-        worker = functools.partial(_learn_dataset_worker_traced,
-                                   self.config)
+        bound = functools.partial(traced_worker, self.config)
         stats = ResilienceStats()
-        captured = parallel_map(worker, ordered, self.parallel,
+        captured = parallel_map(bound, ordered, self.parallel,
                                 retry=self.retry, site=SITE_LEARN,
                                 on_retry=retry_to_span(span, SITE_LEARN),
                                 stats=stats)
-        conventions = adopt_all(self.tracer, captured,
-                                parent_id=span.span_id)
+        results = adopt_all(self.tracer, captured,
+                            parent_id=span.span_id)
         if self.retry is not None:
             resilience_to_span(span, SITE_LEARN, stats)
-        return conventions
+        return results
 
     def _merge(self, ordered: List[SuffixDataset],
                conventions: List[Optional[LearnedConvention]],

@@ -16,7 +16,11 @@ Layout on disk::
       worlds/<fingerprint>.pkl        pickled artifact
       worlds/<fingerprint>.json       the fingerprint payload, for humans
       timelines/...
-      hoiho/...
+      hoiho/...                       whole-result learned conventions
+      suffixes/...                    per-suffix learned conventions
+                                      (content-addressed by training set
+                                      + learner config; the incremental
+                                      relearning substrate)
 
 ``repro-hoiho cache info`` and ``repro-hoiho cache clear`` operate on a
 store; :class:`~repro.eval.context.ExperimentContext` consults one when
@@ -33,7 +37,7 @@ import logging
 import os
 import pickle
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 logger = logging.getLogger(__name__)
 
@@ -46,6 +50,16 @@ STORE_SCHEMA_VERSION = 2
 KIND_WORLD = "worlds"
 KIND_TIMELINE = "timelines"
 KIND_HOIHO = "hoiho"
+KIND_SUFFIX = "suffixes"
+
+#: Every registered namespace, in display order.  Maintenance methods
+#: (:meth:`ArtifactStore.entries`, :meth:`ArtifactStore.info`,
+#: :meth:`ArtifactStore.clear`, :meth:`ArtifactStore.stale_tmp`) derive
+#: their walk from this tuple -- a namespace that is not registered
+#: here cannot be written at all (:meth:`ArtifactStore.path_for`
+#: rejects it), so a new artifact kind can never silently be omitted
+#: from info/clear/stale-tmp reaping.
+KINDS = (KIND_WORLD, KIND_TIMELINE, KIND_HOIHO, KIND_SUFFIX)
 
 
 def _key_token(key: object) -> str:
@@ -143,7 +157,13 @@ class ArtifactStore:
         return fingerprint(payload)
 
     def path_for(self, kind: str, payload: Mapping) -> Path:
-        """Where the artifact for ``payload`` lives (existing or not)."""
+        """Where the artifact for ``payload`` lives (existing or not).
+
+        ``kind`` must be a registered namespace (:data:`KINDS`) --
+        writing into an unregistered subdirectory would create entries
+        invisible to :meth:`info`/:meth:`clear`.
+        """
+        _check_kind(kind)
         return self.root / kind / (fingerprint(payload) + ".pkl")
 
     # -- access ------------------------------------------------------------
@@ -220,26 +240,46 @@ class ArtifactStore:
 
     # -- maintenance -------------------------------------------------------
 
-    def entries(self) -> List[Path]:
-        """Every pickled artifact currently on disk."""
-        if not self.root.is_dir():
-            return []
-        return sorted(self.root.glob("*/*.pkl"))
+    def entries(self, kind: Optional[str] = None) -> List[Path]:
+        """Every pickled artifact currently on disk.
 
-    def stale_tmp(self) -> List[Path]:
-        """Orphaned temporaries left behind by crashed writers."""
+        The walk is derived from the registered namespaces
+        (:data:`KINDS`), never a glob over arbitrary subdirectories, so
+        adding a namespace without registering it is a loud failure
+        (in :meth:`path_for`) rather than a silent maintenance gap.
+        ``kind`` restricts the listing to one namespace.
+        """
+        selected = _selected_kinds(kind)  # validate before the root check
         if not self.root.is_dir():
             return []
-        return sorted(self.root.glob("*/*.tmp.*"))
+        found: List[Path] = []
+        for name in selected:
+            found.extend((self.root / name).glob("*.pkl"))
+        return sorted(found)
+
+    def stale_tmp(self, kind: Optional[str] = None) -> List[Path]:
+        """Orphaned temporaries left behind by crashed writers."""
+        selected = _selected_kinds(kind)
+        if not self.root.is_dir():
+            return []
+        found: List[Path] = []
+        for name in selected:
+            found.extend((self.root / name).glob("*.tmp.*"))
+        return sorted(found)
 
     def info(self) -> Dict[str, object]:
-        """Summary for ``repro-hoiho cache info``."""
-        kinds: Dict[str, Dict[str, int]] = {}
+        """Summary for ``repro-hoiho cache info``.
+
+        Every registered namespace is reported, including empty ones
+        (zero entries, zero bytes) -- consumers see the full namespace
+        inventory, not just the populated corners.
+        """
+        kinds: Dict[str, Dict[str, int]] = {
+            name: {"entries": 0, "bytes": 0} for name in KINDS}
         total_bytes = 0
         for path in self.entries():
             size = path.stat().st_size
-            entry = kinds.setdefault(path.parent.name,
-                                     {"entries": 0, "bytes": 0})
+            entry = kinds[path.parent.name]
             entry["entries"] += 1
             entry["bytes"] += size
             total_bytes += size
@@ -253,17 +293,35 @@ class ArtifactStore:
             "session": self.stats.as_dict(),
         }
 
-    def clear(self) -> int:
-        """Delete every artifact (plus sidecars and any stale
-        temporaries left by crashed writers); returns entries removed.
-        Stale temporaries do not count as entries."""
+    def clear(self, kind: Optional[str] = None) -> int:
+        """Delete artifacts (plus sidecars and any stale temporaries
+        left by crashed writers); returns entries removed.
+
+        ``kind`` restricts the sweep to one namespace -- e.g. flushing
+        ``suffixes`` without nuking warm world/timeline artifacts.
+        Stale temporaries do not count as entries.
+        """
         removed = 0
-        for path in self.entries():
+        for path in self.entries(kind):
             sidecar = path.with_suffix(".json")
             path.unlink()
             if sidecar.is_file():
                 sidecar.unlink()
             removed += 1
-        for tmp in self.stale_tmp():
+        for tmp in self.stale_tmp(kind):
             tmp.unlink()
         return removed
+
+
+def _check_kind(kind: str) -> None:
+    if kind not in KINDS:
+        raise ValueError("unknown artifact namespace %r (registered: %s)"
+                         % (kind, ", ".join(KINDS)))
+
+
+def _selected_kinds(kind: Optional[str]) -> Tuple[str, ...]:
+    """The namespaces a maintenance walk covers (all, or one)."""
+    if kind is None:
+        return KINDS
+    _check_kind(kind)
+    return (kind,)

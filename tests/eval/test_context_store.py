@@ -28,7 +28,9 @@ class TestWarmRuns:
         cold = _context(store)
         cold_timeline = cold.timeline
         cold_learned = cold.learned("2020-01")
-        assert store.stats.writes == 3  # world, timeline, hoiho
+        # world, timeline, hoiho, plus one suffix artifact per suffix
+        # examined by the incremental layer
+        assert store.stats.writes == 3 + cold_learned.suffixes_examined
 
         # A warm context must never call the generators again.
         import repro.eval.context as context_module

@@ -138,12 +138,44 @@ class TestCliCache:
         assert main(["cache", "info", "--cache-dir", str(cache)]) == 0
         out = capsys.readouterr().out
         assert "hoiho" in out
+        assert "suffixes" in out
         assert "1 entry" in out
 
+        # whole-result entry plus one per-suffix artifact
         assert main(["cache", "clear", "--cache-dir", str(cache)]) == 0
-        assert "cleared 1" in capsys.readouterr().out
+        assert "cleared 2" in capsys.readouterr().out
         assert main(["cache", "info", "--cache-dir", str(cache)]) == 0
         assert "empty" in capsys.readouterr().out
+
+    def test_cache_clear_namespace_filter(self, tmp_path, capsys):
+        training = self._training_file(tmp_path)
+        cache = tmp_path / "cache"
+        assert main(["learn", "--hostnames", str(training),
+                     "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "clear", "--cache-dir", str(cache),
+                     "--namespace", "suffixes"]) == 0
+        out = capsys.readouterr().out
+        assert "cleared 1" in out
+        assert "namespace suffixes" in out
+        # the whole-result entry survives a filtered sweep
+        assert list(cache.glob("hoiho/*.pkl"))
+        assert not list(cache.glob("suffixes/*.pkl"))
+
+    def test_cache_clear_rejects_unknown_namespace(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", "clear", "--cache-dir", str(tmp_path / "c"),
+                  "--namespace", "scratch"])
+
+    def test_no_suffix_cache_flag(self, tmp_path, capsys):
+        training = self._training_file(tmp_path)
+        cache = tmp_path / "cache"
+        assert main(["learn", "--hostnames", str(training),
+                     "--cache-dir", str(cache), "--no-suffix-cache"]) == 0
+        # whole-result caching still applies; the suffix layer is off
+        assert list(cache.glob("hoiho/*.pkl"))
+        assert not list(cache.glob("suffixes/*.pkl"))
 
     def test_cache_defaults_to_info(self, tmp_path, capsys):
         assert main(["cache", "--cache-dir", str(tmp_path / "c")]) == 0
@@ -388,7 +420,10 @@ class TestCliObservability:
                      "--json"]) == 0
         info = json.loads(capsys.readouterr().out)
         assert info["kinds"]["hoiho"]["entries"] == 1
-        assert info["entries"] == 1
+        assert info["kinds"]["suffixes"]["entries"] == 1
+        # every registered namespace is reported, even empty ones
+        assert info["kinds"]["worlds"] == {"entries": 0, "bytes": 0}
+        assert info["entries"] == 2
 
     def test_serve_stats_prom_exposition(self, tmp_path, capsys,
                                          monkeypatch):

@@ -296,3 +296,88 @@ class TestObsSection:
         assert enabled["overhead_fraction"] >= 0.0
         assert enabled["noise_floor"] == \
             (enabled["overhead_fraction_raw"] < 0.0)
+
+
+FAKE_INCREMENTAL = {
+    "workload": {"suffixes": 24, "items": 1200, "perturbed_suffixes": 1,
+                 "perturbed_fraction": 1 / 24, "rounds": 2,
+                 "parallel_workers": 2},
+    "cold": {"seconds": 0.3},
+    "warm_repeat": {"seconds": 0.01, "speedup": 30.0},
+    "perturbed": {"from_scratch_seconds": 0.28,
+                  "incremental_seconds": 0.05, "speedup": 5.6,
+                  "suffix_cache": {"hits": 23, "misses": 1,
+                                   "hit_rate": 23 / 24},
+                  "identical": True},
+}
+
+
+class TestIncrementalSection:
+    def test_write_incremental_section_preserves_other_sections(
+            self, tmp_path, monkeypatch):
+        path = tmp_path / "BENCH.json"
+        existing = {"version": bench.BENCH_VERSION,
+                    "pipeline": FAKE_PIPELINE,
+                    "serve": FAKE_SERVE,
+                    "incremental": {"stale": True}}
+        path.write_text(json.dumps(existing), encoding="utf-8")
+        monkeypatch.setattr(bench, "run_incremental_bench",
+                            lambda rounds=2, jobs=None: FAKE_INCREMENTAL)
+        report = bench.write_incremental_section(str(path))
+        assert report["pipeline"] == FAKE_PIPELINE
+        assert report["serve"] == FAKE_SERVE
+        assert report["incremental"] == FAKE_INCREMENTAL
+        on_disk = json.loads(path.read_text(encoding="utf-8"))
+        assert on_disk["incremental"]["warm_repeat"]["speedup"] == 30.0
+
+    def test_write_incremental_section_from_scratch(self, tmp_path,
+                                                    monkeypatch):
+        path = tmp_path / "BENCH.json"
+        monkeypatch.setattr(bench, "run_incremental_bench",
+                            lambda rounds=2, jobs=None: FAKE_INCREMENTAL)
+        report = bench.write_incremental_section(str(path))
+        assert report["version"] == bench.BENCH_VERSION
+        assert path.is_file()
+
+    def test_render_incremental_section(self):
+        text = bench.render_incremental_section(FAKE_INCREMENTAL)
+        assert "incremental benchmark" in text
+        assert "warm repeat" in text
+        assert "hit rate 95.8%" in text
+        assert "byte-identical: yes" in text
+
+    def test_render_incremental_section_flags_divergence(self):
+        diverged = json.loads(json.dumps(FAKE_INCREMENTAL))
+        diverged["perturbed"]["identical"] = False
+        assert "byte-identical: NO" \
+            in bench.render_incremental_section(diverged)
+
+    def test_render_report_with_incremental(self):
+        text = bench.render_report({"version": bench.BENCH_VERSION,
+                                    "incremental": FAKE_INCREMENTAL})
+        assert "incremental benchmark" in text
+
+    def test_incremental_training_sets_shape(self):
+        snap0, snap1, n_mutated = bench.incremental_training_sets(
+            n_suffixes=20, per_suffix=8, perturb_fraction=0.05)
+        assert n_mutated == 1
+        assert len(snap0.items) == len(snap1.items)
+        assert snap0.label != snap1.label
+        # exactly n_mutated suffixes differ between the snapshots
+        differing = {".".join(i0.hostname.split(".")[-2:])
+                     for i0, i1 in zip(snap0.items, snap1.items)
+                     if i0 != i1}
+        assert len(differing) == n_mutated
+
+    def test_run_incremental_bench_meets_floors(self):
+        # The real measurement, one round: the acceptance gates --
+        # warm-repeat >= 5x, perturbed hit rate >= 80%, byte-identical
+        # results -- must hold wherever the tests run.
+        section = bench.run_incremental_bench(rounds=1)
+        assert section["warm_repeat"]["speedup"] >= 5.0
+        cache = section["perturbed"]["suffix_cache"]
+        assert cache["hit_rate"] >= 0.8
+        assert cache["hits"] + cache["misses"] \
+            == section["workload"]["suffixes"]
+        assert section["perturbed"]["identical"] is True
+        assert section["workload"]["parallel_workers"] >= 1

@@ -8,8 +8,10 @@ import pytest
 from repro.core.hoiho import HoihoConfig
 from repro.store import (
     KIND_HOIHO,
+    KIND_SUFFIX,
     KIND_TIMELINE,
     KIND_WORLD,
+    KINDS,
     STORE_SCHEMA_VERSION,
     ArtifactStore,
     fingerprint,
@@ -136,10 +138,51 @@ class TestStoreMaintenance:
         info = store.info()
         assert info["entries"] == 2
         assert info["bytes"] > 0
-        assert set(info["kinds"]) == {KIND_WORLD, KIND_TIMELINE}
         assert store.clear() == 2
         assert store.info()["entries"] == 0
         assert store.entries() == []
+
+    def test_info_reports_every_registered_namespace(self, store):
+        # Regression: info() used to enumerate only the namespaces
+        # that happened to have files on disk, so a new kind (or an
+        # empty one) was invisible.  Every registered namespace must
+        # appear, populated or not.
+        store.put(KIND_WORLD, {"seed": 1}, "a")
+        info = store.info()
+        assert set(info["kinds"]) == set(KINDS)
+        assert KIND_SUFFIX in info["kinds"]
+        assert info["kinds"][KIND_SUFFIX] == {"entries": 0, "bytes": 0}
+        assert info["kinds"][KIND_WORLD]["entries"] == 1
+
+    def test_namespace_filtered_entries_and_clear(self, store):
+        store.put(KIND_WORLD, {"seed": 1}, "a")
+        store.put(KIND_SUFFIX, {"suffix": "x.com"}, "b")
+        store.put(KIND_SUFFIX, {"suffix": "y.com"}, "c")
+        assert len(store.entries()) == 3
+        assert len(store.entries(KIND_SUFFIX)) == 2
+        assert store.clear(KIND_SUFFIX) == 2
+        # the other namespaces survive a filtered sweep
+        assert len(store.entries()) == 1
+        assert store.contains(KIND_WORLD, {"seed": 1})
+
+    def test_unregistered_kind_is_rejected(self, store):
+        # An unregistered namespace could never be reaped by
+        # info/clear, so writing (or sweeping) one is a loud error.
+        with pytest.raises(ValueError, match="unknown artifact namespace"):
+            store.put("scratch", {"seed": 1}, "x")
+        with pytest.raises(ValueError, match="unknown artifact namespace"):
+            store.entries("scratch")
+        with pytest.raises(ValueError, match="unknown artifact namespace"):
+            store.clear("scratch")
+
+    def test_stale_tmp_in_suffix_namespace_is_reaped(self, store):
+        path = store.put(KIND_SUFFIX, {"suffix": "x.com"}, "fine")
+        orphan = path.parent / ("e" * 64 + ".pkl.tmp.999")
+        orphan.write_bytes(b"half a pickle")
+        assert store.info()["stale_tmp"] == 1
+        assert store.stale_tmp(KIND_SUFFIX) == [orphan]
+        store.clear(KIND_SUFFIX)
+        assert not orphan.exists()
 
     def test_info_on_missing_root(self, tmp_path):
         store = ArtifactStore(tmp_path / "never-created")
