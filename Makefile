@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-slow test-faults bench bench-pipeline annotate-bench \
-	dispatch-bench obs-bench incremental-bench bench-tables lint
+	dispatch-bench obs-bench incremental-bench http-bench bench-tables \
+	lint
 
 # Tier-1: slow (full-scale pipeline) tests are excluded by the default
 # pytest addopts (-m "not slow"); `make test-slow` runs only those.
@@ -44,6 +45,11 @@ obs-bench:
 # through the per-suffix cache) into the `incremental` section.
 incremental-bench:
 	$(PYTHON) benchmarks/bench_report.py --incremental-only
+
+# Network serving (pre-fork server + open/closed-loop load generator)
+# into the `http` section of BENCH_learner.json.
+http-bench:
+	$(PYTHON) benchmarks/bench_report.py --http-only
 
 bench-tables:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -28,7 +28,12 @@ The JSON report tracks, across PRs:
 * the ``incremental`` section: cold vs warm-repeat vs 5%-perturbed
   timeline learning through the per-suffix cache, with hit/miss
   counters and the byte-identity check (``--incremental-only``
-  refreshes just this section, as ``make incremental-bench`` does).
+  refreshes just this section, as ``make incremental-bench`` does);
+* the ``http`` section: the pre-fork network server measured by the
+  open/closed-loop load generator -- single and batch closed-loop
+  throughput with latency percentiles, open-loop behaviour at a fixed
+  offered rate, and the graceful-drain exit code (``--http-only``
+  refreshes just this section, as ``make http-bench`` does).
 """
 
 from __future__ import annotations
@@ -37,7 +42,7 @@ import argparse
 import sys
 
 from repro.bench import render_report, write_dispatch_section, \
-    write_incremental_section, write_obs_section, \
+    write_http_section, write_incremental_section, write_obs_section, \
     write_pipeline_section, write_report, write_serve_section
 
 
@@ -69,6 +74,13 @@ def main(argv=None) -> int:
                         help="refresh only the incremental "
                              "(delta-learning) section of an existing "
                              "report")
+    parser.add_argument("--http-only", action="store_true",
+                        help="refresh only the http (network serving) "
+                             "section of an existing report")
+    parser.add_argument("--http-workers", type=int, default=2,
+                        metavar="N",
+                        help="pre-fork workers for the http bench "
+                             "(default 2)")
     args = parser.parse_args(argv)
     if args.pipeline_only:
         report = write_pipeline_section(args.output, jobs=args.jobs)
@@ -80,6 +92,9 @@ def main(argv=None) -> int:
         report = write_obs_section(args.output)
     elif args.incremental_only:
         report = write_incremental_section(args.output, jobs=args.jobs)
+    elif args.http_only:
+        report = write_http_section(args.output,
+                                    workers=args.http_workers)
     else:
         report = write_report(args.output, rounds=args.rounds,
                               jobs=args.jobs)

@@ -47,7 +47,11 @@ from repro.core.types import SuffixDataset, TrainingItem
 #: v6: new ``incremental`` section -- cold vs warm-repeat vs
 #: 5%-perturbed timeline learning through the per-suffix cache, with
 #: ``suffix_cache`` hit/miss counters and ``parallel_workers``.
-BENCH_VERSION = 6
+#: v7: new ``http`` section -- network serving over
+#: ``repro.serve.http`` measured by the open/closed-loop load
+#: generator (throughput, p50/p90/p99 latency, Zipf workload
+#: fingerprint shared with the in-process serve kernels).
+BENCH_VERSION = 7
 
 #: The tracing-disabled overhead the instrumentation must stay under.
 OBS_OVERHEAD_BUDGET = 0.02
@@ -505,6 +509,68 @@ def run_serve_bench(rounds: int = 3,
     return section
 
 
+def run_http_bench(single_requests: int = 600,
+                   batch_requests: int = 40,
+                   batch_size: int = 500,
+                   open_requests: int = 400,
+                   open_rate: float = 200.0,
+                   concurrency: int = 4,
+                   workers: int = 2) -> Dict[str, object]:
+    """Measure :mod:`repro.serve.http` end to end; the ``http`` section.
+
+    Boots a real pre-fork server (:class:`~repro.serve.http.ServerProcess`,
+    ``workers`` processes sharing one warmed index) on an ephemeral
+    port and drives it with :func:`~repro.serve.loadgen.run_loadgen`
+    over the same deterministic Zipf stream the in-process serve
+    kernels use -- the recorded ``workload_fingerprint`` proves it.
+    Three measurements:
+
+    * ``closed_single`` -- capacity on ``POST /annotate``,
+      ``concurrency`` keep-alive connections;
+    * ``closed_batch`` -- capacity on ``POST /annotate/batch`` with
+      ``batch_size`` hostnames per request (the bulk-consumer shape);
+    * ``open`` -- latency at a fixed offered rate, queueing delay
+      included (coordinated-omission corrected).
+
+    The server is then SIGTERM-drained; ``drain_exit_code`` records
+    that the graceful path actually exits 0 under measurement load.
+    """
+    from repro.core.io import conventions_to_json
+    from repro.serve.http import HttpConfig, ServerProcess
+    from repro.serve.loadgen import (LoadGenConfig, run_loadgen,
+                                     workload_fingerprint)
+
+    conventions_json = conventions_to_json(serve_conventions())
+    zipf = zipf_hostnames()
+    config = HttpConfig(port=0, workers=workers)
+    section: Dict[str, object] = {
+        "workload": {
+            "zipf_hostnames": len(zipf),
+            "workload_fingerprint": workload_fingerprint(zipf),
+            "workers": workers,
+            "concurrency": concurrency,
+        },
+    }
+    server = ServerProcess(conventions_json, config).start()
+    try:
+        section["closed_single"] = run_loadgen(
+            LoadGenConfig(host=server.host, port=server.port,
+                          mode="closed", requests=single_requests,
+                          concurrency=concurrency), zipf)
+        section["closed_batch"] = run_loadgen(
+            LoadGenConfig(host=server.host, port=server.port,
+                          mode="closed", requests=batch_requests,
+                          concurrency=max(2, concurrency // 2),
+                          batch_size=batch_size), zipf)
+        section["open"] = run_loadgen(
+            LoadGenConfig(host=server.host, port=server.port,
+                          mode="open", requests=open_requests,
+                          concurrency=concurrency, rate=open_rate), zipf)
+    finally:
+        section["drain_exit_code"] = server.stop()
+    return section
+
+
 def incremental_training_sets(n_suffixes: int = 24,
                               per_suffix: int = 40,
                               perturb_fraction: float = 0.05):
@@ -749,7 +815,8 @@ def write_report(path: str = "BENCH_learner.json",
                  pipeline: bool = True,
                  serve: bool = True,
                  obs: bool = True,
-                 incremental: bool = True) -> Dict[str, object]:
+                 incremental: bool = True,
+                 http: bool = True) -> Dict[str, object]:
     """Run the suite and write ``path``; returns the payload."""
     report = run_bench(rounds=rounds, jobs=jobs)
     if pipeline:
@@ -760,6 +827,8 @@ def write_report(path: str = "BENCH_learner.json",
         report["obs"] = run_obs_bench()
     if incremental:
         report["incremental"] = run_incremental_bench(jobs=jobs)
+    if http:
+        report["http"] = run_http_bench()
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -888,6 +957,27 @@ def write_incremental_section(path: str = "BENCH_learner.json",
     return report
 
 
+def write_http_section(path: str = "BENCH_learner.json",
+                       workers: int = 2) -> Dict[str, object]:
+    """Refresh only the ``http`` section of an existing report.
+
+    Reads ``path`` if present (starting fresh otherwise), replaces the
+    ``http`` key, and writes the file back -- every other section
+    keeps its previous numbers.  Used by ``make http-bench``.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError):
+        report = {"version": BENCH_VERSION}
+    report["version"] = BENCH_VERSION
+    report["http"] = run_http_bench(workers=workers)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
 def render_incremental_section(section: Dict[str, object]) -> str:
     """Render an ``incremental`` section (delta-learning report)."""
     workload = section["workload"]
@@ -930,6 +1020,37 @@ def render_obs_section(section: Dict[str, object]) -> str:
            100.0 * disabled["budget_fraction"]),
         "  tracing enabled  : %.3fs  overhead %.1f%% of run"
         % (enabled["seconds"], 100.0 * enabled["overhead_fraction"]),
+    ])
+
+
+def render_http_section(section: Dict[str, object]) -> str:
+    """Render an ``http`` section (network-serving report)."""
+    workload = section["workload"]
+    single = section["closed_single"]
+    batch = section["closed_batch"]
+    open_loop = section["open"]
+    return "\n".join([
+        "http benchmark (%d workers, %d Zipf hostnames, "
+        "fingerprint %s...)"
+        % (workload["workers"], workload["zipf_hostnames"],
+           workload["workload_fingerprint"][:12]),
+        "  closed single    : %.0f req/s  p50 %.2fms  p99 %.2fms  "
+        "(%d conns, %d errors)"
+        % (single["throughput_rps"], 1e3 * single["latency_p50_s"],
+           1e3 * single["latency_p99_s"], single["concurrency"],
+           single["errors"]),
+        "  closed batch     : %.0f req/s  %.0f hostnames/s  "
+        "p50 %.2fms  (batch=%d, %d errors)"
+        % (batch["throughput_rps"], batch["hostnames_per_s"],
+           1e3 * batch["latency_p50_s"], batch["batch_size"],
+           batch["errors"]),
+        "  open @ %.0f/s     : %.0f req/s  p50 %.2fms  p99 %.2fms  "
+        "(%d errors)"
+        % (open_loop["rate"], open_loop["throughput_rps"],
+           1e3 * open_loop["latency_p50_s"],
+           1e3 * open_loop["latency_p99_s"], open_loop["errors"]),
+        "  graceful drain   : exit code %s"
+        % section.get("drain_exit_code", "-"),
     ])
 
 
@@ -1032,4 +1153,7 @@ def render_report(report: Dict[str, object]) -> str:
     incremental = report.get("incremental")
     if incremental:
         lines.append(render_incremental_section(incremental))
+    http = report.get("http")
+    if http:
+        lines.append(render_http_section(http))
     return "\n".join(lines)

@@ -20,10 +20,20 @@ live metrics)::
         --jobs 0 --format jsonl --out annotated.jsonl
     zcat ptr.gz | repro-hoiho annotate --conventions conv.json --hostnames -
     repro-hoiho serve --conventions conv.json < names.txt
+    repro-hoiho serve-http --conventions conv.json --port 8080 --workers 4
+    repro-hoiho loadgen --port 8080 --mode closed --requests 5000
     repro-hoiho serve-stats
 
 ``apply`` is a thin alias of ``annotate`` kept for compatibility; both
 stream their input (constant memory on arbitrarily large files).
+
+``serve-http`` runs the network annotation server (:mod:`repro.serve.http`):
+keep-alive HTTP with single/batch annotate, ``/metrics``, health and
+readiness probes, admin hot reload, and a pre-fork ``--workers`` pool
+sharing one warmed dispatch index.  SIGTERM drains gracefully; SIGHUP
+hot-reloads the conventions file.  ``loadgen`` drives a running server
+in open or closed loop and prints a throughput/latency report
+(``--loadgen-out`` saves it as JSON).
 
 Hostname files carry one ``hostname asn`` pair per line for learn/report
 (`#` comments allowed); for apply/annotate/serve, a bare hostname per
@@ -121,7 +131,8 @@ _EXPERIMENTS = {
 }
 
 _WORKFLOWS = ("learn", "report", "apply", "annotate", "serve",
-              "serve-stats", "bench", "cache", "run", "trace")
+              "serve-http", "loadgen", "serve-stats", "bench", "cache",
+              "run", "trace")
 
 #: ``--format`` values that are renderers, not streaming sinks.
 _RENDER_FORMATS = ("prom", "text")
@@ -207,11 +218,59 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="annotate: output destination "
                              "(default '-' = stdout)")
     parser.add_argument("--metrics-out", metavar="FILE",
-                        help="serve: write a metrics snapshot JSON "
-                             "here on EOF")
-    parser.add_argument("--metrics", metavar="FILE",
+                        help="serve/serve-http: write a metrics "
+                             "snapshot JSON here on exit (serve also "
+                             "flushes it on SIGTERM/SIGINT)")
+    parser.add_argument("--metrics", metavar="FILE", action="append",
                         help="serve-stats: render this metrics "
-                             "snapshot instead of the bench section")
+                             "snapshot instead of the bench section "
+                             "(repeat to merge several additively)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="serve-http/loadgen: bind/connect address "
+                             "(default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8080, metavar="N",
+                        help="serve-http/loadgen: TCP port (0 lets "
+                             "the kernel pick; default 8080)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="serve-http: pre-fork worker processes "
+                             "(1 = single process; default 1)")
+    parser.add_argument("--max-body", type=int,
+                        default=None, metavar="BYTES",
+                        help="serve-http: reject request bodies larger "
+                             "than this with 413 (default 8 MiB)")
+    parser.add_argument("--max-inflight", type=int,
+                        default=None, metavar="N",
+                        help="serve-http: per-worker bound on "
+                             "concurrent annotation requests; excess "
+                             "gets 429 (default 64)")
+    parser.add_argument("--drain-grace", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="serve-http: keep accepting (readyz 503) "
+                             "this long after SIGTERM so load "
+                             "balancers observe the drain (default 0)")
+    parser.add_argument("--mode", choices=("closed", "open"),
+                        default="closed",
+                        help="loadgen: closed loop (capacity) or open "
+                             "loop (fixed offered rate)")
+    parser.add_argument("--concurrency", type=int, default=4,
+                        metavar="N",
+                        help="loadgen: client connections/threads "
+                             "(default 4)")
+    parser.add_argument("--requests", type=int, default=1000,
+                        metavar="N",
+                        help="loadgen: total requests to issue "
+                             "(default 1000)")
+    parser.add_argument("--rate", type=float, default=100.0,
+                        metavar="PER_SECOND",
+                        help="loadgen open loop: offered request rate "
+                             "(default 100/s)")
+    parser.add_argument("--batch-size", type=int, default=1,
+                        metavar="N",
+                        help="loadgen: hostnames per request (1 = "
+                             "POST /annotate, else /annotate/batch)")
+    parser.add_argument("--loadgen-out", metavar="FILE",
+                        help="loadgen: also write the report as JSON "
+                             "here")
     parser.add_argument("--trace-out", metavar="FILE",
                         help="run/experiments: record a span trace "
                              "here (JSONL) and write a run manifest "
@@ -396,10 +455,20 @@ def _cmd_apply(args: argparse.Namespace) -> int:
     return _cmd_annotate(args)
 
 
+def _write_metrics_snapshot(path: str, service: AnnotationService) -> None:
+    import json as _json
+    with open(path, "w", encoding="utf-8") as handle:
+        _json.dump(service.stats(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Line-oriented serving loop: hostnames in on stdin, annotations
     out on stdout (one TSV line per request, flushed), metrics summary
-    on stderr at EOF."""
+    on stderr at EOF.  SIGTERM/SIGINT also flush ``--metrics-out``
+    before exiting -- an interrupted session keeps its numbers."""
+    import signal as _signal
+
     if args.conventions is None:
         print("serve requires --conventions FILE", file=sys.stderr)
         return 2
@@ -412,34 +481,146 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     warmed = service.warm()
     print("# serving %d convention(s) from %s"
           % (warmed, args.conventions), file=sys.stderr)
-    for hostname in iter_hostnames(sys.stdin):
-        asn = service.annotate_one(hostname)
-        print("%s\t%s" % (hostname, asn if asn is not None else "-"),
-              flush=True)
+
+    def _flush_and_exit(signum: int, frame: object) -> None:
+        # PEP 475 auto-retries the blocked stdin read after this
+        # handler returns, so a "stop" flag would never be seen;
+        # flush here and leave directly instead.
+        if args.metrics_out:
+            _write_metrics_snapshot(args.metrics_out, service)
+        print(service.metrics.render(), file=sys.stderr)
+        sys.exit(0)
+
+    previous = [_signal.signal(_signal.SIGTERM, _flush_and_exit),
+                _signal.signal(_signal.SIGINT, _flush_and_exit)]
+    try:
+        for hostname in iter_hostnames(sys.stdin):
+            asn = service.annotate_one(hostname)
+            print("%s\t%s" % (hostname, asn if asn is not None else "-"),
+                  flush=True)
+    finally:
+        _signal.signal(_signal.SIGTERM, previous[0])
+        _signal.signal(_signal.SIGINT, previous[1])
     if args.metrics_out:
-        import json as _json
-        with open(args.metrics_out, "w", encoding="utf-8") as handle:
-            _json.dump(service.stats(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        _write_metrics_snapshot(args.metrics_out, service)
     print(service.metrics.render(), file=sys.stderr)
     return 0
 
 
+def _cmd_serve_http(args: argparse.Namespace) -> int:
+    """The network annotation server (see :mod:`repro.serve.http`)."""
+    from repro.serve.http import HttpConfig, serve_http
+
+    if args.conventions is None:
+        print("serve-http requires --conventions FILE", file=sys.stderr)
+        return 2
+    if args.memo_size < 0:
+        print("--memo-size must be >= 0, got %d" % args.memo_size,
+              file=sys.stderr)
+        return 2
+    config = HttpConfig(host=args.host, port=args.port,
+                        workers=args.workers,
+                        drain_grace=args.drain_grace,
+                        conventions=args.conventions,
+                        metrics_out=args.metrics_out)
+    if args.max_body is not None:
+        config.max_body = args.max_body
+    if args.max_inflight is not None:
+        config.max_inflight = args.max_inflight
+    try:
+        config.validate()
+    except ValueError as exc:
+        print("repro-hoiho serve-http: %s" % exc, file=sys.stderr)
+        return 2
+    service = AnnotationService.from_json_file(args.conventions,
+                                               memo_size=args.memo_size)
+    warmed = service.warm()
+
+    def _ready(port: int) -> None:
+        print("# serving %d convention(s) on http://%s:%d (%d worker%s)"
+              % (warmed, args.host, port, args.workers,
+                 "" if args.workers == 1 else "s"),
+              file=sys.stderr, flush=True)
+
+    return serve_http(service, config, ready=_ready)
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive a running ``serve-http`` instance and report throughput
+    and latency percentiles.  The hostname stream is ``--hostnames``
+    (bare hostnames) or, by default, the bench's deterministic Zipf
+    stream -- the same workload the in-process serve bench measures,
+    so the numbers are comparable."""
+    import json as _json
+
+    from repro.serve.loadgen import LoadGenConfig, run_loadgen
+
+    if args.hostnames:
+        source = sys.stdin if args.hostnames == "-" \
+            else open(args.hostnames, encoding="utf-8")
+        try:
+            hostnames = list(iter_hostnames(source))
+        finally:
+            if source is not sys.stdin:
+                source.close()
+        if not hostnames:
+            print("loadgen: no hostnames in %s" % args.hostnames,
+                  file=sys.stderr)
+            return 2
+    else:
+        from repro.bench import zipf_hostnames
+        hostnames = zipf_hostnames()
+    config = LoadGenConfig(host=args.host, port=args.port,
+                           mode=args.mode, requests=args.requests,
+                           concurrency=args.concurrency, rate=args.rate,
+                           batch_size=args.batch_size)
+    try:
+        config.validate()
+    except ValueError as exc:
+        print("repro-hoiho loadgen: %s" % exc, file=sys.stderr)
+        return 2
+    result = run_loadgen(config, hostnames)
+    print(_json.dumps(result, indent=2, sort_keys=True))
+    if args.loadgen_out:
+        with open(args.loadgen_out, "w", encoding="utf-8") as handle:
+            _json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 0
+
+
 def _cmd_serve_stats(args: argparse.Namespace) -> int:
-    """Render a saved metrics snapshot (``--metrics FILE``) or the
-    ``serve`` section of the bench report (``--output``, default
-    ``BENCH_learner.json``).  A ``--metrics`` snapshot additionally
-    renders as Prometheus text exposition (``--format prom``) or raw
-    JSON (``--json``)."""
+    """Render a saved metrics snapshot (``--metrics FILE``, repeatable
+    -- several files merge additively via ``merge_snapshot``, e.g. the
+    per-worker flushes of a pre-fork server) or the ``serve`` section
+    of the bench report (``--output``, default ``BENCH_learner.json``).
+    A ``--metrics`` snapshot additionally renders as Prometheus text
+    exposition (``--format prom``) or raw JSON (``--json``)."""
     import json as _json
     if args.metrics:
-        try:
-            with open(args.metrics, encoding="utf-8") as handle:
-                snapshot = _json.load(handle)
-        except (OSError, ValueError) as exc:
-            print("cannot read metrics snapshot %s: %s"
-                  % (args.metrics, exc), file=sys.stderr)
-            return 2
+        snapshots = []
+        for path in args.metrics:
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    snapshots.append(_json.load(handle))
+            except (OSError, ValueError) as exc:
+                print("cannot read metrics snapshot %s: %s"
+                      % (path, exc), file=sys.stderr)
+                return 2
+        if len(snapshots) == 1:
+            # One file renders verbatim, extras (memo, fused_plans)
+            # included; merging would drop non-instrument keys.
+            snapshot = snapshots[0]
+        else:
+            from repro.obs.metrics import MetricsRegistry
+            merged = MetricsRegistry()
+            try:
+                for payload in snapshots:
+                    merged.merge_snapshot(payload)
+            except ValueError as exc:
+                print("cannot merge metrics snapshots: %s" % exc,
+                      file=sys.stderr)
+                return 2
+            snapshot = merged.snapshot()
         if args.json:
             print(_json.dumps(snapshot, indent=2, sort_keys=True))
         elif args.sink_format == "prom":
@@ -612,6 +793,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_annotate(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "serve-http":
+        return _cmd_serve_http(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     if args.command == "serve-stats":
         return _cmd_serve_stats(args)
     if args.command == "bench":

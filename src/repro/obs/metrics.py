@@ -286,6 +286,62 @@ class MetricsRegistry:
             },
         }
 
+    def merge_snapshot(self, snapshot: Dict[str, object]) -> None:
+        """Additively fold a :meth:`snapshot` payload into this registry.
+
+        The cross-process aggregation primitive: the pre-fork HTTP
+        server's parent merges each worker's flushed snapshot into one
+        registry before rendering ``/metrics``, and ``serve-stats``
+        can aggregate saved snapshot files the same way.  Counters and
+        labelled counters add; histograms add bucket-by-bucket (the
+        payload carries raw ``bounds``/``buckets``/``overflow``/``sum``
+        exactly so this is possible), preserving the upper-inclusive
+        edge semantics -- a sample that landed in bucket ``i`` on the
+        worker lands in bucket ``i`` here, including ties on a bound
+        and overflow past the last one.  ``min``/``max`` merge so
+        percentile clamping still brackets the union of samples.
+
+        A histogram with the same name but different bounds cannot be
+        merged meaningfully; that raises ``ValueError`` rather than
+        silently mis-binning.  Keys outside the three instrument maps
+        (e.g. the ``memo``/``fused_plans`` extras of
+        ``AnnotationService.stats()``) are ignored.
+        """
+        counters = snapshot.get("counters") or {}
+        for name, value in counters.items():  # type: ignore[union-attr]
+            self.counter(name).inc(int(value))
+        labelled = snapshot.get("labelled") or {}
+        for name, family in labelled.items():  # type: ignore[union-attr]
+            target = self.labelled(name)
+            for label, value in family.items():
+                target.inc(label, int(value))
+        histograms = snapshot.get("histograms") or {}
+        for name, payload in histograms.items():  # type: ignore[union-attr]
+            bounds = tuple(payload.get("bounds") or DEFAULT_LATENCY_BOUNDS)
+            hist = self.histogram(name, bounds)
+            if hist.bounds != bounds:
+                raise ValueError(
+                    "cannot merge histogram %r: bounds %r != %r"
+                    % (name, bounds, hist.bounds))
+            buckets = payload.get("buckets") or [0] * len(bounds)
+            if len(buckets) != len(hist.buckets):
+                raise ValueError(
+                    "cannot merge histogram %r: %d buckets != %d"
+                    % (name, len(buckets), len(hist.buckets)))
+            for index, count in enumerate(buckets):
+                hist.buckets[index] += count
+            hist.overflow += payload.get("overflow", 0)
+            hist.count += payload.get("count", 0)
+            hist.total += payload.get("sum", 0.0)
+            low = payload.get("min")
+            if low is not None and (hist.minimum is None
+                                    or low < hist.minimum):
+                hist.minimum = low
+            high = payload.get("max")
+            if high is not None and (hist.maximum is None
+                                     or high > hist.maximum):
+                hist.maximum = high
+
     def render(self) -> str:
         """Human-readable one-screen summary."""
         return render_snapshot(self.snapshot())

@@ -22,12 +22,19 @@ pairs, this package *applies* them at production rates, in four layers:
   fork-inherited dispatch index, adaptive chunk sizing) and TSV/JSONL
   sinks;
 * :mod:`repro.serve.metrics` -- :class:`MetricsRegistry`, live
-  counters, per-suffix extraction counts, and latency percentiles.
+  counters, per-suffix extraction counts, and latency percentiles;
+* :mod:`repro.serve.http` -- the network front-end: a pre-fork
+  keep-alive HTTP server (single + batch annotate, ``/metrics``,
+  health/readiness, admin hot reload, graceful SIGTERM drain) whose
+  workers fork-inherit one warmed service;
+* :mod:`repro.serve.loadgen` -- open/closed-loop HTTP load generator
+  reporting throughput and latency percentiles.
 
 CLI surface: ``repro-hoiho annotate`` (bulk), ``repro-hoiho serve``
-(line-oriented stdin/stdout loop), ``repro-hoiho serve-stats``
-(metrics/bench rendering); ``repro-hoiho apply`` is a thin alias of
-``annotate``.  See ``docs/SERVING.md``.
+(line-oriented stdin/stdout loop), ``repro-hoiho serve-http``
+(network server), ``repro-hoiho loadgen`` (load generator),
+``repro-hoiho serve-stats`` (metrics/bench rendering); ``repro-hoiho
+apply`` is a thin alias of ``annotate``.  See ``docs/SERVING.md``.
 """
 
 from repro.serve.engine import (
@@ -39,6 +46,13 @@ from repro.serve.engine import (
     iter_hostnames,
     jsonl_line,
     tsv_line,
+)
+from repro.serve.http import (
+    AnnotationHTTPServer,
+    HttpConfig,
+    ServerProcess,
+    serve_http,
+    wait_ready,
 )
 from repro.serve.index import (
     AnnotationPlan,
@@ -52,6 +66,11 @@ from repro.serve.memo import (
     AnnotationMemo,
     DEFAULT_MEMO_SIZE,
 )
+from repro.serve.loadgen import (
+    LoadGenConfig,
+    run_loadgen,
+    workload_fingerprint,
+)
 from repro.serve.metrics import (
     Counter,
     Histogram,
@@ -63,6 +82,7 @@ from repro.serve.service import AnnotationService
 
 __all__ = [
     "ABSENT",
+    "AnnotationHTTPServer",
     "AnnotationMemo",
     "AnnotationPlan",
     "AnnotationService",
@@ -74,14 +94,20 @@ __all__ = [
     "DeadLetter",
     "DispatchIndex",
     "Histogram",
+    "HttpConfig",
     "LabelledCounter",
+    "LoadGenConfig",
     "MAX_FUSED_GROUPS",
     "MetricsRegistry",
     "SINKS",
+    "ServerProcess",
     "fuse_patterns",
     "iter_hostnames",
     "jsonl_line",
     "normalize_hostname",
     "render_snapshot",
+    "run_loadgen",
+    "serve_http",
     "tsv_line",
+    "wait_ready",
 ]

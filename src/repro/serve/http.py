@@ -1,0 +1,862 @@
+"""``repro.serve.http`` -- the network-facing annotation server.
+
+Promotes the stdin/stdout serving loop to a real concurrent network
+service over the existing :class:`~repro.serve.service.AnnotationService`
+-- stdlib only (``http.server`` + ``socket`` + ``os.fork``), because the
+hot path is the service's ``annotate_batch`` and the transport just has
+to stay out of its way.
+
+Endpoints (JSON in/out, HTTP/1.1 keep-alive):
+
+* ``POST /annotate`` -- ``{"hostname": ...}`` ->
+  ``{"hostname": ..., "asn": ...}`` (``asn`` null on miss/malformed);
+* ``POST /annotate/batch`` -- ``{"hostnames": [...]}`` ->
+  ``{"count": N, "asns": [...]}``, result-identical to
+  ``AnnotationService.annotate_batch`` on the same list;
+* ``GET /metrics`` -- Prometheus text exposition
+  (:func:`repro.obs.prom.to_prometheus`) of the **merged** per-worker
+  registries (see below);
+* ``GET /healthz`` -- liveness: 200 as long as the worker can answer,
+  including while draining;
+* ``GET /readyz`` -- readiness: 200 while accepting new work, 503 once
+  draining (the load-balancer signal);
+* ``POST /admin/reload`` -- re-read the configured conventions file and
+  atomically hot-swap every worker's convention set via the service's
+  ``reload_*`` machinery (in-flight requests keep the old index).
+
+Protection: request bodies above ``max_body`` are rejected with 413
+(and the connection closed -- the body is never read); when more than
+``max_inflight`` annotation requests are already executing in a worker,
+new ones get 429 + ``Retry-After`` (bounded in-flight budget =
+backpressure instead of collapse).  Handler exceptions never kill a
+worker: anything unexpected becomes a 500 JSON response.
+
+Scale-out is a **pre-fork worker pool**: the parent builds and warms
+the service once, then forks ``workers`` processes that inherit the
+fully-built fused :class:`~repro.serve.index.DispatchIndex` (the PR-6
+fork-inheritance property -- no per-worker JSON re-parse, no duplicate
+compile work).  Where ``SO_REUSEPORT`` exists the parent *binds without
+listening* to reserve the port (resolving ``port=0`` once) and each
+worker opens its own listening socket on it, giving kernel-level accept
+balancing; elsewhere the workers share the parent's inherited listener.
+
+Metrics aggregation: after ``fork`` each worker's registry diverges, so
+workers periodically flush ``service.stats()`` snapshots to a shared
+metrics directory (atomic ``os.replace``), and ``GET /metrics`` merges
+every worker's latest snapshot through
+:meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot` -- one
+scrape, fleet-wide counters (staleness bounded by ``flush_interval``).
+
+Shutdown: SIGTERM/SIGINT starts a **graceful drain** -- ``/readyz``
+flips to 503, responses carry ``Connection: close``, the worker keeps
+serving (so ``/healthz`` stays green) for ``drain_grace`` seconds and
+until in-flight annotation requests hit zero (bounded by
+``drain_timeout``), then stops accepting, flushes a final metrics
+snapshot, and exits 0.  The parent forwards signals, reaps every
+worker, merges their final snapshots, and writes ``metrics_out``.
+SIGHUP is the out-of-band reload broadcast (what ``/admin/reload``
+uses to reach sibling workers).
+
+``ServerProcess`` wraps the whole tree (parent + workers) in one child
+process for tests, benchmarks, and the load generator
+(:mod:`repro.serve.loadgen`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import socket
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import to_prometheus
+from repro.serve.service import AnnotationService
+
+#: Default request-body ceiling (bytes): 8 MiB fits ~100k hostnames.
+DEFAULT_MAX_BODY = 8 * 1024 * 1024
+
+#: Default bound on concurrently executing annotation requests/worker.
+DEFAULT_MAX_INFLIGHT = 64
+
+#: Prometheus text exposition content type.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Sentinel for "the 4xx reply already went out" -- distinct from any
+#: parsed JSON value (a body of literal ``null`` parses to ``None``).
+_READ_ERROR = object()
+
+
+def reuse_port_available() -> bool:
+    """Whether this platform offers ``SO_REUSEPORT``."""
+    return hasattr(socket, "SO_REUSEPORT")
+
+
+@dataclass
+class HttpConfig:
+    """Everything ``serve-http`` needs to run a server tree."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    workers: int = 1
+    max_body: int = DEFAULT_MAX_BODY
+    max_inflight: int = DEFAULT_MAX_INFLIGHT
+    #: Seconds a draining worker keeps accepting (readyz 503, healthz
+    #: 200) so load balancers can observe the drain before the listener
+    #: closes.
+    drain_grace: float = 0.0
+    #: Hard ceiling on the whole drain (grace + in-flight wait).
+    drain_timeout: float = 10.0
+    #: Worker metrics snapshots older than this may be re-flushed.
+    flush_interval: float = 1.0
+    #: Conventions JSON file ``/admin/reload`` (and SIGHUP) re-reads.
+    conventions: Optional[str] = None
+    #: Where the parent writes the merged snapshot after shutdown.
+    metrics_out: Optional[str] = None
+    #: Shared snapshot directory (default: a private temp dir).
+    metrics_dir: Optional[str] = None
+    #: Force/forbid per-worker ``SO_REUSEPORT`` sockets (None = auto).
+    reuse_port: Optional[bool] = None
+    backlog: int = 128
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on nonsensical settings."""
+        if self.workers < 1:
+            raise ValueError("--workers must be >= 1, got %d" % self.workers)
+        if not 0 <= self.port <= 65535:
+            raise ValueError("--port must be 0..65535, got %d" % self.port)
+        if self.max_body < 1:
+            raise ValueError("--max-body must be >= 1 byte, got %d"
+                             % self.max_body)
+        if self.max_inflight < 1:
+            raise ValueError("--max-inflight must be >= 1, got %d"
+                             % self.max_inflight)
+        if self.drain_grace < 0 or self.drain_timeout < 0:
+            raise ValueError("drain timings must be >= 0")
+
+
+def create_listener(host: str, port: int, reuse_port: bool = False,
+                    backlog: int = 128) -> socket.socket:
+    """A bound, listening TCP socket (``SO_REUSEPORT`` optional)."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    if reuse_port:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+    sock.bind((host, port))
+    sock.listen(backlog)
+    return sock
+
+
+def _reserve_port(host: str, port: int) -> socket.socket:
+    """Bind (without listening) to reserve ``port`` for the workers.
+
+    A bound-but-not-listening socket never receives connections -- TCP
+    lookup only considers listeners -- so the parent can hold this open
+    for the server's lifetime while every worker's own ``SO_REUSEPORT``
+    listener takes the traffic.  Binding to port 0 here resolves the
+    ephemeral port exactly once, before any worker exists.
+    """
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+    sock.bind((host, port))
+    return sock
+
+
+class MetricsDir:
+    """The shared per-worker snapshot directory behind ``/metrics``.
+
+    Each worker owns one file (``worker-<id>.json``), written atomically
+    (temp file + ``os.replace``) so a concurrent reader never sees a
+    torn snapshot.  Extra keys in a snapshot (``memo``, ``fused_plans``
+    from ``AnnotationService.stats()``) ride along untouched;
+    ``merge_snapshot`` ignores them.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def flush(self, worker_id: int, snapshot: Dict[str, object]) -> None:
+        """Atomically publish ``worker_id``'s current snapshot."""
+        target = os.path.join(self.path, "worker-%d.json" % worker_id)
+        fd, tmp = tempfile.mkstemp(prefix=".worker-%d." % worker_id,
+                                   dir=self.path)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(snapshot, handle, sort_keys=True)
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def snapshots(self) -> Iterator[Dict[str, object]]:
+        """Every worker's latest snapshot (unreadable files skipped)."""
+        try:
+            names = sorted(os.listdir(self.path))
+        except OSError:
+            return
+        for name in names:
+            if not (name.startswith("worker-") and name.endswith(".json")):
+                continue
+            try:
+                with open(os.path.join(self.path, name),
+                          encoding="utf-8") as handle:
+                    yield json.load(handle)
+            except (OSError, ValueError):
+                continue  # mid-replace or already gone
+
+    def merged(self) -> Dict[str, object]:
+        """One registry snapshot folding every worker's together."""
+        registry = MetricsRegistry()
+        for snapshot in self.snapshots():
+            registry.merge_snapshot(snapshot)
+        return registry.snapshot()
+
+
+class AnnotationHTTPServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` bound to one annotation service.
+
+    One instance per worker process (and the whole server when
+    ``workers=1``).  Connections get a thread each (keep-alive held
+    across requests); annotation work is bounded by the in-flight
+    budget, not the thread count.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, service: AnnotationService, config: HttpConfig,
+                 sock: Optional[socket.socket] = None,
+                 worker_id: int = 0,
+                 metrics_dir: Optional[MetricsDir] = None) -> None:
+        self.service = service
+        self.config = config
+        self.worker_id = worker_id
+        self.metrics_dir = metrics_dir
+        #: Parent pid to SIGHUP for a fleet-wide reload (pre-fork
+        #: workers only; ``None`` means reload inline).
+        self.broadcast_pid: Optional[int] = None
+        self.draining = threading.Event()
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._last_flush = 0.0
+        address = (config.host, config.port)
+        super().__init__(address, AnnotationHandler,
+                         bind_and_activate=False)
+        if sock is not None:
+            self.socket.close()
+            self.socket = sock
+            self.server_address = sock.getsockname()
+            self.server_name = config.host
+            self.server_port = self.server_address[1]
+        else:
+            self.server_bind()
+            self.server_activate()
+
+    # -- in-flight budget --------------------------------------------------
+
+    def try_begin_request(self) -> bool:
+        """Admit one annotation request, or refuse at the budget."""
+        with self._inflight_lock:
+            if self._inflight >= self.config.max_inflight:
+                return False
+            self._inflight += 1
+            return True
+
+    def end_request(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+
+    @property
+    def inflight(self) -> int:
+        """Annotation requests currently executing."""
+        return self._inflight
+
+    # -- metrics -----------------------------------------------------------
+
+    def flush_metrics(self) -> None:
+        """Publish this worker's snapshot to the shared directory."""
+        if self.metrics_dir is not None:
+            self.metrics_dir.flush(self.worker_id, self.service.stats())
+        self._last_flush = time.monotonic()
+
+    def maybe_flush(self) -> None:
+        """Flush if the published snapshot has gone stale."""
+        if self.metrics_dir is None:
+            return
+        if time.monotonic() - self._last_flush >= self.config.flush_interval:
+            self.flush_metrics()
+
+    def merged_metrics(self) -> str:
+        """Prometheus exposition of the whole fleet's counters."""
+        if self.metrics_dir is None:
+            return to_prometheus(self.service.stats())
+        self.flush_metrics()  # the merge must include this worker, live
+        return to_prometheus(self.metrics_dir.merged())
+
+    # -- reload ------------------------------------------------------------
+
+    def reload_inline(self) -> int:
+        """Re-read the configured conventions file; returns plan count.
+
+        Raises on unreadable/unparseable files -- and the old
+        conventions stay live, because ``reload_json_file`` only swaps
+        after a successful build.
+        """
+        if not self.config.conventions:
+            raise LookupError("no conventions file configured to reload")
+        count = self.service.reload_json_file(self.config.conventions)
+        self.service.metrics.counter("reloads").inc()
+        return count
+
+    def _reload_from_signal(self) -> None:
+        """SIGHUP entry: reload, never raise (workers must survive)."""
+        try:
+            self.reload_inline()
+        except Exception as exc:
+            self.service.metrics.counter("reload_errors").inc()
+            print("# reload failed in worker %d: %s"
+                  % (self.worker_id, exc), file=sys.stderr)
+
+    # -- drain -------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Graceful shutdown: linger, wait out in-flight work, stop.
+
+        Must not run on the ``serve_forever`` thread (``shutdown``
+        waits for that loop to exit) -- signal handlers spawn a thread.
+        """
+        self.draining.set()
+        started = time.monotonic()
+        deadline = started + max(self.config.drain_timeout,
+                                 self.config.drain_grace)
+        while time.monotonic() < deadline:
+            grace_over = (time.monotonic() - started
+                          >= self.config.drain_grace)
+            if grace_over and self.inflight == 0:
+                break
+            time.sleep(0.01)
+        self.shutdown()
+
+
+class AnnotationHandler(BaseHTTPRequestHandler):
+    """Request handler: route, guard, annotate, count."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve-http/1.0"
+    #: TCP_NODELAY: headers and body flush as separate writes, and
+    #: Nagle + delayed ACK would otherwise add ~40ms to every response.
+    disable_nagle_algorithm = True
+    #: Socket timeout: bounds idle keep-alive reads and lying
+    #: Content-Length headers.
+    timeout = 30
+
+    server: AnnotationHTTPServer  # for type checkers
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Quiet: request accounting happens in the registry."""
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        registry = self.server.service.metrics
+        started = time.perf_counter()
+        self._last_status: Optional[int] = None
+        path = self.path.split("?", 1)[0]
+        try:
+            by_method = _ROUTES.get(path)
+            if by_method is None:
+                self._send_json(404, {"error": "no such endpoint",
+                                      "path": path})
+            else:
+                route = by_method.get(method)
+                if route is None:
+                    self._send_json(
+                        405, {"error": "method not allowed"},
+                        headers={"Allow": ", ".join(sorted(by_method))})
+                else:
+                    route(self)
+        except (BrokenPipeError, ConnectionResetError, socket.timeout):
+            self.close_connection = True
+        except Exception as exc:  # a handler bug must not kill the worker
+            try:
+                self._send_json(500, {
+                    "error": "internal server error",
+                    "detail": "%s: %s" % (type(exc).__name__, exc)})
+            except OSError:
+                self.close_connection = True
+        finally:
+            registry.counter("http_requests").inc()
+            if self._last_status is not None:
+                registry.labelled("http_responses").inc(
+                    str(self._last_status))
+            registry.histogram("http_request_seconds").observe(
+                time.perf_counter() - started)
+            self.server.maybe_flush()
+
+    # -- response plumbing -------------------------------------------------
+
+    def _send_bytes(self, status: int, body: bytes, content_type: str,
+                    headers: Optional[Dict[str, str]] = None) -> None:
+        self._last_status = status
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if headers:
+            for name, value in headers.items():
+                self.send_header(name, value)
+        if self.server.draining.is_set() or self.close_connection:
+            # Draining (get keep-alive clients off this worker) or the
+            # stream is unusable (e.g. an unread 413 body): say so.
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: Dict[str, object],
+                   headers: Optional[Dict[str, str]] = None) -> None:
+        body = json.dumps(payload).encode("utf-8") + b"\n"
+        self._send_bytes(status, body, "application/json", headers)
+
+    def _read_json(self, allow_empty: bool = False) -> object:
+        """The request's JSON payload, or ``_READ_ERROR`` after a reply.
+
+        Enforces ``max_body`` *before* reading (an oversized body is
+        refused and the connection closed -- the bytes never transit),
+        requires ``Content-Length`` (411 without it), and turns bad
+        UTF-8 or bad JSON into a 400 instead of an exception.  The
+        error sentinel is not ``None`` because ``None`` is a valid
+        parse (a body of literal ``null``) that must reach the
+        endpoint's own shape validation.
+        """
+        raw_length = self.headers.get("Content-Length")
+        if raw_length is None:
+            self._send_json(411, {"error": "Content-Length required"})
+            return _READ_ERROR
+        try:
+            length = int(raw_length)
+        except ValueError:
+            self._send_json(400, {"error": "malformed Content-Length"})
+            return _READ_ERROR
+        if length < 0:
+            self._send_json(400, {"error": "malformed Content-Length"})
+            return _READ_ERROR
+        if length > self.server.config.max_body:
+            self.close_connection = True  # unread body: unusable stream
+            self._send_json(413, {
+                "error": "request body exceeds %d bytes"
+                         % self.server.config.max_body,
+                "max_body": self.server.config.max_body})
+            return _READ_ERROR
+        body = self.rfile.read(length)
+        if not body and allow_empty:
+            return {}
+        try:
+            text = body.decode("utf-8")
+        except UnicodeDecodeError:
+            self._send_json(400, {"error": "body is not valid UTF-8"})
+            return _READ_ERROR
+        try:
+            return json.loads(text)
+        except ValueError:
+            self._send_json(400, {"error": "body is not valid JSON"})
+            return _READ_ERROR
+
+    # -- endpoints ---------------------------------------------------------
+
+    def _ep_healthz(self) -> None:
+        self._send_json(200, {"status": "ok",
+                              "worker": self.server.worker_id,
+                              "draining": self.server.draining.is_set()})
+
+    def _ep_readyz(self) -> None:
+        if self.server.draining.is_set():
+            self._send_json(503, {"status": "draining"})
+        else:
+            self._send_json(200, {"status": "ready"})
+
+    def _ep_metrics(self) -> None:
+        self._send_bytes(200, self.server.merged_metrics().encode("utf-8"),
+                         PROM_CONTENT_TYPE)
+
+    def _ep_annotate(self) -> None:
+        server = self.server
+        if not server.try_begin_request():
+            self._send_json(429, {"error": "overloaded",
+                                  "inflight": server.inflight},
+                            headers={"Retry-After": "1"})
+            return
+        try:
+            payload = self._read_json()
+            if payload is _READ_ERROR:
+                return
+            if not isinstance(payload, dict) or "hostname" not in payload:
+                self._send_json(400, {
+                    "error": 'expected {"hostname": ...}'})
+                return
+            hostname = payload["hostname"]
+            asn = server.service.annotate_one(hostname)
+            self._send_json(200, {"hostname": hostname, "asn": asn})
+        finally:
+            server.end_request()
+
+    def _ep_annotate_batch(self) -> None:
+        server = self.server
+        if not server.try_begin_request():
+            self._send_json(429, {"error": "overloaded",
+                                  "inflight": server.inflight},
+                            headers={"Retry-After": "1"})
+            return
+        try:
+            payload = self._read_json()
+            if payload is _READ_ERROR:
+                return
+            if (not isinstance(payload, dict)
+                    or not isinstance(payload.get("hostnames"), list)):
+                self._send_json(400, {
+                    "error": 'expected {"hostnames": [...]}'})
+                return
+            hostnames = payload["hostnames"]
+            asns = server.service.annotate_batch(hostnames)
+            self._send_json(200, {"count": len(asns), "asns": asns})
+        finally:
+            server.end_request()
+
+    def _ep_reload(self) -> None:
+        server = self.server
+        payload = self._read_json(allow_empty=True)
+        if payload is _READ_ERROR:
+            return
+        configured = server.config.conventions
+        if isinstance(payload, dict) and payload.get("conventions") \
+                and payload["conventions"] != configured:
+            self._send_json(400, {
+                "error": "reload re-reads the configured conventions "
+                         "file; restart to change it",
+                "conventions": configured})
+            return
+        if not configured:
+            self._send_json(409, {
+                "error": "server was not started from a conventions "
+                         "file; nothing to reload"})
+            return
+        if server.broadcast_pid is not None:
+            # Pre-fork: one worker cannot swap its siblings' indexes;
+            # SIGHUP the parent, which broadcasts to every worker
+            # (including this one).  Asynchronous by construction.
+            os.kill(server.broadcast_pid, signal.SIGHUP)
+            self._send_json(202, {"reloaded": "signalled",
+                                  "workers": server.config.workers,
+                                  "conventions": configured})
+            return
+        try:
+            count = server.reload_inline()
+        except Exception as exc:
+            server.service.metrics.counter("reload_errors").inc()
+            self._send_json(500, {"error": "reload failed: %s" % exc,
+                                  "conventions": configured})
+            return
+        self._send_json(200, {"reloaded": True, "suffixes": count,
+                              "conventions": configured})
+
+
+_ROUTES: Dict[str, Dict[str, Callable[[AnnotationHandler], None]]] = {
+    "/healthz": {"GET": AnnotationHandler._ep_healthz},
+    "/readyz": {"GET": AnnotationHandler._ep_readyz},
+    "/metrics": {"GET": AnnotationHandler._ep_metrics},
+    "/annotate": {"POST": AnnotationHandler._ep_annotate},
+    "/annotate/batch": {"POST": AnnotationHandler._ep_annotate_batch},
+    "/admin/reload": {"POST": AnnotationHandler._ep_reload},
+}
+
+
+# -- process orchestration -------------------------------------------------
+
+
+def _install_worker_signals(server: AnnotationHTTPServer) -> None:
+    """SIGTERM/SIGINT drain the server; SIGHUP hot-reloads it.
+
+    Both run off-thread: ``shutdown`` must not be called from the
+    ``serve_forever`` thread, and a reload should never stall accepts.
+    """
+
+    def _term(signum: int, frame: object) -> None:
+        threading.Thread(target=server.drain, daemon=True).start()
+
+    def _hup(signum: int, frame: object) -> None:
+        threading.Thread(target=server._reload_from_signal,
+                         daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _term)
+    signal.signal(signal.SIGINT, _term)
+    signal.signal(signal.SIGHUP, _hup)
+
+
+def _write_metrics_out(path: str, snapshot: Dict[str, object]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _serve_single(service: AnnotationService, config: HttpConfig,
+                  ready: Optional[Callable[[int], None]] = None) -> int:
+    """One process, one threading server (``workers=1``)."""
+    sock = create_listener(config.host, config.port,
+                           backlog=config.backlog)
+    server = AnnotationHTTPServer(service, config, sock=sock)
+    _install_worker_signals(server)
+    if ready is not None:
+        ready(server.server_port)
+    try:
+        server.serve_forever(poll_interval=0.05)
+    finally:
+        server.server_close()
+    if config.metrics_out:
+        _write_metrics_out(config.metrics_out, service.stats())
+    return 0
+
+
+def _worker_main(service: AnnotationService, config: HttpConfig,
+                 shared: Optional[socket.socket], port: int,
+                 worker_id: int, metrics_dir: MetricsDir,
+                 parent_pid: int, ready_fd: int) -> None:
+    """A forked worker's whole life; never returns (``os._exit``)."""
+    code = 1
+    try:
+        if shared is None:
+            sock = create_listener(config.host, port, reuse_port=True,
+                                   backlog=config.backlog)
+        else:
+            sock = shared
+        server = AnnotationHTTPServer(service, config, sock=sock,
+                                      worker_id=worker_id,
+                                      metrics_dir=metrics_dir)
+        server.broadcast_pid = parent_pid
+        _install_worker_signals(server)
+        os.write(ready_fd, b"1")
+        os.close(ready_fd)
+        server.serve_forever(poll_interval=0.05)
+        server.flush_metrics()  # final snapshot: drain must not lose it
+        server.server_close()
+        code = 0
+    except Exception:
+        import traceback
+        traceback.print_exc(file=sys.stderr)
+    finally:
+        os._exit(code)
+
+
+def _serve_prefork(service: AnnotationService, config: HttpConfig,
+                   ready: Optional[Callable[[int], None]] = None) -> int:
+    """Fork ``config.workers`` servers sharing one warmed service."""
+    reuse = config.reuse_port if config.reuse_port is not None \
+        else reuse_port_available()
+    owns_metrics_dir = config.metrics_dir is None
+    metrics_path = config.metrics_dir or tempfile.mkdtemp(
+        prefix="repro-serve-http-")
+    metrics_dir = MetricsDir(metrics_path)
+    reservation: Optional[socket.socket] = None
+    shared: Optional[socket.socket] = None
+    if reuse:
+        reservation = _reserve_port(config.host, config.port)
+        port = reservation.getsockname()[1]
+    else:
+        shared = create_listener(config.host, config.port,
+                                 backlog=config.backlog)
+        port = shared.getsockname()[1]
+
+    parent_pid = os.getpid()
+    pids: List[int] = []
+    ready_fds: List[int] = []
+    for worker_id in range(config.workers):
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:
+            os.close(read_fd)
+            for fd in ready_fds:
+                os.close(fd)
+            _worker_main(service, config, shared, port, worker_id,
+                         metrics_dir, parent_pid, write_fd)
+            # _worker_main never returns
+        os.close(write_fd)
+        pids.append(pid)
+        ready_fds.append(read_fd)
+    if shared is not None:
+        shared.close()  # the workers hold their inherited copies
+
+    failures = 0
+    for pid, read_fd in zip(pids, ready_fds):
+        if os.read(read_fd, 1) != b"1":
+            failures += 1
+            print("# worker %d failed to start" % pid, file=sys.stderr)
+        os.close(read_fd)
+
+    def _forward(signum: int, frame: object) -> None:
+        for pid in pids:
+            try:
+                os.kill(pid, signum if signum != signal.SIGINT
+                        else signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+
+    signal.signal(signal.SIGTERM, _forward)
+    signal.signal(signal.SIGINT, _forward)
+    signal.signal(signal.SIGHUP, _forward)
+
+    if ready is not None:
+        ready(port)
+
+    status = 1 if failures else 0
+    remaining = set(pids)
+    while remaining:
+        pid, wait_status = os.waitpid(-1, 0)
+        if pid in remaining:
+            remaining.discard(pid)
+            code = os.waitstatus_to_exitcode(wait_status)
+            if code != 0:
+                status = 1
+                print("# worker %d exited with %d" % (pid, code),
+                      file=sys.stderr)
+
+    merged = metrics_dir.merged()
+    if config.metrics_out:
+        _write_metrics_out(config.metrics_out, merged)
+    if reservation is not None:
+        reservation.close()
+    if owns_metrics_dir:
+        shutil.rmtree(metrics_path, ignore_errors=True)
+    return status
+
+
+def serve_http(service: AnnotationService, config: HttpConfig,
+               ready: Optional[Callable[[int], None]] = None) -> int:
+    """Run the server tree; blocks until drained.  Returns exit code.
+
+    ``ready(port)`` fires once every worker is listening -- with
+    ``port=0`` this is how the caller learns the bound port.
+    """
+    config.validate()
+    if config.workers == 1:
+        return _serve_single(service, config, ready=ready)
+    return _serve_prefork(service, config, ready=ready)
+
+
+# -- test/bench harness ----------------------------------------------------
+
+
+def wait_ready(host: str, port: int, timeout: float = 10.0) -> bool:
+    """Poll ``/healthz`` until the server answers (or timeout)."""
+    import http.client
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            conn = http.client.HTTPConnection(host, port, timeout=1.0)
+            try:
+                conn.request("GET", "/healthz")
+                response = conn.getresponse()
+                response.read()
+                if response.status == 200:
+                    return True
+            finally:
+                conn.close()
+        except OSError:
+            time.sleep(0.05)
+    return False
+
+
+def _server_process_entry(conventions_json: str, config: HttpConfig,
+                          memo_size: int, conn: object) -> None:
+    """Child entry for :class:`ServerProcess` (module-level: picklable)."""
+    service = AnnotationService.from_json(conventions_json,
+                                          memo_size=memo_size)
+    service.warm()
+    code = serve_http(service, config,
+                      ready=lambda port: conn.send(port))  # type: ignore
+    sys.exit(code)
+
+
+class ServerProcess:
+    """A whole server tree (pre-fork parent + workers) as one child.
+
+    The handle tests, benchmarks, and the load generator share::
+
+        with ServerProcess(conventions_json, config) as server:
+            ...  # server.host, server.port are live and ready
+
+    ``stop()`` sends SIGTERM (graceful drain) and returns the parent's
+    exit code; leaving the ``with`` block does the same.
+    """
+
+    def __init__(self, conventions_json: str, config: HttpConfig,
+                 memo_size: int = 65536) -> None:
+        self.conventions_json = conventions_json
+        self.config = config
+        self.memo_size = memo_size
+        self.host = config.host
+        self.port: Optional[int] = None
+        self._process = None
+        self.exitcode: Optional[int] = None
+
+    def start(self, timeout: float = 30.0) -> "ServerProcess":
+        import multiprocessing
+
+        parent_conn, child_conn = multiprocessing.Pipe()
+        self._process = multiprocessing.Process(
+            target=_server_process_entry,
+            args=(self.conventions_json, self.config, self.memo_size,
+                  child_conn))
+        self._process.start()
+        child_conn.close()
+        if not parent_conn.poll(timeout):
+            self.stop()
+            raise RuntimeError("server did not report ready in %.0fs"
+                               % timeout)
+        self.port = parent_conn.recv()
+        parent_conn.close()
+        if not wait_ready(self.host, self.port, timeout=timeout):
+            self.stop()
+            raise RuntimeError("server bound but never answered /healthz")
+        return self
+
+    def signal(self, signum: int) -> None:
+        """Deliver ``signum`` to the server parent (e.g. SIGHUP)."""
+        if self._process is not None and self._process.pid:
+            os.kill(self._process.pid, signum)
+
+    def stop(self, timeout: float = 15.0) -> Optional[int]:
+        """SIGTERM the tree, join it, and return the exit code."""
+        if self._process is None:
+            return self.exitcode
+        if self._process.is_alive():
+            try:
+                self.signal(signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+        self._process.join(timeout)
+        if self._process.is_alive():
+            self._process.kill()
+            self._process.join(5.0)
+        self.exitcode = self._process.exitcode
+        self._process = None
+        return self.exitcode
+
+    def __enter__(self) -> "ServerProcess":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -478,3 +478,157 @@ class TestCliObservability:
     def test_annotate_rejects_render_formats(self, tmp_path, capsys):
         assert main(["annotate", "--format", "prom"]) == 2
         assert "sink format" in capsys.readouterr().err
+
+
+class TestCliHttp:
+    """``serve-http``/``loadgen`` commands and the ``serve`` signal fix."""
+
+    TRAINING = TestCliServe.TRAINING
+
+    def _conventions_file(self, tmp_path, capsys):
+        training = tmp_path / "train.txt"
+        training.write_text(self.TRAINING, encoding="utf-8")
+        saved = tmp_path / "conv.json"
+        assert main(["learn", "--hostnames", str(training),
+                     "--save", str(saved)]) == 0
+        capsys.readouterr()
+        return saved
+
+    def _cli_env(self):
+        import os
+        from pathlib import Path
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return env
+
+    _CLI = "from repro.cli import main; import sys; " \
+           "sys.exit(main(sys.argv[1:]))"
+
+    def test_serve_sigterm_flushes_metrics_out(self, tmp_path, capsys):
+        """Regression: an interrupted ``serve`` session must not lose
+        its ``--metrics-out`` snapshot (it used to flush only at EOF)."""
+        import json
+        import signal
+        import subprocess
+        import sys
+        import time
+        saved = self._conventions_file(tmp_path, capsys)
+        metrics = tmp_path / "metrics.json"
+        process = subprocess.Popen(
+            [sys.executable, "-c", self._CLI, "serve",
+             "--conventions", str(saved), "--metrics-out", str(metrics)],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL, env=self._cli_env(), text=True)
+        try:
+            process.stdin.write("as8075.ams9.example.com\n")
+            process.stdin.flush()
+            # The echoed annotation proves the loop is live (and the
+            # request is in the registry) before the kill.
+            assert process.stdout.readline() \
+                == "as8075.ams9.example.com\t8075\n"
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=15) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+        snapshot = json.loads(metrics.read_text(encoding="utf-8"))
+        assert snapshot["counters"]["requests"] == 1
+        assert snapshot["counters"]["annotated"] == 1
+
+    def test_serve_http_serves_and_drains_via_cli(self, tmp_path,
+                                                  capsys):
+        """End to end through the console entry point: boot a pre-fork
+        ``serve-http``, drive it with the ``loadgen`` command, SIGTERM
+        it, and check the drained parent wrote merged metrics."""
+        import json
+        import re
+        import signal
+        import subprocess
+        import sys
+        from repro.serve.http import wait_ready
+        saved = self._conventions_file(tmp_path, capsys)
+        targets = tmp_path / "targets.txt"
+        targets.write_text("".join(
+            "as%d.pop%d.example.com\n" % (100 + i, i % 4)
+            for i in range(30)), encoding="utf-8")
+        metrics = tmp_path / "merged.json"
+        process = subprocess.Popen(
+            [sys.executable, "-c", self._CLI, "serve-http",
+             "--conventions", str(saved), "--port", "0",
+             "--workers", "2", "--metrics-out", str(metrics)],
+            stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+            env=self._cli_env(), text=True)
+        try:
+            ready = process.stderr.readline()
+            match = re.search(r"http://127\.0\.0\.1:(\d+)", ready)
+            assert match, "no ready line: %r" % ready
+            port = int(match.group(1))
+            assert wait_ready("127.0.0.1", port, timeout=15)
+            assert main(["loadgen", "--port", str(port),
+                         "--hostnames", str(targets),
+                         "--requests", "40", "--concurrency", "2"]) == 0
+            report = json.loads(capsys.readouterr().out)
+            assert report["ok"] == 40
+            assert report["errors"] == 0
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=20) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+        merged = json.loads(metrics.read_text(encoding="utf-8"))
+        assert merged["counters"]["http_requests"] >= 40
+        assert merged["counters"]["requests"] >= 40
+
+    def test_serve_http_requires_conventions(self, capsys):
+        assert main(["serve-http"]) == 2
+
+    def test_serve_http_rejects_bad_flags(self, tmp_path, capsys):
+        saved = self._conventions_file(tmp_path, capsys)
+        assert main(["serve-http", "--conventions", str(saved),
+                     "--workers", "0"]) == 2
+        assert main(["serve-http", "--conventions", str(saved),
+                     "--max-inflight", "0"]) == 2
+
+    def test_loadgen_rejects_bad_flags(self, capsys, tmp_path):
+        assert main(["loadgen", "--batch-size", "0"]) == 2
+        empty = tmp_path / "empty.txt"
+        empty.write_text("", encoding="utf-8")
+        assert main(["loadgen", "--hostnames", str(empty)]) == 2
+
+    def test_serve_stats_merges_repeated_metrics_files(self, tmp_path,
+                                                       capsys):
+        import json
+        first = tmp_path / "w0.json"
+        second = tmp_path / "w1.json"
+        first.write_text(json.dumps(
+            {"counters": {"requests": 3, "annotated": 2},
+             "memo": {"size": 1}}), encoding="utf-8")
+        second.write_text(json.dumps(
+            {"counters": {"requests": 4, "misses": 1}}),
+            encoding="utf-8")
+        assert main(["serve-stats", "--metrics", str(first),
+                     "--metrics", str(second), "--json"]) == 0
+        merged = json.loads(capsys.readouterr().out)
+        assert merged["counters"]["requests"] == 7
+        assert merged["counters"]["annotated"] == 2
+        assert merged["counters"]["misses"] == 1
+
+    def test_serve_stats_merge_rejects_mismatched_bounds(self, tmp_path,
+                                                         capsys):
+        import json
+        first = tmp_path / "w0.json"
+        second = tmp_path / "w1.json"
+        first.write_text(json.dumps({"histograms": {"latency_seconds": {
+            "bounds": [1.0, 2.0], "buckets": [1, 0], "overflow": 0,
+            "count": 1, "sum": 0.5, "min": 0.5, "max": 0.5}}}),
+            encoding="utf-8")
+        second.write_text(json.dumps({"histograms": {"latency_seconds": {
+            "bounds": [1.0, 4.0], "buckets": [1, 0], "overflow": 0,
+            "count": 1, "sum": 0.5, "min": 0.5, "max": 0.5}}}),
+            encoding="utf-8")
+        assert main(["serve-stats", "--metrics", str(first),
+                     "--metrics", str(second)]) == 2
+        assert "cannot merge" in capsys.readouterr().err

@@ -1,0 +1,216 @@
+"""Property-based API contract tests for :mod:`repro.serve.http`.
+
+Modeled on schemathesis-style API fuzzing: whatever bytes arrive --
+random hostname payloads, malformed JSON, non-UTF-8 bodies, oversized
+bodies, junk paths -- the server must answer every request with valid
+JSON (or a well-formed 4xx) and keep serving afterwards; no input may
+crash a worker.  And the semantic contract: ``POST /annotate/batch``
+is result-identical to ``AnnotationService.annotate_batch`` on the
+same list, including across a live ``/admin/reload``.
+
+One in-thread server (module scope) serves every example: that is the
+point -- hundreds of adversarial requests against the *same* worker
+prove none of them wedged or killed it.
+"""
+
+import http.client
+import json
+import socket
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bench import serve_conventions
+from repro.core.io import conventions_to_json
+from repro.serve.http import AnnotationHTTPServer, HttpConfig, \
+    create_listener
+from repro.serve.service import AnnotationService
+
+MAX_BODY = 4096
+
+label = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-.",
+                min_size=0, max_size=24)
+#: Hostname-ish and hostile strings alike: the service must shrug at
+#: both, so the HTTP layer must too.
+hostname_like = st.one_of(
+    label,
+    st.builds(lambda asn, pop: "as%d-et1.pop%d.svc01-bench.org"
+              % (asn, pop),
+              st.integers(0, 99999), st.integers(0, 9)),
+    st.text(max_size=24),
+)
+
+
+@pytest.fixture(scope="module")
+def server_port(tmp_path_factory):
+    path = tmp_path_factory.mktemp("props") / "conventions.json"
+    path.write_text(conventions_to_json(serve_conventions()),
+                    encoding="utf-8")
+    service = AnnotationService.from_json_file(str(path))
+    service.warm()
+    config = HttpConfig(port=0, conventions=str(path),
+                        max_body=MAX_BODY)
+    sock = create_listener(config.host, 0)
+    server = AnnotationHTTPServer(service, config, sock=sock)
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.01},
+                              daemon=True)
+    thread.start()
+    yield server, server.server_port
+    server.shutdown()
+    server.server_close()
+    thread.join(5)
+
+
+def post_raw(port, path, body):
+    """POST arbitrary bytes (correct Content-Length); parse the reply.
+
+    Returns ``(status, payload)`` where payload is the decoded JSON
+    body (the contract says every response is JSON).
+    """
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as s:
+        head = ("POST %s HTTP/1.1\r\nHost: t\r\n"
+                "Content-Length: %d\r\nConnection: close\r\n\r\n"
+                % (path, len(body))).encode("ascii")
+        s.sendall(head + body)
+        reply = b""
+        while True:
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            reply += chunk
+    headers, _, payload = reply.partition(b"\r\n\r\n")
+    status = int(headers.split(b" ", 2)[1])
+    return status, json.loads(payload)
+
+
+def post_json(port, path, payload):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request("POST", path, body=json.dumps(payload))
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def assert_alive(port):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request("GET", "/healthz")
+        response = conn.getresponse()
+        response.read()
+        assert response.status == 200
+    finally:
+        conn.close()
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.function_scoped_fixture])
+@given(body=st.binary(max_size=200),
+       path=st.sampled_from(["/annotate", "/annotate/batch",
+                             "/admin/reload", "/junk"]))
+def test_arbitrary_bytes_never_crash_and_always_json(server_port, body,
+                                                     path):
+    server, port = server_port
+    status, payload = post_raw(port, path, body)
+    assert status in (200, 202, 400, 404, 409, 413)
+    assert isinstance(payload, dict)
+    if status >= 400:
+        assert "error" in payload
+    assert_alive(port)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.function_scoped_fixture])
+@given(hostname=hostname_like)
+def test_single_annotate_matches_service_exactly(server_port, hostname):
+    server, port = server_port
+    status, payload = post_json(port, "/annotate",
+                                {"hostname": hostname})
+    assert status == 200
+    assert payload["hostname"] == hostname
+    assert payload["asn"] == server.service.annotate_one(hostname)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.function_scoped_fixture])
+@given(hostnames=st.lists(hostname_like, max_size=20))
+def test_batch_is_result_identical_to_service(server_port, hostnames):
+    server, port = server_port
+    status, payload = post_json(port, "/annotate/batch",
+                                {"hostnames": hostnames})
+    assert status == 200
+    assert payload["count"] == len(hostnames)
+    assert payload["asns"] == server.service.annotate_batch(hostnames)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.function_scoped_fixture])
+@given(payload=st.recursive(
+    st.one_of(st.none(), st.booleans(), st.integers(), st.floats(),
+              st.text(max_size=10)),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=6), children, max_size=4)),
+    max_leaves=8))
+def test_wrong_shaped_json_is_4xx_not_crash(server_port, payload):
+    server, port = server_port
+    status, body = post_json(port, "/annotate", payload)
+    if isinstance(payload, dict) and "hostname" in payload:
+        assert status == 200
+    else:
+        assert status == 400
+        assert "error" in body
+    assert_alive(port)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.function_scoped_fixture])
+@given(hostnames=st.lists(hostname_like, min_size=1, max_size=12),
+       n_suffixes=st.sampled_from([8, 16, 24]))
+def test_batch_identity_holds_across_live_reload(tmp_path_factory,
+                                                 hostnames, n_suffixes):
+    """Reload mid-stream: HTTP answers must track the service's own.
+
+    A private server per example (reload mutates global state), but
+    few examples -- the cheap identity properties above carry the
+    volume; this one carries the reload axis.
+    """
+    path = tmp_path_factory.mktemp("reload") / "conventions.json"
+    path.write_text(conventions_to_json(serve_conventions()),
+                    encoding="utf-8")
+    service = AnnotationService.from_json_file(str(path))
+    config = HttpConfig(port=0, conventions=str(path))
+    sock = create_listener(config.host, 0)
+    server = AnnotationHTTPServer(service, config, sock=sock)
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.01},
+                              daemon=True)
+    thread.start()
+    try:
+        port = server.server_port
+        status, before = post_json(port, "/annotate/batch",
+                                   {"hostnames": hostnames})
+        assert status == 200
+        assert before["asns"] == service.annotate_batch(hostnames)
+        path.write_text(
+            conventions_to_json(serve_conventions(n_suffixes=n_suffixes)),
+            encoding="utf-8")
+        status, reloaded = post_json(port, "/admin/reload", {})
+        assert (status, reloaded["suffixes"]) == (200, n_suffixes)
+        status, after = post_json(port, "/annotate/batch",
+                                  {"hostnames": hostnames})
+        assert status == 200
+        assert after["asns"] == service.annotate_batch(hostnames)
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(5)

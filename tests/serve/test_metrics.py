@@ -146,3 +146,106 @@ class TestMergeOutcomes:
         assert registry.counter("requests").value == 15
         assert registry.counter("annotated").value == 12
         assert registry.counter("misses").value == 3
+
+
+class TestMergeSnapshot:
+    def _observed(self, values, bounds=(1.0, 2.0, 4.0)):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency_seconds", bounds)
+        for value in values:
+            hist.observe(value)
+        return registry
+
+    def test_counters_and_labels_add(self):
+        left = MetricsRegistry()
+        left.counter("requests").inc(10)
+        left.labelled("extracted").inc("a.net", 3)
+        right = MetricsRegistry()
+        right.counter("requests").inc(5)
+        right.counter("misses").inc(2)
+        right.labelled("extracted").inc("a.net", 1)
+        right.labelled("extracted").inc("b.net", 4)
+        left.merge_snapshot(right.snapshot())
+        assert left.counter("requests").value == 15
+        assert left.counter("misses").value == 2
+        assert left.labelled("extracted").values == {"a.net": 4,
+                                                     "b.net": 4}
+
+    def test_histogram_buckets_add_bucket_by_bucket(self):
+        left = self._observed([0.5, 1.5])
+        right = self._observed([1.0, 3.0, 2.5])
+        left.merge_snapshot(right.snapshot())
+        hist = left.histogram("latency_seconds", (1.0, 2.0, 4.0))
+        # 0.5 and the *tie* 1.0 in bucket 0 (upper-inclusive edges),
+        # 1.5 in bucket 1, 2.5 and 3.0 in bucket 2.
+        assert hist.buckets == [2, 1, 2]
+        assert hist.count == 5
+        assert hist.total == pytest.approx(8.5)
+        assert hist.minimum == 0.5
+        assert hist.maximum == 3.0
+
+    def test_bucket_edge_sample_stays_in_its_bucket(self):
+        # A worker observed exactly bounds[1]; after the merge it must
+        # still be in bucket 1, not pushed into bucket 2.
+        left = self._observed([])
+        right = self._observed([2.0])
+        assert right.histogram("latency_seconds",
+                               (1.0, 2.0, 4.0)).buckets == [0, 1, 0]
+        left.merge_snapshot(right.snapshot())
+        assert left.histogram("latency_seconds",
+                              (1.0, 2.0, 4.0)).buckets == [0, 1, 0]
+
+    def test_overflow_bin_aligns(self):
+        left = self._observed([9.0])
+        right = self._observed([7.0, 100.0])
+        left.merge_snapshot(right.snapshot())
+        hist = left.histogram("latency_seconds", (1.0, 2.0, 4.0))
+        assert hist.overflow == 3
+        assert hist.count == 3
+        assert hist.maximum == 100.0
+        # Percentiles past the last bound report the observed maximum.
+        assert hist.percentile(0.99) == 100.0
+
+    def test_merge_into_empty_registry_recreates_instruments(self):
+        source = self._observed([0.5, 3.0])
+        source.counter("requests").inc(2)
+        target = MetricsRegistry()
+        target.merge_snapshot(source.snapshot())
+        assert target.snapshot() == source.snapshot()
+
+    def test_merge_is_additive_over_repeats(self):
+        source = self._observed([1.5])
+        target = MetricsRegistry()
+        target.merge_snapshot(source.snapshot())
+        target.merge_snapshot(source.snapshot())
+        hist = target.histogram("latency_seconds", (1.0, 2.0, 4.0))
+        assert hist.count == 2
+        assert hist.buckets == [0, 2, 0]
+
+    def test_mismatched_bounds_raise(self):
+        left = self._observed([0.5], bounds=(1.0, 2.0))
+        right = self._observed([0.5], bounds=(1.0, 2.0, 4.0))
+        with pytest.raises(ValueError):
+            left.merge_snapshot(right.snapshot())
+
+    def test_ignores_non_instrument_keys(self):
+        registry = MetricsRegistry()
+        registry.merge_snapshot({"counters": {"requests": 1},
+                                 "memo": {"size": 3},
+                                 "fused_plans": 7,
+                                 "suffixes_indexed": 24})
+        assert registry.counter("requests").value == 1
+        assert "memo" not in registry.snapshot()
+
+    def test_percentiles_survive_merge(self):
+        shards = [self._observed([0.2 * i]) for i in range(1, 11)]
+        merged = MetricsRegistry()
+        for shard in shards:
+            merged.merge_snapshot(shard.snapshot())
+        direct = self._observed([0.2 * i for i in range(1, 11)])
+        hist = merged.histogram("latency_seconds", (1.0, 2.0, 4.0))
+        expected = direct.histogram("latency_seconds", (1.0, 2.0, 4.0))
+        assert hist.buckets == expected.buckets
+        for fraction in (0.5, 0.9, 0.99):
+            assert hist.percentile(fraction) == \
+                pytest.approx(expected.percentile(fraction))

@@ -381,3 +381,96 @@ class TestIncrementalSection:
             == section["workload"]["suffixes"]
         assert section["perturbed"]["identical"] is True
         assert section["workload"]["parallel_workers"] >= 1
+
+
+FAKE_HTTP = {
+    "workload": {"zipf_hostnames": 20000,
+                 "workload_fingerprint": "deadbeef" * 8,
+                 "workers": 2, "concurrency": 4},
+    "closed_single": {"mode": "closed", "requests": 600, "ok": 600,
+                      "errors": 0, "concurrency": 4, "rate": None,
+                      "batch_size": 1, "hostnames_per_request": 1,
+                      "duration_s": 0.2, "throughput_rps": 3000.0,
+                      "hostnames_per_s": 3000.0,
+                      "status": {"200": 600},
+                      "latency_p50_s": 0.0012, "latency_p90_s": 0.002,
+                      "latency_p99_s": 0.005, "latency_mean_s": 0.0013,
+                      "workload_fingerprint": "deadbeef" * 8},
+    "closed_batch": {"mode": "closed", "requests": 40, "ok": 40,
+                     "errors": 0, "concurrency": 2, "rate": None,
+                     "batch_size": 500, "hostnames_per_request": 500,
+                     "duration_s": 0.04, "throughput_rps": 1000.0,
+                     "hostnames_per_s": 500000.0,
+                     "status": {"200": 40},
+                     "latency_p50_s": 0.0016, "latency_p90_s": 0.003,
+                     "latency_p99_s": 0.006, "latency_mean_s": 0.002,
+                     "workload_fingerprint": "deadbeef" * 8},
+    "open": {"mode": "open", "requests": 400, "ok": 400, "errors": 0,
+             "concurrency": 4, "rate": 200.0, "batch_size": 1,
+             "hostnames_per_request": 1, "duration_s": 2.0,
+             "throughput_rps": 200.0, "hostnames_per_s": 200.0,
+             "status": {"200": 400},
+             "latency_p50_s": 0.0008, "latency_p90_s": 0.004,
+             "latency_p99_s": 0.014, "latency_mean_s": 0.0015,
+             "workload_fingerprint": "deadbeef" * 8},
+    "drain_exit_code": 0,
+}
+
+
+class TestHttpSection:
+    def test_write_http_section_preserves_other_sections(
+            self, tmp_path, monkeypatch):
+        path = tmp_path / "BENCH.json"
+        existing = {"version": bench.BENCH_VERSION,
+                    "serve": FAKE_SERVE,
+                    "incremental": FAKE_INCREMENTAL,
+                    "http": {"stale": True}}
+        path.write_text(json.dumps(existing), encoding="utf-8")
+        monkeypatch.setattr(bench, "run_http_bench",
+                            lambda workers=2: FAKE_HTTP)
+        report = bench.write_http_section(str(path))
+        assert report["serve"] == FAKE_SERVE
+        assert report["incremental"] == FAKE_INCREMENTAL
+        assert report["http"] == FAKE_HTTP
+        on_disk = json.loads(path.read_text(encoding="utf-8"))
+        assert on_disk["http"]["closed_single"]["throughput_rps"] \
+            == 3000.0
+
+    def test_write_http_section_from_scratch(self, tmp_path,
+                                             monkeypatch):
+        path = tmp_path / "BENCH.json"
+        monkeypatch.setattr(bench, "run_http_bench",
+                            lambda workers=2: FAKE_HTTP)
+        report = bench.write_http_section(str(path))
+        assert report["version"] == bench.BENCH_VERSION
+        assert path.is_file()
+
+    def test_render_http_section(self):
+        text = bench.render_http_section(FAKE_HTTP)
+        assert "http benchmark" in text
+        assert "2 workers" in text
+        assert "closed single" in text
+        assert "500000 hostnames/s" in text
+        assert "exit code 0" in text
+
+    def test_render_report_with_http(self):
+        text = bench.render_report({"version": bench.BENCH_VERSION,
+                                    "http": FAKE_HTTP})
+        assert "http benchmark" in text
+
+    def test_section_records_the_zipf_workload_fingerprint(self):
+        # The determinism satellite: the section's fingerprint is the
+        # hash of the exact seeded Zipf stream the serve bench uses,
+        # so HTTP and in-process numbers are provably comparable.
+        from repro.serve.loadgen import workload_fingerprint
+        expected = workload_fingerprint(bench.zipf_hostnames())
+        assert FAKE_HTTP["workload"]["workload_fingerprint"] != expected
+        section = bench.run_http_bench(single_requests=20,
+                                       batch_requests=4, batch_size=50,
+                                       open_requests=10, open_rate=100.0,
+                                       concurrency=2, workers=1)
+        assert section["workload"]["workload_fingerprint"] == expected
+        assert section["closed_single"]["workload_fingerprint"] \
+            == expected
+        assert section["drain_exit_code"] == 0
+        assert section["closed_single"]["errors"] == 0
