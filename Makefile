@@ -2,8 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-slow test-faults bench bench-pipeline annotate-bench \
-	dispatch-bench obs-bench incremental-bench http-bench bench-tables \
-	lint
+	dispatch-bench obs-bench incremental-bench http-bench shadow-bench \
+	bench-tables lint
 
 # Tier-1: slow (full-scale pipeline) tests are excluded by the default
 # pytest addopts (-m "not slow"); `make test-slow` runs only those.
@@ -50,6 +50,11 @@ incremental-bench:
 # into the `http` section of BENCH_learner.json.
 http-bench:
 	$(PYTHON) benchmarks/bench_report.py --http-only
+
+# Shadow deployment (dual-annotation overhead vs a single set, plus
+# the exact divergence ledger) into the `shadow` section.
+shadow-bench:
+	$(PYTHON) benchmarks/bench_report.py --shadow-only
 
 bench-tables:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -33,7 +33,13 @@ The JSON report tracks, across PRs:
   open/closed-loop load generator -- single and batch closed-loop
   throughput with latency percentiles, open-loop behaviour at a fixed
   offered rate, and the graceful-drain exit code (``--http-only``
-  refreshes just this section, as ``make http-bench`` does).
+  refreshes just this section, as ``make http-bench`` does);
+* the ``shadow`` section: dual-annotation overhead of shadow
+  deployment vs a single convention set on the Zipf workload
+  (asserted under the 2.2x budget) and the per-suffix disagreement
+  ledger checked exact against a constructed divergent world
+  (``--shadow-only`` refreshes just this section, as
+  ``make shadow-bench`` does).
 """
 
 from __future__ import annotations
@@ -43,7 +49,8 @@ import sys
 
 from repro.bench import render_report, write_dispatch_section, \
     write_http_section, write_incremental_section, write_obs_section, \
-    write_pipeline_section, write_report, write_serve_section
+    write_pipeline_section, write_report, write_serve_section, \
+    write_shadow_section
 
 
 def main(argv=None) -> int:
@@ -81,6 +88,10 @@ def main(argv=None) -> int:
                         metavar="N",
                         help="pre-fork workers for the http bench "
                              "(default 2)")
+    parser.add_argument("--shadow-only", action="store_true",
+                        help="refresh only the shadow (dual-"
+                             "annotation) section of an existing "
+                             "report")
     args = parser.parse_args(argv)
     if args.pipeline_only:
         report = write_pipeline_section(args.output, jobs=args.jobs)
@@ -95,6 +106,8 @@ def main(argv=None) -> int:
     elif args.http_only:
         report = write_http_section(args.output,
                                     workers=args.http_workers)
+    elif args.shadow_only:
+        report = write_shadow_section(args.output, rounds=args.rounds)
     else:
         report = write_report(args.output, rounds=args.rounds,
                               jobs=args.jobs)

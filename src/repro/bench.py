@@ -51,10 +51,19 @@ from repro.core.types import SuffixDataset, TrainingItem
 #: ``repro.serve.http`` measured by the open/closed-loop load
 #: generator (throughput, p50/p90/p99 latency, Zipf workload
 #: fingerprint shared with the in-process serve kernels).
-BENCH_VERSION = 7
+#: v8: new ``shadow`` section -- dual-annotation (ShadowService)
+#: overhead vs a single set on the Zipf workload, asserted under
+#: ``SHADOW_OVERHEAD_BUDGET``, plus the per-suffix disagreement ledger
+#: checked exact on a constructed divergent world.
+BENCH_VERSION = 8
 
 #: The tracing-disabled overhead the instrumentation must stay under.
 OBS_OVERHEAD_BUDGET = 0.02
+
+#: Dual-annotation cost ceiling: shadow-mode ``annotate_batch`` on the
+#: Zipf workload must stay within this multiple of a single set's cost
+#: (two memo lookups plus the ledger fold, so ~2x is the floor).
+SHADOW_OVERHEAD_BUDGET = 2.2
 
 #: ITDK labels the pipeline kernels build (restricted for speed).
 PIPELINE_BENCH_LABELS = ["2017-08", "2018-03", "2019-01", "2020-01"]
@@ -571,6 +580,155 @@ def run_http_bench(single_requests: int = 600,
     return section
 
 
+def shadow_divergence_case(n: int = 2000):
+    """A constructed divergent world with *known* per-class counts.
+
+    Starts from two identical :func:`serve_conventions` sets, then
+    introduces one divergence of each class:
+
+    * ``svc07-bench.org`` is dropped from the candidate
+      (``primary_only``);
+    * ``extra-bench.org`` exists only in the candidate
+      (``candidate_only``);
+    * ``confl-bench.org`` exists in both, but the primary's regex
+      captures the first number of ``asA-B.cr*`` names and the
+      candidate's the second (``conflict`` on every hit).
+
+    The hostname stream cycles a fixed 10-slot pattern -- 4 agreeing
+    hits, 2 agreeing misses, 1 of each one-sided class, 2 conflicts --
+    so for ``n`` divisible by 10 the expected ledger is exactly::
+
+        agree = 6n/10   primary_only = n/10
+        candidate_only = n/10   conflict = 2n/10
+
+    Returns ``(primary, candidate, hostnames, expected)`` where
+    ``expected`` maps divergence class to its exact count.  The bench
+    (and CI) assert the observed ledger equals it.
+    """
+    from repro.core.evaluate import NCScore
+    from repro.core.select import LearnedConvention, NCClass
+
+    if n % 10:
+        raise ValueError("n must be divisible by 10, got %d" % n)
+
+    def _convention(suffix: str, pattern: str) -> LearnedConvention:
+        score = NCScore(tp=6, matches=6)
+        score.distinct_asns = {101, 202, 303}
+        return LearnedConvention(suffix=suffix,
+                                 regexes=(Regex.raw(pattern),),
+                                 score=score, nc_class=NCClass.GOOD)
+
+    primary = serve_conventions(n_suffixes=8)
+    candidate = serve_conventions(n_suffixes=8)
+    del candidate.conventions["svc07-bench.org"]
+    candidate.conventions["extra-bench.org"] = _convention(
+        "extra-bench.org", r"^as(\d+)\.pop\d+\.extra\-bench\.org$")
+    primary.conventions["confl-bench.org"] = _convention(
+        "confl-bench.org", r"^as(\d+)-\d+\.cr\d+\.confl\-bench\.org$")
+    candidate.conventions["confl-bench.org"] = _convention(
+        "confl-bench.org", r"^as\d+-(\d+)\.cr\d+\.confl\-bench\.org$")
+
+    hostnames: List[str] = []
+    for i in range(n):
+        slot = i % 10
+        if slot < 4:            # agree: identical convention, same ASN
+            hostnames.append("as%d-et%d.pop%d.svc%02d-bench.org"
+                             % (1000 + 7 * i, i % 4, i % 5, slot))
+        elif slot < 6:          # agree: neither side knows the suffix
+            hostnames.append("host%d.unknown%02d.net" % (i, i % 16))
+        elif slot < 7:          # primary_only: dropped from candidate
+            hostnames.append("as%d-et%d.pop%d.svc07-bench.org"
+                             % (1000 + 7 * i, i % 4, i % 5))
+        elif slot < 8:          # candidate_only: added in candidate
+            hostnames.append("as%d.pop%d.extra-bench.org"
+                             % (1000 + 7 * i, i % 5))
+        else:                   # conflict: different capture groups
+            hostnames.append("as%d-%d.cr%d.confl-bench.org"
+                             % (1000 + i, 5000 + i, i % 9))
+    expected = {
+        "agree": 6 * n // 10,
+        "primary_only": n // 10,
+        "candidate_only": n // 10,
+        "conflict": 2 * n // 10,
+    }
+    return primary, candidate, hostnames, expected
+
+
+def run_shadow_bench(rounds: int = 5) -> Dict[str, object]:
+    """Measure shadow deployment; returns the ``shadow`` section.
+
+    Two halves:
+
+    * ``overhead`` -- memo-warm ``annotate_batch`` over the Zipf
+      workload, a plain :class:`~repro.serve.service.AnnotationService`
+      vs a :class:`~repro.serve.shadow.ShadowService` carrying an
+      identical candidate (each side its own memo).  The dual/single
+      ratio is the cost of shadowing a request stream, asserted under
+      :data:`SHADOW_OVERHEAD_BUDGET`.
+    * ``ledger`` -- the per-suffix disagreement ledger run over
+      :func:`shadow_divergence_case`, with the observed class counts
+      compared to the constructed ground truth (``exact``), and the
+      shadow-mode primary results compared byte-for-byte to a plain
+      primary service (``primary_identical``).
+    """
+    from repro.serve.loadgen import workload_fingerprint
+    from repro.serve.service import AnnotationService
+    from repro.serve.shadow import (DIVERGENCE_CLASSES, CLASS_AGREE,
+                                    ShadowService)
+
+    result = serve_conventions()
+    zipf = zipf_hostnames()
+
+    plain = AnnotationService(result)
+    plain.warm()
+    shadow = ShadowService(AnnotationService(result))
+    shadow.load_candidate(result)  # identical candidate: pure overhead
+    shadow.warm()
+    plain.annotate_batch(zipf)   # fill both sides' memos before timing
+    shadow.annotate_batch(zipf)
+    single_seconds = _best_of(lambda: plain.annotate_batch(zipf), rounds)
+    dual_seconds = _best_of(lambda: shadow.annotate_batch(zipf), rounds)
+    ratio = dual_seconds / single_seconds if single_seconds else 0.0
+
+    primary, candidate, hostnames, expected = shadow_divergence_case()
+    ledger_service = ShadowService(AnnotationService(primary))
+    ledger_service.load_candidate(candidate)
+    ledger_service.warm()
+    shadow_asns = ledger_service.annotate_batch(hostnames)
+    oracle = AnnotationService(primary)
+    oracle.warm()
+    report = ledger_service.report()
+    observed = {cls: report[cls]
+                for cls in (CLASS_AGREE,) + DIVERGENCE_CLASSES}
+
+    return {
+        "workload": {
+            "conventions": len(result.conventions),
+            "zipf_hostnames": len(zipf),
+            "rounds": rounds,
+            "workload_fingerprint": workload_fingerprint(zipf),
+        },
+        "overhead": {
+            "single_seconds": single_seconds,
+            "dual_seconds": dual_seconds,
+            "overhead_ratio": ratio,
+            "budget_ratio": SHADOW_OVERHEAD_BUDGET,
+            "within_budget": ratio <= SHADOW_OVERHEAD_BUDGET,
+            "dual_hostnames_per_second":
+                len(zipf) / dual_seconds if dual_seconds else 0.0,
+        },
+        "ledger": {
+            "hostnames": len(hostnames),
+            "expected": expected,
+            "observed": observed,
+            "exact": observed == expected,
+            "primary_identical":
+                shadow_asns == oracle.annotate_batch(hostnames),
+            "disagreement_fraction": report["disagreement_fraction"],
+        },
+    }
+
+
 def incremental_training_sets(n_suffixes: int = 24,
                               per_suffix: int = 40,
                               perturb_fraction: float = 0.05):
@@ -816,7 +974,8 @@ def write_report(path: str = "BENCH_learner.json",
                  serve: bool = True,
                  obs: bool = True,
                  incremental: bool = True,
-                 http: bool = True) -> Dict[str, object]:
+                 http: bool = True,
+                 shadow: bool = True) -> Dict[str, object]:
     """Run the suite and write ``path``; returns the payload."""
     report = run_bench(rounds=rounds, jobs=jobs)
     if pipeline:
@@ -829,6 +988,8 @@ def write_report(path: str = "BENCH_learner.json",
         report["incremental"] = run_incremental_bench(jobs=jobs)
     if http:
         report["http"] = run_http_bench()
+    if shadow:
+        report["shadow"] = run_shadow_bench()
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -978,6 +1139,27 @@ def write_http_section(path: str = "BENCH_learner.json",
     return report
 
 
+def write_shadow_section(path: str = "BENCH_learner.json",
+                         rounds: int = 5) -> Dict[str, object]:
+    """Refresh only the ``shadow`` section of an existing report.
+
+    Reads ``path`` if present (starting fresh otherwise), replaces the
+    ``shadow`` key, and writes the file back -- every other section
+    keeps its previous numbers.  Used by ``make shadow-bench``.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError):
+        report = {"version": BENCH_VERSION}
+    report["version"] = BENCH_VERSION
+    report["shadow"] = run_shadow_bench(rounds=rounds)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
 def render_incremental_section(section: Dict[str, object]) -> str:
     """Render an ``incremental`` section (delta-learning report)."""
     workload = section["workload"]
@@ -1051,6 +1233,30 @@ def render_http_section(section: Dict[str, object]) -> str:
            1e3 * open_loop["latency_p99_s"], open_loop["errors"]),
         "  graceful drain   : exit code %s"
         % section.get("drain_exit_code", "-"),
+    ])
+
+
+def render_shadow_section(section: Dict[str, object]) -> str:
+    """Render a ``shadow`` section (dual-annotation report)."""
+    workload = section["workload"]
+    overhead = section["overhead"]
+    ledger = section["ledger"]
+    observed = ledger["observed"]
+    verdict = "OK" if overhead["within_budget"] else "OVER BUDGET"
+    return "\n".join([
+        "shadow benchmark (%d conventions, %d Zipf hostnames)"
+        % (workload["conventions"], workload["zipf_hostnames"]),
+        "  dual annotation  : single %.3fs  dual %.3fs  overhead "
+        "%.2fx  [%s, budget %.1fx]"
+        % (overhead["single_seconds"], overhead["dual_seconds"],
+           overhead["overhead_ratio"], verdict,
+           overhead["budget_ratio"]),
+        "  divergence ledger: agree %d  p-only %d  c-only %d  "
+        "conflict %d  exact: %s  primary-identical: %s"
+        % (observed["agree"], observed["primary_only"],
+           observed["candidate_only"], observed["conflict"],
+           "yes" if ledger["exact"] else "NO",
+           "yes" if ledger["primary_identical"] else "NO"),
     ])
 
 
@@ -1156,4 +1362,7 @@ def render_report(report: Dict[str, object]) -> str:
     http = report.get("http")
     if http:
         lines.append(render_http_section(http))
+    shadow = report.get("shadow")
+    if shadow:
+        lines.append(render_shadow_section(shadow))
     return "\n".join(lines)

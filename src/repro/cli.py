@@ -35,6 +35,19 @@ hot-reloads the conventions file.  ``loadgen`` drives a running server
 in open or closed loop and prints a throughput/latency report
 (``--loadgen-out`` saves it as JSON).
 
+Shadow deployment (:mod:`repro.serve.shadow`): ``serve`` and
+``serve-http`` take ``--shadow CANDIDATE.json`` to load a candidate
+convention set side-by-side -- every request is annotated against both
+sets, callers see only the primary's answers, and per-suffix
+disagreement accumulates in the metrics.  ``repro-hoiho shadow-report``
+renders the ledger from a running server (``--host``/``--port``) or
+from saved ``--metrics`` snapshots; ``POST /admin/shadow/promote``
+swaps the candidate in, gated by ``--promote-threshold`` when set::
+
+    repro-hoiho serve-http --conventions live.json --shadow cand.json \
+        --promote-threshold 0.01 --workers 4
+    repro-hoiho shadow-report --port 8080
+
 Hostname files carry one ``hostname asn`` pair per line for learn/report
 (`#` comments allowed); for apply/annotate/serve, a bare hostname per
 line suffices.
@@ -131,8 +144,8 @@ _EXPERIMENTS = {
 }
 
 _WORKFLOWS = ("learn", "report", "apply", "annotate", "serve",
-              "serve-http", "loadgen", "serve-stats", "bench", "cache",
-              "run", "trace")
+              "serve-http", "loadgen", "serve-stats", "shadow-report",
+              "bench", "cache", "run", "trace")
 
 #: ``--format`` values that are renderers, not streaming sinks.
 _RENDER_FORMATS = ("prom", "text")
@@ -167,6 +180,15 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="learn: write conventions JSON here")
     parser.add_argument("--conventions", metavar="FILE",
                         help="apply: conventions JSON from a prior learn")
+    parser.add_argument("--shadow", metavar="FILE",
+                        help="serve/serve-http: candidate conventions "
+                             "JSON to annotate side-by-side (shadow "
+                             "deployment; results never returned)")
+    parser.add_argument("--promote-threshold", type=float, default=None,
+                        metavar="FRACTION",
+                        help="serve-http: refuse /admin/shadow/promote "
+                             "while the merged disagreement fraction "
+                             "exceeds this (default: no gate)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for learning "
                              "(1 = serial, 0 = one per CPU)")
@@ -479,16 +501,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     service = AnnotationService.from_json_file(args.conventions,
                                                memo_size=args.memo_size)
     warmed = service.warm()
+    if args.shadow:
+        from repro.serve.shadow import ShadowService, render_shadow_report
+        service = ShadowService(service)
+        loaded = service.load_candidate_file(args.shadow)
+        print("# shadowing %d candidate convention(s) from %s"
+              % (loaded, args.shadow), file=sys.stderr)
     print("# serving %d convention(s) from %s"
           % (warmed, args.conventions), file=sys.stderr)
+
+    def _render_exit_stats() -> None:
+        if args.metrics_out:
+            _write_metrics_snapshot(args.metrics_out, service)
+        if args.shadow:
+            print(render_shadow_report(service.report()), file=sys.stderr)
+        print(service.metrics.render(), file=sys.stderr)
 
     def _flush_and_exit(signum: int, frame: object) -> None:
         # PEP 475 auto-retries the blocked stdin read after this
         # handler returns, so a "stop" flag would never be seen;
         # flush here and leave directly instead.
-        if args.metrics_out:
-            _write_metrics_snapshot(args.metrics_out, service)
-        print(service.metrics.render(), file=sys.stderr)
+        _render_exit_stats()
         sys.exit(0)
 
     previous = [_signal.signal(_signal.SIGTERM, _flush_and_exit),
@@ -501,9 +534,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         _signal.signal(_signal.SIGTERM, previous[0])
         _signal.signal(_signal.SIGINT, previous[1])
-    if args.metrics_out:
-        _write_metrics_snapshot(args.metrics_out, service)
-    print(service.metrics.render(), file=sys.stderr)
+    _render_exit_stats()
     return 0
 
 
@@ -522,6 +553,8 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
                         workers=args.workers,
                         drain_grace=args.drain_grace,
                         conventions=args.conventions,
+                        shadow=args.shadow,
+                        promote_threshold=args.promote_threshold,
                         metrics_out=args.metrics_out)
     if args.max_body is not None:
         config.max_body = args.max_body
@@ -535,6 +568,15 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
     service = AnnotationService.from_json_file(args.conventions,
                                                memo_size=args.memo_size)
     warmed = service.warm()
+    if args.shadow:
+        # Wrap and load before serve_http forks so every worker
+        # inherits the warmed candidate alongside the primary.
+        from repro.serve.shadow import ShadowService
+        shadow = ShadowService(service)
+        loaded = shadow.load_candidate_file(args.shadow)
+        service = shadow
+        print("# shadowing %d candidate convention(s) from %s"
+              % (loaded, args.shadow), file=sys.stderr)
 
     def _ready(port: int) -> None:
         print("# serving %d convention(s) on http://%s:%d (%d worker%s)"
@@ -650,6 +692,57 @@ def _cmd_serve_stats(args: argparse.Namespace) -> int:
         print(_json.dumps(section, indent=2, sort_keys=True))
         return 0
     print(render_serve_section(section))
+    return 0
+
+
+def _cmd_shadow_report(args: argparse.Namespace) -> int:
+    """The shadow disagreement ledger, two ways: live from a running
+    ``serve-http`` (``GET /admin/shadow/report`` on ``--host``/
+    ``--port``), or offline by merging saved ``--metrics`` snapshots
+    (e.g. a pre-fork server's per-worker flushes, or the
+    ``--metrics-out`` file it writes at shutdown)."""
+    import json as _json
+
+    from repro.serve.shadow import merge_shadow_reports, \
+        render_shadow_report
+
+    if args.metrics:
+        snapshots = []
+        for path in args.metrics:
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    snapshots.append(_json.load(handle))
+            except (OSError, ValueError) as exc:
+                print("cannot read metrics snapshot %s: %s"
+                      % (path, exc), file=sys.stderr)
+                return 2
+        report = merge_shadow_reports(snapshots)
+    else:
+        import http.client
+        try:
+            conn = http.client.HTTPConnection(args.host, args.port,
+                                              timeout=10.0)
+            try:
+                conn.request("GET", "/admin/shadow/report")
+                response = conn.getresponse()
+                body = response.read()
+            finally:
+                conn.close()
+        except OSError as exc:
+            print("cannot reach http://%s:%d: %s (is serve-http "
+                  "running? or pass --metrics FILE)"
+                  % (args.host, args.port, exc), file=sys.stderr)
+            return 2
+        if response.status != 200:
+            print("GET /admin/shadow/report returned %d: %s"
+                  % (response.status, body.decode("utf-8", "replace")),
+                  file=sys.stderr)
+            return 1
+        report = _json.loads(body.decode("utf-8"))
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(render_shadow_report(report, top=args.top))
     return 0
 
 
@@ -799,6 +892,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_loadgen(args)
     if args.command == "serve-stats":
         return _cmd_serve_stats(args)
+    if args.command == "shadow-report":
+        return _cmd_shadow_report(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "cache":

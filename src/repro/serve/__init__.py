@@ -28,7 +28,11 @@ pairs, this package *applies* them at production rates, in four layers:
   health/readiness, admin hot reload, graceful SIGTERM drain) whose
   workers fork-inherit one warmed service;
 * :mod:`repro.serve.loadgen` -- open/closed-loop HTTP load generator
-  reporting throughput and latency percentiles.
+  reporting throughput and latency percentiles;
+* :mod:`repro.serve.shadow` -- :class:`ShadowService`, side-by-side
+  shadow deployment of a candidate convention set with a per-suffix
+  disagreement ledger and a gated promote path (the validate-before-
+  trust half of tracking a changing Internet).
 
 CLI surface: ``repro-hoiho annotate`` (bulk), ``repro-hoiho serve``
 (line-oriented stdin/stdout loop), ``repro-hoiho serve-http``
@@ -79,6 +83,14 @@ from repro.serve.metrics import (
     render_snapshot,
 )
 from repro.serve.service import AnnotationService
+from repro.serve.shadow import (
+    EXAMPLE_CAP,
+    ShadowLedger,
+    ShadowService,
+    merge_shadow_reports,
+    render_shadow_report,
+    shadow_report_from_snapshot,
+)
 
 __all__ = [
     "ABSENT",
@@ -93,6 +105,7 @@ __all__ = [
     "DEFAULT_MEMO_SIZE",
     "DeadLetter",
     "DispatchIndex",
+    "EXAMPLE_CAP",
     "Histogram",
     "HttpConfig",
     "LabelledCounter",
@@ -101,13 +114,18 @@ __all__ = [
     "MetricsRegistry",
     "SINKS",
     "ServerProcess",
+    "ShadowLedger",
+    "ShadowService",
     "fuse_patterns",
     "iter_hostnames",
     "jsonl_line",
+    "merge_shadow_reports",
     "normalize_hostname",
+    "render_shadow_report",
     "render_snapshot",
     "run_loadgen",
     "serve_http",
+    "shadow_report_from_snapshot",
     "tsv_line",
     "wait_ready",
 ]

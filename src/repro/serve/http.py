@@ -22,7 +22,26 @@ Endpoints (JSON in/out, HTTP/1.1 keep-alive):
   draining (the load-balancer signal);
 * ``POST /admin/reload`` -- re-read the configured conventions file and
   atomically hot-swap every worker's convention set via the service's
-  ``reload_*`` machinery (in-flight requests keep the old index).
+  ``reload_*`` machinery (in-flight requests keep the old index);
+* ``POST /admin/shadow`` -- (re)load the configured ``--shadow``
+  candidate conventions file side-by-side (see
+  :mod:`repro.serve.shadow`): every subsequent request is annotated
+  against primary *and* candidate, callers keep seeing only the
+  primary's answers;
+* ``GET /admin/shadow/report`` -- the JSON per-suffix disagreement
+  ledger, merged across every pre-fork worker;
+* ``POST /admin/shadow/promote`` -- swap the candidate in as the new
+  primary (atomic, via the same ``reload_result`` machinery), gated by
+  ``--promote-threshold`` when configured.
+
+The shadow admin verbs follow the reload pattern in pre-fork mode: one
+worker cannot touch its siblings' candidate, so ``/admin/shadow``
+SIGUSR1s the parent and ``/admin/shadow/promote`` SIGUSR2s it (202),
+and the parent broadcasts to every worker -- SIGHUP:reload ::
+SIGUSR1:shadow-load :: SIGUSR2:promote.  The report merges per-worker
+``stats()`` snapshots from the shared metrics directory through
+:func:`repro.serve.shadow.merge_shadow_reports` (staleness bounded by
+``flush_interval``; the serving worker flushes itself first).
 
 Protection: request bodies above ``max_body`` are rejected with 413
 (and the connection closed -- the body is never read); when more than
@@ -80,6 +99,8 @@ from typing import Callable, Dict, Iterator, List, Optional
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.prom import to_prometheus
 from repro.serve.service import AnnotationService
+from repro.serve.shadow import ShadowService, merge_shadow_reports, \
+    shadow_report_from_snapshot
 
 #: Default request-body ceiling (bytes): 8 MiB fits ~100k hostnames.
 DEFAULT_MAX_BODY = 8 * 1024 * 1024
@@ -119,6 +140,12 @@ class HttpConfig:
     flush_interval: float = 1.0
     #: Conventions JSON file ``/admin/reload`` (and SIGHUP) re-reads.
     conventions: Optional[str] = None
+    #: Candidate conventions JSON file ``/admin/shadow`` (and SIGUSR1)
+    #: re-reads; also loaded at startup when set.
+    shadow: Optional[str] = None
+    #: Refuse ``/admin/shadow/promote`` while the merged disagreement
+    #: fraction exceeds this (``None`` = no gate).
+    promote_threshold: Optional[float] = None
     #: Where the parent writes the merged snapshot after shutdown.
     metrics_out: Optional[str] = None
     #: Shared snapshot directory (default: a private temp dir).
@@ -141,6 +168,11 @@ class HttpConfig:
                              % self.max_inflight)
         if self.drain_grace < 0 or self.drain_timeout < 0:
             raise ValueError("drain timings must be >= 0")
+        if self.promote_threshold is not None \
+                and not 0.0 <= self.promote_threshold <= 1.0:
+            raise ValueError(
+                "--promote-threshold is a fraction in [0, 1], got %r"
+                % self.promote_threshold)
 
 
 def create_listener(host: str, port: int, reuse_port: bool = False,
@@ -304,6 +336,29 @@ class AnnotationHTTPServer(ThreadingHTTPServer):
         self.flush_metrics()  # the merge must include this worker, live
         return to_prometheus(self.metrics_dir.merged())
 
+    def start_flush_loop(self) -> None:
+        """Keep the published snapshot fresh even with zero traffic.
+
+        Flushes otherwise happen only on the request path, so a worker
+        that stops receiving connections would publish its last
+        snapshot forever -- and a sibling answering
+        ``/admin/shadow/report`` (or the promote gate) would keep
+        reading it as current.  This loop bounds every worker's
+        staleness to ~2x ``flush_interval`` regardless of traffic;
+        ``maybe_flush`` already skips when the request path kept the
+        file fresh.
+        """
+
+        def _loop() -> None:
+            while not self.draining.is_set():
+                time.sleep(self.config.flush_interval)
+                try:
+                    self.maybe_flush()
+                except OSError:
+                    pass  # the final drain-time flush will retry
+
+        threading.Thread(target=_loop, daemon=True).start()
+
     # -- reload ------------------------------------------------------------
 
     def reload_inline(self) -> int:
@@ -327,6 +382,78 @@ class AnnotationHTTPServer(ThreadingHTTPServer):
             self.service.metrics.counter("reload_errors").inc()
             print("# reload failed in worker %d: %s"
                   % (self.worker_id, exc), file=sys.stderr)
+
+    # -- shadow ------------------------------------------------------------
+
+    def shadow_service(self) -> Optional[ShadowService]:
+        """This worker's service as a ``ShadowService``, if it is one."""
+        service = self.service
+        return service if isinstance(service, ShadowService) else None
+
+    def shadow_load_inline(self) -> int:
+        """Re-read the configured candidate file; returns its plan count.
+
+        Mirrors :meth:`reload_inline`: raises on unreadable files and
+        missing configuration; a failed load leaves the previous
+        candidate (or no candidate) live.
+        """
+        if not self.config.shadow:
+            raise LookupError("no --shadow candidate file configured")
+        shadow = self.shadow_service()
+        if shadow is None:
+            raise LookupError(
+                "server is not running in shadow mode; restart with "
+                "--shadow")
+        count = shadow.load_candidate_file(self.config.shadow)
+        self.service.metrics.counter("shadow_loads").inc()
+        return count
+
+    def _shadow_load_from_signal(self) -> None:
+        """SIGUSR1 entry: load the candidate, never raise."""
+        try:
+            self.shadow_load_inline()
+        except Exception as exc:
+            self.service.metrics.counter("shadow_load_errors").inc()
+            print("# shadow load failed in worker %d: %s"
+                  % (self.worker_id, exc), file=sys.stderr)
+        else:
+            if self.metrics_dir is not None:
+                self.flush_metrics()  # publish the cleared ledger now
+
+    def promote_inline(self) -> int:
+        """Swap the candidate in as primary; returns the plan count."""
+        shadow = self.shadow_service()
+        if shadow is None:
+            raise LookupError(
+                "server is not running in shadow mode; restart with "
+                "--shadow")
+        count = shadow.promote()
+        self.service.metrics.counter("shadow_promotes").inc()
+        return count
+
+    def _shadow_promote_from_signal(self) -> None:
+        """SIGUSR2 entry: promote, never raise."""
+        try:
+            self.promote_inline()
+        except Exception as exc:
+            self.service.metrics.counter("shadow_promote_errors").inc()
+            print("# shadow promote failed in worker %d: %s"
+                  % (self.worker_id, exc), file=sys.stderr)
+        else:
+            if self.metrics_dir is not None:
+                self.flush_metrics()  # publish the cleared ledger now
+
+    def shadow_report(self) -> Dict[str, object]:
+        """The disagreement report this worker can see.
+
+        Pre-fork: flush this worker's live counters, then fold every
+        worker's latest snapshot (``merge_shadow_reports``).  Single
+        process: straight from the live ``stats()``.
+        """
+        if self.metrics_dir is not None:
+            self.flush_metrics()
+            return merge_shadow_reports(self.metrics_dir.snapshots())
+        return shadow_report_from_snapshot(self.service.stats())
 
     # -- drain -------------------------------------------------------------
 
@@ -573,6 +700,98 @@ class AnnotationHandler(BaseHTTPRequestHandler):
         self._send_json(200, {"reloaded": True, "suffixes": count,
                               "conventions": configured})
 
+    def _ep_shadow(self) -> None:
+        """POST /admin/shadow: (re)load the configured candidate file."""
+        server = self.server
+        payload = self._read_json(allow_empty=True)
+        if payload is _READ_ERROR:
+            return
+        configured = server.config.shadow
+        if isinstance(payload, dict) and payload.get("candidate") \
+                and payload["candidate"] != configured:
+            self._send_json(400, {
+                "error": "shadow load re-reads the configured --shadow "
+                         "file; restart to change it",
+                "candidate": configured})
+            return
+        if not configured or server.shadow_service() is None:
+            self._send_json(409, {
+                "error": "server was not started with --shadow; "
+                         "nothing to load"})
+            return
+        if server.broadcast_pid is not None:
+            # Pre-fork: same discipline as reload -- one worker cannot
+            # load its siblings' candidates, so SIGUSR1 the parent,
+            # which broadcasts to every worker (including this one).
+            os.kill(server.broadcast_pid, signal.SIGUSR1)
+            self._send_json(202, {"shadow": "signalled",
+                                  "workers": server.config.workers,
+                                  "candidate": configured})
+            return
+        try:
+            count = server.shadow_load_inline()
+        except Exception as exc:
+            server.service.metrics.counter("shadow_load_errors").inc()
+            self._send_json(500, {"error": "shadow load failed: %s" % exc,
+                                  "candidate": configured})
+            return
+        self._send_json(200, {"shadow": True, "candidate_suffixes": count,
+                              "candidate": configured})
+
+    def _ep_shadow_report(self) -> None:
+        """GET /admin/shadow/report: the merged disagreement ledger."""
+        server = self.server
+        report = server.shadow_report()
+        report["promote_threshold"] = server.config.promote_threshold
+        self._send_json(200, report)
+
+    def _ep_shadow_promote(self) -> None:
+        """POST /admin/shadow/promote: gate, then swap candidate in."""
+        server = self.server
+        payload = self._read_json(allow_empty=True)
+        if payload is _READ_ERROR:
+            return
+        if server.shadow_service() is None:
+            self._send_json(409, {
+                "error": "server was not started with --shadow; "
+                         "nothing to promote"})
+            return
+        # The gate runs on the *merged* report (every worker's ledger),
+        # before any swap happens anywhere.
+        report = server.shadow_report()
+        if not report["active"]:
+            self._send_json(409, {
+                "error": "no shadow candidate loaded; nothing to promote"})
+            return
+        threshold = server.config.promote_threshold
+        fraction = report["disagreement_fraction"]
+        if threshold is not None and fraction > threshold:
+            self._send_json(409, {
+                "error": "disagreement %.4f exceeds --promote-threshold "
+                         "%.4f; refusing to promote" % (fraction, threshold),
+                "disagreement_fraction": fraction,
+                "promote_threshold": threshold,
+                "disagreements": report["disagreements"],
+                "requests": report["requests"]})
+            return
+        if server.broadcast_pid is not None:
+            os.kill(server.broadcast_pid, signal.SIGUSR2)
+            self._send_json(202, {"promoted": "signalled",
+                                  "workers": server.config.workers,
+                                  "disagreement_fraction": fraction})
+            return
+        try:
+            count = server.promote_inline()
+        except LookupError as exc:
+            self._send_json(409, {"error": str(exc)})
+            return
+        except Exception as exc:
+            server.service.metrics.counter("shadow_promote_errors").inc()
+            self._send_json(500, {"error": "promote failed: %s" % exc})
+            return
+        self._send_json(200, {"promoted": True, "suffixes": count,
+                              "disagreement_fraction": fraction})
+
 
 _ROUTES: Dict[str, Dict[str, Callable[[AnnotationHandler], None]]] = {
     "/healthz": {"GET": AnnotationHandler._ep_healthz},
@@ -581,6 +800,9 @@ _ROUTES: Dict[str, Dict[str, Callable[[AnnotationHandler], None]]] = {
     "/annotate": {"POST": AnnotationHandler._ep_annotate},
     "/annotate/batch": {"POST": AnnotationHandler._ep_annotate_batch},
     "/admin/reload": {"POST": AnnotationHandler._ep_reload},
+    "/admin/shadow": {"POST": AnnotationHandler._ep_shadow},
+    "/admin/shadow/report": {"GET": AnnotationHandler._ep_shadow_report},
+    "/admin/shadow/promote": {"POST": AnnotationHandler._ep_shadow_promote},
 }
 
 
@@ -588,10 +810,13 @@ _ROUTES: Dict[str, Dict[str, Callable[[AnnotationHandler], None]]] = {
 
 
 def _install_worker_signals(server: AnnotationHTTPServer) -> None:
-    """SIGTERM/SIGINT drain the server; SIGHUP hot-reloads it.
+    """SIGTERM/SIGINT drain; SIGHUP reloads; SIGUSR1/2 drive shadow.
 
-    Both run off-thread: ``shutdown`` must not be called from the
-    ``serve_forever`` thread, and a reload should never stall accepts.
+    All run off-thread: ``shutdown`` must not be called from the
+    ``serve_forever`` thread, and admin work should never stall
+    accepts.  SIGUSR1 loads the configured shadow candidate, SIGUSR2
+    promotes it -- the broadcast halves of ``/admin/shadow`` and
+    ``/admin/shadow/promote``.
     """
 
     def _term(signum: int, frame: object) -> None:
@@ -601,9 +826,19 @@ def _install_worker_signals(server: AnnotationHTTPServer) -> None:
         threading.Thread(target=server._reload_from_signal,
                          daemon=True).start()
 
+    def _usr1(signum: int, frame: object) -> None:
+        threading.Thread(target=server._shadow_load_from_signal,
+                         daemon=True).start()
+
+    def _usr2(signum: int, frame: object) -> None:
+        threading.Thread(target=server._shadow_promote_from_signal,
+                         daemon=True).start()
+
     signal.signal(signal.SIGTERM, _term)
     signal.signal(signal.SIGINT, _term)
     signal.signal(signal.SIGHUP, _hup)
+    signal.signal(signal.SIGUSR1, _usr1)
+    signal.signal(signal.SIGUSR2, _usr2)
 
 
 def _write_metrics_out(path: str, snapshot: Dict[str, object]) -> None:
@@ -647,6 +882,7 @@ def _worker_main(service: AnnotationService, config: HttpConfig,
                                       metrics_dir=metrics_dir)
         server.broadcast_pid = parent_pid
         _install_worker_signals(server)
+        server.start_flush_loop()
         os.write(ready_fd, b"1")
         os.close(ready_fd)
         server.serve_forever(poll_interval=0.05)
@@ -716,6 +952,8 @@ def _serve_prefork(service: AnnotationService, config: HttpConfig,
     signal.signal(signal.SIGTERM, _forward)
     signal.signal(signal.SIGINT, _forward)
     signal.signal(signal.SIGHUP, _forward)
+    signal.signal(signal.SIGUSR1, _forward)
+    signal.signal(signal.SIGUSR2, _forward)
 
     if ready is not None:
         ready(port)
@@ -785,6 +1023,13 @@ def _server_process_entry(conventions_json: str, config: HttpConfig,
     service = AnnotationService.from_json(conventions_json,
                                           memo_size=memo_size)
     service.warm()
+    if config.shadow:
+        # Wrap and load before any fork so every worker inherits the
+        # warmed candidate -- the same fork-inheritance property the
+        # primary index relies on.
+        shadow = ShadowService(service)
+        shadow.load_candidate_file(config.shadow)
+        service = shadow
     code = serve_http(service, config,
                       ready=lambda port: conn.send(port))  # type: ignore
     sys.exit(code)

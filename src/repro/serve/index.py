@@ -170,14 +170,21 @@ def normalize_hostname(hostname: object) -> Optional[str]:
     """Canonical lookup form of ``hostname``, or ``None`` if malformed.
 
     Lower-cases, trims whitespace, and strips surrounding dots (so
-    trailing-dot FQDNs resolve like their canonical form).  Anything
-    that is not a non-empty string -- or is empty once stripped --
-    is malformed.
+    trailing-dot FQDNs resolve like their canonical form).  Whitespace
+    and dots are stripped to a fixpoint -- ``"foo.com ."`` must not
+    keep its inner space just because the dot was outside it -- so the
+    memo key for any decorated form matches its canonical one.
+    Anything that is not a non-empty string -- or is empty once
+    stripped -- is malformed.
     """
     if not isinstance(hostname, str):
         return None
-    hostname = hostname.strip().strip(".").lower()
-    return hostname or None
+    hostname = hostname.lower()
+    while True:
+        stripped = hostname.strip().strip(".")
+        if stripped == hostname:
+            return hostname or None
+        hostname = stripped
 
 
 class AnnotationPlan:

@@ -40,7 +40,7 @@ import socket
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.obs.metrics import MetricsRegistry
 
@@ -135,7 +135,11 @@ class _Client:
         The response body is always drained (keep-alive requires it),
         and transport errors tear the connection down so the next call
         starts clean -- the server closing connections during drain is
-        an expected, recoverable event, not a crash.
+        an expected, recoverable event, not a crash.  That event
+        surfaces as ``http.client`` protocol errors
+        (``BadStatusLine``/``ResponseNotReady``/...), not just
+        ``OSError``, so both families count as transport errors here --
+        an uncaught one would kill the worker thread instead.
         """
         body = json.dumps(payload).encode("utf-8")
         try:
@@ -147,7 +151,7 @@ class _Client:
             if response.will_close:
                 self.close()
             return response.status
-        except OSError:
+        except (OSError, http.client.HTTPException):
             self.close()
             return 0
 
@@ -196,11 +200,24 @@ def _closed_worker(config: LoadGenConfig, path: str,
 
 def _open_worker(config: LoadGenConfig, path: str,
                  payloads: Sequence[Dict[str, object]],
-                 schedule: Sequence[float], epoch: float,
+                 schedule: Sequence[float],
+                 barrier: "threading.Barrier", epoch_box: List[float],
                  next_index: List[int], index_lock: threading.Lock,
                  registry: MetricsRegistry) -> None:
-    client = _Client(config)
     try:
+        client = _Client(config)
+    except BaseException:
+        # A worker that never reaches the barrier would deadlock its
+        # siblings; break the barrier so they fail fast instead.
+        barrier.abort()
+        raise
+    try:
+        # The epoch -- time zero of every schedule slot -- is stamped
+        # by the barrier action once ALL senders are up.  Capturing it
+        # before the threads start would charge thread-startup time to
+        # the first requests' coordinated-omission-corrected latency.
+        barrier.wait()
+        epoch = epoch_box[0]
         while True:
             with index_lock:
                 index = next_index[0]
@@ -220,6 +237,25 @@ def _open_worker(config: LoadGenConfig, path: str,
         client.close()
 
 
+def _guarded(target: Callable[..., None], args: tuple,
+             failures: List[BaseException]) -> Callable[[], None]:
+    """Wrap a worker target so an escaped exception is *recorded*.
+
+    Worker threads are daemons; without this, a dying worker (a bug,
+    or a transport failure class ``post`` doesn't map to status 0)
+    would silently under-issue its share and the report would claim a
+    clean run with fewer requests than configured.
+    """
+
+    def _run() -> None:
+        try:
+            target(*args)
+        except BaseException as exc:
+            failures.append(exc)
+
+    return _run
+
+
 def run_loadgen(config: LoadGenConfig,
                 hostnames: Sequence[str]) -> Dict[str, object]:
     """Drive the server per ``config``; return the measured report.
@@ -228,6 +264,9 @@ def run_loadgen(config: LoadGenConfig,
     or rate, batch size) and outcomes: wall duration, request and
     hostname throughput, per-status counts, and p50/p90/p99/mean
     latency in seconds from the merged per-thread histograms.
+
+    Raises ``RuntimeError`` when a worker thread died with requests
+    unissued -- a partial report must never pass for a complete one.
     """
     config.validate()
     if not hostnames:
@@ -237,23 +276,32 @@ def run_loadgen(config: LoadGenConfig,
                                  config.batch_size)
     registries = [MetricsRegistry() for _ in range(config.concurrency)]
     threads: List[threading.Thread] = []
+    failures: List[BaseException] = []
     started = time.perf_counter()
     if config.mode == "closed":
         for worker_id, registry in enumerate(registries):
             share = payloads[worker_id::config.concurrency]
             threads.append(threading.Thread(
-                target=_closed_worker, args=(config, path, share, registry),
+                target=_guarded(_closed_worker,
+                                (config, path, share, registry), failures),
                 daemon=True))
     else:
         schedule = [index / config.rate for index in range(len(payloads))]
         next_index = [0]
         index_lock = threading.Lock()
-        epoch = time.perf_counter()
+        # Workers release off this barrier; its action stamps the
+        # epoch once every sender is running, so request 0's schedule
+        # slot is not pre-aged by thread startup.
+        epoch_box: List[float] = []
+        barrier = threading.Barrier(
+            config.concurrency,
+            action=lambda: epoch_box.append(time.perf_counter()))
         for registry in registries:
             threads.append(threading.Thread(
-                target=_open_worker,
-                args=(config, path, payloads, schedule, epoch,
-                      next_index, index_lock, registry),
+                target=_guarded(
+                    _open_worker,
+                    (config, path, payloads, schedule, barrier, epoch_box,
+                     next_index, index_lock, registry), failures),
                 daemon=True))
     for thread in threads:
         thread.start()
@@ -268,6 +316,13 @@ def run_loadgen(config: LoadGenConfig,
     requests = merged.counter("requests").value
     errors = merged.counter("errors").value
     ok = requests - errors
+    if failures or requests != config.requests:
+        detail = ("%s: %s" % (type(failures[0]).__name__, failures[0])
+                  if failures else "no exception captured")
+        raise RuntimeError(
+            "loadgen worker died with requests unissued "
+            "(%d of %d issued; %d worker failure(s); first: %s)"
+            % (requests, config.requests, len(failures), detail))
     return {
         "mode": config.mode,
         "requests": requests,

@@ -51,6 +51,10 @@ from repro.serve.memo import ABSENT, AnnotationMemo, DEFAULT_MEMO_SIZE
 from repro.obs.metrics import MetricsRegistry
 from repro.store import KIND_HOIHO, ArtifactStore
 
+#: Shared ``(asn, suffix)`` entry for malformed inputs and plain
+#: misses -- one allocation for the whole module.
+_NO_MATCH: Tuple[None, None] = (None, None)
+
 
 class AnnotationService:
     """Hostname -> ASN annotation over a learned convention set.
@@ -174,7 +178,7 @@ class AnnotationService:
         self.result = result
         self._index = index
         self._state = (index, memo)
-        self._sync_memo_counters()
+        self._sync_memo_counters(memo)
         return len(index)
 
     def reload_json(self, text: str) -> int:
@@ -199,22 +203,43 @@ class AnnotationService:
 
     def annotate_one(self, hostname: object) -> Optional[int]:
         """Annotate one hostname; ``None`` on miss or malformed input."""
+        return self.annotate_outcome(hostname)[0]
+
+    def annotate_outcome(self, hostname: object, *,
+                         prenormalized: bool = False,
+                         ) -> Tuple[Optional[int], Optional[str]]:
+        """Annotate one hostname, returning ``(asn, suffix)``.
+
+        The suffix is the convention that supplied the extraction
+        (``None`` on miss or malformed input).  This is what
+        :class:`~repro.serve.shadow.ShadowService` compares across
+        convention sets; metrics accounting is identical to
+        :meth:`annotate_one`.
+
+        ``prenormalized=True`` asserts the input is already a
+        :func:`normalize_hostname` output (a lowercase key, or ``None``
+        for malformed).  Shadow mode uses it to normalize once and
+        annotate against two convention sets; anything else must leave
+        it off, because an unnormalized key would poison the memo.
+        """
         start = time.perf_counter()
         self._requests.inc()
         index, memo = self._state
-        normalized = normalize_hostname(hostname)
+        normalized = hostname if prenormalized \
+            else normalize_hostname(hostname)
         if normalized is None:
             self._malformed.inc()
             self._misses.inc()
             self._latency.observe(time.perf_counter() - start)
-            return None
+            return _NO_MATCH
         entry = memo.get(normalized) if memo is not None else ABSENT
         if entry is ABSENT:
             plan = index.lookup_normalized(normalized)
             asn = plan.extract(normalized) if plan is not None else None
             suffix = plan.suffix if asn is not None else None
+            entry = (asn, suffix)
             if memo is not None:
-                memo.put(normalized, (asn, suffix))
+                memo.put(normalized, entry)
         else:
             asn, suffix = entry
         if asn is None:
@@ -223,45 +248,67 @@ class AnnotationService:
             self._annotated.inc()
             self._extracted.inc(suffix)
         self._latency.observe(time.perf_counter() - start)
-        return asn
+        return entry
 
     def annotate_batch(self,
                        hostnames: Iterable[object]) -> List[Optional[int]]:
         """Annotate many hostnames, preserving input order.
+
+        A thin projection of :meth:`annotate_batch_entries` down to the
+        ASN column -- the shape every existing consumer wants.
+        """
+        return [entry[0] for entry in self.annotate_batch_entries(hostnames)]
+
+    def annotate_batch_entries(
+            self, hostnames: Iterable[object], *,
+            prenormalized: bool = False,
+    ) -> List[Tuple[Optional[int], Optional[str]]]:
+        """Annotate many hostnames into ``(asn, suffix)`` entries.
 
         This is the single-core throughput path: one tight loop over a
         consistent ``(index, memo)`` snapshot, metrics folded in as
         aggregates at the end.  It reaches into the memo's internals
         (one dict probe per hit, counters banked once per batch)
         because a bound-method call per hostname is measurable at
-        millions of requests per second.  The latency histogram records
-        the batch's amortised per-item time once per request, keeping
+        millions of requests per second.  On a memo hit the stored
+        entry tuple is appended as-is, so the hot path allocates
+        nothing per hostname.  The latency histogram records the
+        batch's amortised per-item time once per request, keeping
         ``count == requests``.
+
+        ``prenormalized=True`` asserts every item is already a
+        :func:`normalize_hostname` output (a lowercase key, or ``None``
+        for malformed) so the loop skips re-normalizing.  Shadow mode
+        uses it to pay normalization once for two convention sets;
+        anything else must leave it off, because an unnormalized key
+        would poison the memo.
         """
         start = time.perf_counter()
         index, memo = self._state
-        results: List[Optional[int]] = []
+        results: List[Tuple[Optional[int], Optional[str]]] = []
         append = results.append
         lookup = index.lookup_normalized
         annotated = misses = malformed = 0
         suffix_counts: dict = {}
         if memo is None:
             for hostname in hostnames:
-                normalized = normalize_hostname(hostname)
+                normalized = hostname if prenormalized \
+                    else normalize_hostname(hostname)
                 if normalized is None:
                     malformed += 1
                     misses += 1
-                    append(None)
+                    append(_NO_MATCH)
                     continue
                 plan = lookup(normalized)
                 asn = plan.extract(normalized) if plan is not None else None
                 if asn is None:
                     misses += 1
+                    append(_NO_MATCH)
                 else:
                     annotated += 1
                     suffix = plan.suffix
                     suffix_counts[suffix] = suffix_counts.get(suffix, 0) + 1
-                append(asn)
+                    append((asn, suffix))
         else:
             data = memo.data
             probe = data.get
@@ -269,11 +316,12 @@ class AnnotationService:
             put = memo.put
             hits = probes = 0
             for hostname in hostnames:
-                normalized = normalize_hostname(hostname)
+                normalized = hostname if prenormalized \
+                    else normalize_hostname(hostname)
                 if normalized is None:
                     malformed += 1
                     misses += 1
-                    append(None)
+                    append(_NO_MATCH)
                     continue
                 probes += 1
                 entry = probe(normalized, ABSENT)
@@ -282,7 +330,8 @@ class AnnotationService:
                     asn = plan.extract(normalized) \
                         if plan is not None else None
                     suffix = plan.suffix if asn is not None else None
-                    put(normalized, (asn, suffix))
+                    entry = (asn, suffix)
+                    put(normalized, entry)
                 else:
                     hits += 1
                     try:
@@ -295,7 +344,7 @@ class AnnotationService:
                 else:
                     annotated += 1
                     suffix_counts[suffix] = suffix_counts.get(suffix, 0) + 1
-                append(asn)
+                append(entry)
             memo.hits += hits
             memo.misses += probes - hits
         count = len(results)
@@ -320,15 +369,16 @@ class AnnotationService:
 
     # -- observability -----------------------------------------------------
 
-    def _sync_memo_counters(self) -> None:
-        """Catch the registry's memo counters up to the memo's tallies.
+    def _sync_memo_counters(self, memo: Optional[AnnotationMemo]) -> None:
+        """Catch the registry's memo counters up to ``memo``'s tallies.
 
         The hot path banks hits/misses on the memo object itself (plain
         int adds) rather than going through ``Counter.inc`` per probe;
         this folds cumulative totals -- retired memos plus the live one
-        -- into the registry before anyone reads a snapshot.
+        -- into the registry before anyone reads a snapshot.  The memo
+        is passed in (not re-read from ``self._state``) so callers that
+        also read the state tuple describe one consistent state.
         """
-        memo = self._state[1]
         retired = self._memo_retired
         totals = dict(retired)
         if memo is not None:
@@ -343,10 +393,16 @@ class AnnotationService:
                 counter.inc(delta)
 
     def stats(self) -> dict:
-        """JSON-ready metrics snapshot (see ``MetricsRegistry``)."""
-        self._sync_memo_counters()
-        snapshot = self.metrics.snapshot()
+        """JSON-ready metrics snapshot (see ``MetricsRegistry``).
+
+        The ``(index, memo)`` tuple is read exactly once and threaded
+        through: reading it again after ``snapshot()`` would let a
+        concurrent reload pair one state's counters with another
+        state's memo/fused-plan fields.
+        """
         index, memo = self._state
+        self._sync_memo_counters(memo)
+        snapshot = self.metrics.snapshot()
         snapshot["suffixes_indexed"] = len(index)
         snapshot["fused_plans"] = index.fused_plans()
         snapshot["memo"] = memo.stats() if memo is not None else None

@@ -632,3 +632,84 @@ class TestCliHttp:
         assert main(["serve-stats", "--metrics", str(first),
                      "--metrics", str(second)]) == 2
         assert "cannot merge" in capsys.readouterr().err
+
+
+class TestCliShadow:
+    """``serve --shadow`` and the ``shadow-report`` command."""
+
+    def _world(self, tmp_path):
+        from repro.bench import shadow_divergence_case
+        from repro.core.io import conventions_to_json
+        primary, candidate, hostnames, expected = \
+            shadow_divergence_case(n=50)
+        primary_path = tmp_path / "primary.json"
+        candidate_path = tmp_path / "candidate.json"
+        primary_path.write_text(conventions_to_json(primary),
+                                encoding="utf-8")
+        candidate_path.write_text(conventions_to_json(candidate),
+                                  encoding="utf-8")
+        return primary_path, candidate_path, hostnames, expected
+
+    def test_serve_shadow_answers_primary_and_reports(
+            self, tmp_path, capsys, monkeypatch):
+        import io
+        import json
+        from repro.serve.service import AnnotationService
+        primary_path, candidate_path, hostnames, expected = \
+            self._world(tmp_path)
+        oracle = AnnotationService.from_json_file(str(primary_path))
+        metrics = tmp_path / "metrics.json"
+        monkeypatch.setattr("sys.stdin",
+                            io.StringIO("".join(h + "\n"
+                                                for h in hostnames)))
+        assert main(["serve", "--conventions", str(primary_path),
+                     "--shadow", str(candidate_path),
+                     "--metrics-out", str(metrics)]) == 0
+        captured = capsys.readouterr()
+        lines = captured.out.splitlines()
+        assert len(lines) == len(hostnames)
+        for hostname, asn, line in zip(hostnames,
+                                       oracle.annotate_batch(hostnames),
+                                       lines):
+            assert line == "%s\t%s" % (hostname,
+                                       asn if asn is not None else "-")
+        assert "# shadowing" in captured.err
+        assert "shadow disagreement report" in captured.err
+        snapshot = json.loads(metrics.read_text(encoding="utf-8"))
+        assert snapshot["counters"]["shadow_requests"] == len(hostnames)
+        assert snapshot["shadow"]["active"] is True
+
+    def test_shadow_report_merges_metrics_files(self, tmp_path, capsys,
+                                                monkeypatch):
+        import io
+        import json
+        primary_path, candidate_path, hostnames, expected = \
+            self._world(tmp_path)
+        metrics = tmp_path / "metrics.json"
+        monkeypatch.setattr("sys.stdin",
+                            io.StringIO("".join(h + "\n"
+                                                for h in hostnames)))
+        assert main(["serve", "--conventions", str(primary_path),
+                     "--shadow", str(candidate_path),
+                     "--metrics-out", str(metrics)]) == 0
+        capsys.readouterr()
+        # Same file twice = two identical workers; counts double.
+        assert main(["shadow-report", "--metrics", str(metrics),
+                     "--metrics", str(metrics), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["requests"] == 2 * len(hostnames)
+        for cls, count in expected.items():
+            assert report[cls] == 2 * count
+        assert main(["shadow-report", "--metrics", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "shadow disagreement report" in out
+        assert "confl-bench.org" in out
+
+    def test_shadow_report_unreachable_server(self, capsys):
+        assert main(["shadow-report", "--port", "1"]) == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_shadow_report_unreadable_metrics(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["shadow-report", "--metrics", str(missing)]) == 2
+        assert "cannot read" in capsys.readouterr().err

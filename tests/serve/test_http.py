@@ -407,3 +407,220 @@ class TestPreFork:
                                       {"hostname": "svc01-bench.org"})
             assert status == 200
             assert server.stop() == 0
+
+
+# -- shadow deployment over HTTP --------------------------------------------
+
+
+from repro.bench import shadow_divergence_case  # noqa: E402
+from repro.serve.shadow import ShadowService  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def divergent_world(tmp_path_factory):
+    """(primary_path, candidate_path, hostnames, expected) on disk."""
+    primary, candidate, hostnames, expected = shadow_divergence_case(n=100)
+    root = tmp_path_factory.mktemp("shadow")
+    primary_path = root / "primary.json"
+    candidate_path = root / "candidate.json"
+    primary_path.write_text(conventions_to_json(primary),
+                            encoding="utf-8")
+    candidate_path.write_text(conventions_to_json(candidate),
+                              encoding="utf-8")
+    return str(primary_path), str(candidate_path), hostnames, expected
+
+
+@contextmanager
+def live_shadow_server(primary_path, candidate_path, **overrides):
+    """An in-thread *shadow-mode* server, wrapped and loaded the same
+    way ``_server_process_entry`` does it."""
+    service = AnnotationService.from_json_file(primary_path)
+    service.warm()
+    shadow = ShadowService(service)
+    shadow.load_candidate_file(candidate_path)
+    config = HttpConfig(port=0, conventions=primary_path,
+                        shadow=candidate_path, **overrides)
+    sock = create_listener(config.host, 0)
+    server = AnnotationHTTPServer(shadow, config, sock=sock)
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.01},
+                              daemon=True)
+    thread.start()
+    try:
+        yield server, server.server_port
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(5)
+
+
+class TestShadowEndpoints:
+    """Single-process shadow sequence: traffic -> report -> promote."""
+
+    def test_load_report_promote_sequence(self, divergent_world):
+        primary_path, candidate_path, hostnames, expected = \
+            divergent_world
+        primary_oracle = AnnotationService.from_json_file(primary_path)
+        candidate_oracle = AnnotationService.from_json_file(
+            candidate_path)
+        with live_shadow_server(primary_path, candidate_path) as \
+                (_server, port):
+            # Shadowed traffic answers from the primary, byte-identical.
+            status, _, body = request(port, "POST", "/annotate/batch",
+                                      {"hostnames": hostnames})
+            assert status == 200
+            assert body["asns"] == primary_oracle.annotate_batch(
+                hostnames)
+            # The report carries the exact constructed divergence.
+            status, _, report = request(port, "GET",
+                                        "/admin/shadow/report")
+            assert status == 200
+            assert report["requests"] == len(hostnames)
+            for cls, count in expected.items():
+                assert report[cls] == count
+            assert report["active"] is True
+            assert report["promote_threshold"] is None
+            # Promote: inline (single process) -> 200, and answers now
+            # match a plain service over the candidate set.
+            status, _, body = request(port, "POST",
+                                      "/admin/shadow/promote", {})
+            assert status == 200
+            assert body["promoted"] is True
+            assert body["suffixes"] == len(candidate_oracle.index)
+            status, _, body = request(port, "POST", "/annotate/batch",
+                                      {"hostnames": hostnames})
+            assert status == 200
+            assert body["asns"] == candidate_oracle.annotate_batch(
+                hostnames)
+            # The candidate slot is empty now: nothing left to promote.
+            status, _, body = request(port, "POST",
+                                      "/admin/shadow/promote", {})
+            assert status == 409
+
+    def test_promote_gate_refuses_above_threshold(self, divergent_world):
+        primary_path, candidate_path, hostnames, _ = divergent_world
+        primary_oracle = AnnotationService.from_json_file(primary_path)
+        with live_shadow_server(primary_path, candidate_path,
+                                promote_threshold=0.01) as (_server,
+                                                            port):
+            request(port, "POST", "/annotate/batch",
+                    {"hostnames": hostnames})
+            status, _, body = request(port, "POST",
+                                      "/admin/shadow/promote", {})
+            assert status == 409
+            assert body["disagreement_fraction"] == pytest.approx(0.4)
+            assert body["promote_threshold"] == 0.01
+            # The refused promote changed nothing.
+            status, _, body = request(port, "POST", "/annotate/batch",
+                                      {"hostnames": hostnames})
+            assert body["asns"] == primary_oracle.annotate_batch(
+                hostnames)
+
+    def test_shadow_reload_clears_the_ledger(self, divergent_world):
+        primary_path, candidate_path, hostnames, _ = divergent_world
+        with live_shadow_server(primary_path, candidate_path) as \
+                (_server, port):
+            request(port, "POST", "/annotate/batch",
+                    {"hostnames": hostnames})
+            status, _, body = request(port, "POST", "/admin/shadow", {})
+            assert status == 200
+            assert body["shadow"] is True
+            status, _, report = request(port, "GET",
+                                        "/admin/shadow/report")
+            assert report["requests"] == 0
+
+    def test_shadow_load_with_other_path_is_400(self, divergent_world):
+        primary_path, candidate_path, _, _ = divergent_world
+        with live_shadow_server(primary_path, candidate_path) as \
+                (_server, port):
+            status, _, body = request(port, "POST", "/admin/shadow",
+                                      {"candidate": "/elsewhere.json"})
+            assert status == 400
+            assert body["candidate"] == candidate_path
+
+    def test_shadow_verbs_409_without_shadow_mode(self,
+                                                  conventions_path):
+        with live_server(conventions_path) as (_server, port):
+            assert request(port, "POST", "/admin/shadow", {})[0] == 409
+            assert request(port, "POST", "/admin/shadow/promote",
+                           {})[0] == 409
+            # The report endpoint still answers (inactive, empty).
+            status, _, report = request(port, "GET",
+                                        "/admin/shadow/report")
+            assert status == 200
+            assert report["active"] is False
+
+
+class TestShadowPreFork:
+    """The real tree: per-worker ledgers merged, signal-broadcast
+    load/promote, post-promote answers identical across workers."""
+
+    def test_shadow_sequence_across_workers(self, divergent_world,
+                                            tmp_path):
+        primary_path, candidate_path, hostnames, expected = \
+            divergent_world
+        primary_oracle = AnnotationService.from_json_file(primary_path)
+        candidate_oracle = AnnotationService.from_json_file(
+            candidate_path)
+        primary_json = open(primary_path, encoding="utf-8").read()
+        config = HttpConfig(port=0, workers=2,
+                            conventions=primary_path,
+                            shadow=candidate_path,
+                            flush_interval=0.0,
+                            metrics_out=str(tmp_path / "merged.json"))
+        with ServerProcess(primary_json, config) as server:
+            expected_asns = primary_oracle.annotate_batch(hostnames)
+            for _ in range(2):
+                status, _, body = request(server.port, "POST",
+                                          "/annotate/batch",
+                                          {"hostnames": hostnames})
+                assert status == 200
+                assert body["asns"] == expected_asns
+            # The merged report sums both workers' ledgers exactly
+            # (whichever workers served, 2 batches were shadowed).
+            status, _, report = request(server.port, "GET",
+                                        "/admin/shadow/report")
+            assert status == 200
+            assert report["active"] is True
+            assert report["requests"] == 2 * len(hostnames)
+            for cls, count in expected.items():
+                assert report[cls] == 2 * count
+            # Promote broadcasts via the parent: 202, then every
+            # worker converges on the candidate set.
+            status, _, body = request(server.port, "POST",
+                                      "/admin/shadow/promote", {})
+            assert status == 202
+            assert body["workers"] == 2
+            want = candidate_oracle.annotate_batch(hostnames)
+            deadline = time.time() + 15
+            promoted = 0
+            while time.time() < deadline:
+                status, _, body = request(server.port, "POST",
+                                          "/annotate/batch",
+                                          {"hostnames": hostnames})
+                if status == 200 and body["asns"] == want:
+                    promoted += 1
+                    if promoted >= 6:
+                        break
+                else:
+                    promoted = 0
+                time.sleep(0.1)
+            assert promoted >= 6, "workers never converged on promote"
+            assert server.stop() == 0
+
+    def test_prefork_promote_gate_refuses(self, divergent_world):
+        primary_path, candidate_path, hostnames, _ = divergent_world
+        primary_json = open(primary_path, encoding="utf-8").read()
+        config = HttpConfig(port=0, workers=2,
+                            conventions=primary_path,
+                            shadow=candidate_path,
+                            flush_interval=0.0,
+                            promote_threshold=0.05)
+        with ServerProcess(primary_json, config) as server:
+            request(server.port, "POST", "/annotate/batch",
+                    {"hostnames": hostnames})
+            status, _, body = request(server.port, "POST",
+                                      "/admin/shadow/promote", {})
+            assert status == 409
+            assert body["disagreement_fraction"] > 0.05
+            assert server.stop() == 0

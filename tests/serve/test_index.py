@@ -46,6 +46,19 @@ class TestNormalize:
         assert normalize_hostname(42) is None
         assert normalize_hostname(b"example.com") is None
 
+    def test_interleaved_dots_and_whitespace_strip_to_fixpoint(self):
+        # Regression: a single strip().strip(".") pass leaves residue
+        # when whitespace and dots alternate ("foo.com ." -> "foo.com ")
+        # and that residue then poisons memo keys and dispatch lookups.
+        assert normalize_hostname("foo.com .") == "foo.com"
+        assert normalize_hostname(". .foo.com. .") == "foo.com"
+        assert normalize_hostname("\t. host.example.com .\n.") == \
+            "host.example.com"
+
+    def test_interleaved_junk_only_is_malformed(self):
+        assert normalize_hostname(" . . ") is None
+        assert normalize_hostname(". \t.\n. ") is None
+
 
 class TestAnnotationPlan:
     def test_first_match_wins(self):

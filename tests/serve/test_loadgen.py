@@ -1,8 +1,12 @@
 """Tests for the HTTP load generator (:mod:`repro.serve.loadgen`)."""
 
+import socket
 import threading
+import time
 
 import pytest
+
+import repro.serve.loadgen as loadgen
 
 from repro.bench import serve_conventions, zipf_hostnames
 from repro.core.io import conventions_to_json
@@ -11,6 +15,7 @@ from repro.serve.http import AnnotationHTTPServer, HttpConfig, \
 from repro.serve.loadgen import (
     LOADGEN_LATENCY_BOUNDS,
     LoadGenConfig,
+    _Client,
     _request_payloads,
     run_loadgen,
     workload_fingerprint,
@@ -107,6 +112,48 @@ class TestClosedLoop:
         assert report["hostnames_per_s"] == \
             pytest.approx(50 * report["throughput_rps"])
 
+    def test_garbage_response_is_a_transport_error_not_a_crash(self):
+        # Regression: a server that answers with non-HTTP bytes (or
+        # closes mid-response) raises http.client protocol errors such
+        # as BadStatusLine -- HTTPException, not OSError.  post() must
+        # map the whole family to status 0; letting it escape killed
+        # the worker thread and silently under-issued the run.
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def _garbage_server():
+            conn, _ = listener.accept()
+            conn.recv(4096)
+            conn.sendall(b"definitely not http\r\n")
+            conn.close()
+
+        thread = threading.Thread(target=_garbage_server, daemon=True)
+        thread.start()
+        client = _Client(LoadGenConfig(port=port, timeout=5.0))
+        try:
+            assert client.post("/annotate",
+                               {"hostname": "a.example.com"}) == 0
+        finally:
+            client.close()
+            listener.close()
+            thread.join(5)
+
+    def test_dead_worker_raises_instead_of_underreporting(self,
+                                                          monkeypatch):
+        # Regression: a worker dying on an unmapped exception used to
+        # leave its share of requests unissued while run_loadgen
+        # returned a clean-looking partial report.
+        def _boom(self, path, payload):
+            raise ValueError("injected worker bug")
+
+        monkeypatch.setattr(loadgen._Client, "post", _boom)
+        config = LoadGenConfig(port=1, mode="closed", requests=6,
+                               concurrency=2)
+        with pytest.raises(RuntimeError, match="unissued"):
+            run_loadgen(config, ["a.example.com"])
+
     def test_unreachable_server_reports_errors_not_raises(self):
         # A port from the ephemeral range with nothing listening.
         config = LoadGenConfig(port=1, mode="closed", requests=4,
@@ -131,6 +178,29 @@ class TestOpenLoop:
         # finishes early) and, on a healthy server, not wildly longer.
         assert report["duration_s"] >= 0.24
         assert report["throughput_rps"] <= 220.0
+
+    def test_epoch_stamped_after_all_senders_are_up(self, monkeypatch):
+        # Regression: the schedule epoch used to be captured before the
+        # sender threads started, charging thread/connection startup to
+        # the first requests' coordinated-omission-corrected latency.
+        # With clients that take 250ms to come up but serve instantly,
+        # measured latency must stay far below the startup cost.
+        class _SlowStartClient:
+            def __init__(self, config):
+                time.sleep(0.25)
+
+            def post(self, path, payload):
+                return 200
+
+            def close(self):
+                pass
+
+        monkeypatch.setattr(loadgen, "_Client", _SlowStartClient)
+        config = LoadGenConfig(port=1, mode="open", requests=20,
+                               concurrency=2, rate=2000.0)
+        report = run_loadgen(config, ["a.example.com"])
+        assert report["ok"] == 20
+        assert report["latency_p99_s"] < 0.2
 
     def test_latency_bounds_cover_queueing_delays(self):
         # The open loop charges queueing delay to the request; the

@@ -146,3 +146,114 @@ class TestMetricsAccounting:
         service = AnnotationService(learned_result())
         service.annotate_one("as1.pop0.example.com")
         json.dumps(service.stats())
+
+
+def _two_suffix_result():
+    items = []
+    for suffix in ("example.org", "example.net"):
+        items.extend(
+            TrainingItem("as%d.pop%d.%s" % (asn, i % 3, suffix), asn)
+            for i, asn in enumerate([3356, 1299, 174, 2914, 6453]))
+    return Hoiho().run(items)
+
+
+class TestStatsStateConsistency:
+    def test_stats_describe_one_state_under_racing_reload(self):
+        # Regression: stats() used to read self._state more than once
+        # (once inside _sync_memo_counters, once for the index/memo
+        # fields), so a reload landing between the reads paired one
+        # state's counters with another state's memo and index.
+        # Reproduce the interleaving deterministically: the first
+        # _state read inside stats() triggers the swap a concurrent
+        # reload would perform; every snapshot field must still
+        # describe the pre-swap state.
+        other = AnnotationService(_two_suffix_result(), memo_size=0)
+
+        class _RacyService(AnnotationService):
+            armed = False
+
+            @property
+            def _state(self):
+                state = self.__dict__["_state_box"]
+                if self.armed:
+                    self.armed = False
+                    self._state = other._state
+                return state
+
+            @_state.setter
+            def _state(self, value):
+                self.__dict__["_state_box"] = value
+
+        service = _RacyService(learned_result())
+        service.annotate_one("as100.pop1.example.com")
+        service.armed = True
+        snapshot = service.stats()
+        assert snapshot["suffixes_indexed"] == 1
+        assert snapshot["memo"] is not None
+
+
+class TestConcurrentReload:
+    """Thread-stress for the reload seam: annotate and stats must see
+    complete states only, never a half-swapped mix."""
+
+    def test_reload_vs_annotate_batch(self):
+        import threading as _threading
+        com = learned_result("example.com")
+        org = learned_result("example.org")
+        service = AnnotationService(com)
+        stop = _threading.Event()
+        errors = []
+
+        def _flipper():
+            try:
+                while not stop.is_set():
+                    service.reload_result(org)
+                    service.reload_result(com)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        flipper = _threading.Thread(target=_flipper, daemon=True)
+        flipper.start()
+        pair = ["as100.pop1.example.com", "as100.pop1.example.org"]
+        try:
+            for _ in range(300):
+                entries = service.annotate_batch(pair)
+                # One batch reads one state: exactly one side resolves.
+                assert sorted(entries, key=lambda x: (x is None, x)) \
+                    == [100, None]
+        finally:
+            stop.set()
+            flipper.join(10)
+        assert not errors
+
+    def test_reload_vs_stats(self):
+        import threading as _threading
+        small = learned_result("example.com")
+        large = _two_suffix_result()
+        service = AnnotationService(small)
+        stop = _threading.Event()
+        errors = []
+
+        def _flipper():
+            try:
+                while not stop.is_set():
+                    service.reload_result(large)
+                    service.reload_result(small)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        flipper = _threading.Thread(target=_flipper, daemon=True)
+        flipper.start()
+        try:
+            for _ in range(200):
+                service.annotate_one("as100.pop1.example.com")
+                snapshot = service.stats()
+                # Whatever state the snapshot caught, it must be one of
+                # the two complete ones, memo included, and serialize.
+                assert snapshot["suffixes_indexed"] in (1, 2)
+                assert snapshot["memo"] is not None
+                json.dumps(snapshot)
+        finally:
+            stop.set()
+            flipper.join(10)
+        assert not errors

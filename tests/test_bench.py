@@ -474,3 +474,85 @@ class TestHttpSection:
             == expected
         assert section["drain_exit_code"] == 0
         assert section["closed_single"]["errors"] == 0
+
+
+FAKE_SHADOW = {
+    "workload": {"conventions": 24, "zipf_hostnames": 20000,
+                 "rounds": 1, "workload_fingerprint": "deadbeef" * 8},
+    "overhead": {"single_seconds": 0.01, "dual_seconds": 0.018,
+                 "overhead_ratio": 1.8, "budget_ratio": 2.2,
+                 "within_budget": True,
+                 "dual_hostnames_per_second": 1.1e6},
+    "ledger": {"hostnames": 2000,
+               "expected": {"agree": 1200, "primary_only": 200,
+                            "candidate_only": 200, "conflict": 400},
+               "observed": {"agree": 1200, "primary_only": 200,
+                            "candidate_only": 200, "conflict": 400},
+               "exact": True, "primary_identical": True,
+               "disagreement_fraction": 0.4},
+}
+
+
+class TestShadowSection:
+    def test_write_shadow_section_preserves_other_sections(
+            self, tmp_path, monkeypatch):
+        path = tmp_path / "BENCH.json"
+        existing = {"version": bench.BENCH_VERSION,
+                    "serve": FAKE_SERVE,
+                    "http": FAKE_HTTP,
+                    "shadow": {"stale": True}}
+        path.write_text(json.dumps(existing), encoding="utf-8")
+        monkeypatch.setattr(bench, "run_shadow_bench",
+                            lambda rounds=5: FAKE_SHADOW)
+        report = bench.write_shadow_section(str(path))
+        assert report["serve"] == FAKE_SERVE
+        assert report["http"] == FAKE_HTTP
+        assert report["shadow"] == FAKE_SHADOW
+        on_disk = json.loads(path.read_text(encoding="utf-8"))
+        assert on_disk["shadow"]["overhead"]["overhead_ratio"] == 1.8
+
+    def test_write_shadow_section_from_scratch(self, tmp_path,
+                                               monkeypatch):
+        path = tmp_path / "BENCH.json"
+        monkeypatch.setattr(bench, "run_shadow_bench",
+                            lambda rounds=5: FAKE_SHADOW)
+        report = bench.write_shadow_section(str(path))
+        assert report["version"] == bench.BENCH_VERSION
+        assert path.is_file()
+
+    def test_render_shadow_section(self):
+        text = bench.render_shadow_section(FAKE_SHADOW)
+        assert "shadow benchmark" in text
+        assert "overhead 1.80x" in text
+        assert "[OK, budget 2.2x]" in text
+        assert "exact: yes" in text
+        assert "primary-identical: yes" in text
+
+    def test_render_shadow_section_flags_budget_breach(self):
+        over = json.loads(json.dumps(FAKE_SHADOW))
+        over["overhead"]["within_budget"] = False
+        over["ledger"]["exact"] = False
+        text = bench.render_shadow_section(over)
+        assert "OVER BUDGET" in text
+        assert "exact: NO" in text
+
+    def test_render_report_with_shadow(self):
+        text = bench.render_report({"version": bench.BENCH_VERSION,
+                                    "shadow": FAKE_SHADOW})
+        assert "shadow benchmark" in text
+
+    def test_divergence_case_counts_partition_the_stream(self):
+        primary, candidate, hostnames, expected = \
+            bench.shadow_divergence_case(n=50)
+        assert len(hostnames) == 50
+        assert sum(expected.values()) == 50
+        assert expected == {"agree": 30, "primary_only": 5,
+                            "candidate_only": 5, "conflict": 10}
+        assert "svc07-bench.org" in primary.conventions
+        assert "svc07-bench.org" not in candidate.conventions
+        assert "extra-bench.org" in candidate.conventions
+        assert "extra-bench.org" not in primary.conventions
+
+    def test_divergence_case_rejects_ragged_n(self):
+        with pytest.raises(ValueError):
+            bench.shadow_divergence_case(n=55)
