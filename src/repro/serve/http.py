@@ -346,12 +346,15 @@ class AnnotationHTTPServer(ThreadingHTTPServer):
         reading it as current.  This loop bounds every worker's
         staleness to ~2x ``flush_interval`` regardless of traffic;
         ``maybe_flush`` already skips when the request path kept the
-        file fresh.
+        file fresh.  The sleep is floored: ``flush_interval=0.0``
+        means flush-per-request on the serving path, not a busy-spin
+        here that would starve the request threads.
         """
+        delay = max(self.config.flush_interval, 0.05)
 
         def _loop() -> None:
             while not self.draining.is_set():
-                time.sleep(self.config.flush_interval)
+                time.sleep(delay)
                 try:
                     self.maybe_flush()
                 except OSError:
