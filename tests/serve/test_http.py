@@ -578,10 +578,18 @@ class TestShadowPreFork:
                 assert body["asns"] == expected_asns
             # The merged report sums both workers' ledgers exactly
             # (whichever workers served, 2 batches were shadowed).
-            status, _, report = request(server.port, "GET",
-                                        "/admin/shadow/report")
-            assert status == 200
-            assert report["active"] is True
+            # Workers flush *after* responding, so poll until the
+            # sibling's last flush lands (bounded by the flush loop).
+            deadline = time.time() + 10
+            report = None
+            while time.time() < deadline:
+                status, _, report = request(server.port, "GET",
+                                            "/admin/shadow/report")
+                assert status == 200
+                assert report["active"] is True
+                if report["requests"] == 2 * len(hostnames):
+                    break
+                time.sleep(0.1)
             assert report["requests"] == 2 * len(hostnames)
             for cls, count in expected.items():
                 assert report[cls] == 2 * count
@@ -619,6 +627,15 @@ class TestShadowPreFork:
         with ServerProcess(primary_json, config) as server:
             request(server.port, "POST", "/annotate/batch",
                     {"hostnames": hostnames})
+            # Wait for the serving worker's post-response flush to
+            # land so the merged gate sees a non-empty ledger.
+            deadline = time.time() + 10
+            while time.time() < deadline:
+                _, _, report = request(server.port, "GET",
+                                       "/admin/shadow/report")
+                if report["requests"] >= len(hostnames):
+                    break
+                time.sleep(0.1)
             status, _, body = request(server.port, "POST",
                                       "/admin/shadow/promote", {})
             assert status == 409
