@@ -3,7 +3,7 @@ export PYTHONPATH := src
 
 .PHONY: test test-slow test-faults bench bench-pipeline annotate-bench \
 	dispatch-bench obs-bench incremental-bench http-bench shadow-bench \
-	bench-tables lint
+	obs-window-bench bench-tables lint
 
 # Tier-1: slow (full-scale pipeline) tests are excluded by the default
 # pytest addopts (-m "not slow"); `make test-slow` runs only those.
@@ -55,6 +55,11 @@ http-bench:
 # the exact divergence ledger) into the `shadow` section.
 shadow-bench:
 	$(PYTHON) benchmarks/bench_report.py --shadow-only
+
+# Windowed telemetry (access-log line + rolling-window fold, asserted
+# under the 3% budget) into the `obs_window` section.
+obs-window-bench:
+	$(PYTHON) benchmarks/bench_report.py --obs-window-only
 
 bench-tables:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -39,7 +39,12 @@ The JSON report tracks, across PRs:
   (asserted under the 2.2x budget) and the per-suffix disagreement
   ledger checked exact against a constructed divergent world
   (``--shadow-only`` refreshes just this section, as
-  ``make shadow-bench`` does).
+  ``make shadow-bench`` does);
+* the ``obs_window`` section: windowed-telemetry cost on the serving
+  hot path -- the per-request access-log line and the
+  per-flush-interval rolling-window fold, summed and asserted under
+  the 3% budget (``--obs-window-only`` refreshes just this section,
+  as ``make obs-window-bench`` does).
 """
 
 from __future__ import annotations
@@ -49,8 +54,8 @@ import sys
 
 from repro.bench import render_report, write_dispatch_section, \
     write_http_section, write_incremental_section, write_obs_section, \
-    write_pipeline_section, write_report, write_serve_section, \
-    write_shadow_section
+    write_obs_window_section, write_pipeline_section, write_report, \
+    write_serve_section, write_shadow_section
 
 
 def main(argv=None) -> int:
@@ -92,6 +97,10 @@ def main(argv=None) -> int:
                         help="refresh only the shadow (dual-"
                              "annotation) section of an existing "
                              "report")
+    parser.add_argument("--obs-window-only", action="store_true",
+                        help="refresh only the obs_window (windowed "
+                             "telemetry) section of an existing "
+                             "report")
     args = parser.parse_args(argv)
     if args.pipeline_only:
         report = write_pipeline_section(args.output, jobs=args.jobs)
@@ -108,6 +117,8 @@ def main(argv=None) -> int:
                                     workers=args.http_workers)
     elif args.shadow_only:
         report = write_shadow_section(args.output, rounds=args.rounds)
+    elif args.obs_window_only:
+        report = write_obs_window_section(args.output)
     else:
         report = write_report(args.output, rounds=args.rounds,
                               jobs=args.jobs)

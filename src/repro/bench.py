@@ -55,10 +55,20 @@ from repro.core.types import SuffixDataset, TrainingItem
 #: overhead vs a single set on the Zipf workload, asserted under
 #: ``SHADOW_OVERHEAD_BUDGET``, plus the per-suffix disagreement ledger
 #: checked exact on a constructed divergent world.
-BENCH_VERSION = 8
+#: v9: new ``obs_window`` section -- time-windowed telemetry cost on
+#: the serving hot path: the per-request access-log line and the
+#: per-flush-interval rolling-window fold, each expressed as a
+#: fraction of what a request (resp. a busy second) costs, summed and
+#: asserted under ``OBS_WINDOW_OVERHEAD_BUDGET``.
+BENCH_VERSION = 9
 
 #: The tracing-disabled overhead the instrumentation must stay under.
 OBS_OVERHEAD_BUDGET = 0.02
+
+#: Windowed-telemetry ceiling: the access-log line per request plus
+#: the rolling-window fold per flush interval must cost under this
+#: fraction of the serving hot path.
+OBS_WINDOW_OVERHEAD_BUDGET = 0.03
 
 #: Dual-annotation cost ceiling: shadow-mode ``annotate_batch`` on the
 #: Zipf workload must stay within this multiple of a single set's cost
@@ -729,6 +739,175 @@ def run_shadow_bench(rounds: int = 5) -> Dict[str, object]:
     }
 
 
+def run_obs_window_bench(rounds: int = 3) -> Dict[str, object]:
+    """Measure windowed-telemetry cost; returns the ``obs_window``
+    section.
+
+    The telemetry added with the time axis touches the serving hot
+    path in two places, each measured on its own and expressed as a
+    fraction of the work it rides on:
+
+    * the **access log** charges each request one buffered
+      :meth:`~repro.obs.logjson.JsonLogger.log` enqueue, so its cost
+      is that amortised call over the end-to-end cost of one
+      keep-alive ``/annotate`` request against an in-thread server
+      (access log *off*, so the request time is the clean baseline).
+      The drainer's deferred encode+write is *reported* per line but
+      not budgeted: like the metrics flush loop it runs off the
+      request path (in a live server it overlaps the socket waits),
+      which is exactly why the access log buffers.  The synchronous
+      per-line cost is reported too -- the price the buffer keeps off
+      the hot path;
+    * the **rolling-window fold** runs once per ``flush_interval`` (a
+      fixed per-second cost independent of traffic), so its cost is
+      one :meth:`~repro.obs.timeseries.RollingWindows.record` of a
+      busy snapshot over the interval it amortises across.
+
+    Both fractions are computed rather than differenced -- like the
+    ``obs`` section's disabled overhead, the true cost sits far below
+    run-to-run noise of a full load run, while the per-line and
+    per-fold costs themselves measure cleanly.  ``within_budget``
+    asserts the sum stays under :data:`OBS_WINDOW_OVERHEAD_BUDGET`.
+    """
+    import os
+    import threading
+    from http.client import HTTPConnection
+
+    from repro.obs.logjson import JsonLogger
+    from repro.obs.metrics import DEFAULT_LATENCY_BOUNDS, MetricsRegistry
+    from repro.obs.timeseries import RollingWindows
+    from repro.serve.http import AnnotationHTTPServer, HttpConfig, \
+        create_listener
+    from repro.serve.service import AnnotationService
+
+    rounds = max(rounds, 3)
+    result = serve_conventions()
+    service = AnnotationService(result)
+    service.warm()
+
+    # -- per-request baseline: keep-alive burst, no access log -------
+    n_requests = 300
+    hostnames = zipf_hostnames(n=n_requests)
+    config = HttpConfig(port=0)
+    sock = create_listener(config.host, 0)
+    server = AnnotationHTTPServer(service, config, sock=sock)
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.01},
+                              daemon=True)
+    thread.start()
+    try:
+        conn = HTTPConnection("127.0.0.1", server.server_port,
+                              timeout=30)
+        bodies = [json.dumps({"hostname": hostname}).encode("utf-8")
+                  for hostname in hostnames]
+
+        def burst() -> None:
+            for body in bodies:
+                conn.request("POST", "/annotate", body=body)
+                conn.getresponse().read()
+
+        burst()  # warm the memo and the connection before timing
+        request_seconds = _best_of(burst, rounds) / n_requests
+        conn.close()
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(5)
+
+    # -- access-log line cost ----------------------------------------
+    # Three numbers: the buffered enqueue the request thread actually
+    # pays (budgeted), the deferred per-line encode+write the drainer
+    # pays later (reported), and what a synchronous line would have
+    # cost (reported; the price the buffer keeps off the hot path).
+    # The enqueue is measured with the drainer parked (huge batch
+    # threshold and period) so the number is the uncontended hot-path
+    # cost, then one timed flush() drains everything for the deferred
+    # cost.
+    log_lines = 20000
+    total_lines = rounds * log_lines
+    with tempfile.TemporaryDirectory() as tmpdir:
+
+        def burst_lines(logger) -> None:
+            for _ in range(log_lines):
+                logger.log("access", method="POST", path="/annotate",
+                           status=200, bytes=64,
+                           latency_seconds=0.000731,
+                           request_id="deadbeefcafe0123")
+
+        buffered = JsonLogger(path=os.path.join(tmpdir, "buf.jsonl"),
+                              worker_id=0, buffered=True,
+                              flush_seconds=3600.0,
+                              buffer_records=total_lines + 1,
+                              drain_batch=total_lines + 1)
+        line_seconds = _best_of(lambda: burst_lines(buffered),
+                                rounds) / log_lines
+        start = time.perf_counter()
+        buffered.flush()
+        drain_line_seconds = ((time.perf_counter() - start)
+                              / total_lines)
+        buffered.close()
+        sync = JsonLogger(path=os.path.join(tmpdir, "sync.jsonl"),
+                          worker_id=0)
+        sync_line_seconds = _best_of(lambda: burst_lines(sync),
+                                     rounds) / log_lines
+        sync.close()
+
+    # -- rolling-window fold cost ------------------------------------
+    # Pre-build a run of snapshots that advance the way a busy worker's
+    # do (counters and latency buckets all moving), so every record()
+    # pays for a real diff + merge, not an empty delta.
+    window_records = 200
+    registry = MetricsRegistry()
+    snapshots = []
+    for index in range(window_records + 1):
+        registry.counter("http_requests").inc(50)
+        registry.labelled("http_responses").inc("200", 49)
+        registry.labelled("http_responses").inc("500", 1)
+        histogram = registry.histogram("http_request_seconds",
+                                       DEFAULT_LATENCY_BOUNDS)
+        for i in range(50):
+            histogram.observe(0.0005 * ((index + i) % 40 + 1))
+        snapshots.append(registry.snapshot())
+
+    def fold() -> None:
+        windows = RollingWindows(config.window_seconds,
+                                 config.window_count)
+        for index, snapshot in enumerate(snapshots):
+            windows.record(snapshot, ts=1000.0 + index)
+
+    record_seconds = _best_of(fold, rounds) / len(snapshots)
+
+    access_fraction = (line_seconds / request_seconds
+                       if request_seconds else 0.0)
+    window_fraction = record_seconds / config.flush_interval
+    overhead = access_fraction + window_fraction
+    return {
+        "workload": {
+            "http_requests": n_requests,
+            "log_lines": log_lines,
+            "window_records": len(snapshots),
+            "rounds": rounds,
+            "flush_interval_seconds": config.flush_interval,
+            "window_seconds": config.window_seconds,
+            "window_count": config.window_count,
+        },
+        "request_seconds": request_seconds,
+        "access_log": {
+            "line_seconds": line_seconds,
+            "drain_line_seconds": drain_line_seconds,
+            "sync_line_seconds": sync_line_seconds,
+            "fraction_of_request": access_fraction,
+        },
+        "window": {
+            "record_seconds": record_seconds,
+            "fraction_per_second": window_fraction,
+        },
+        "overhead_fraction": overhead,
+        "budget_fraction": OBS_WINDOW_OVERHEAD_BUDGET,
+        "within_budget": overhead <= OBS_WINDOW_OVERHEAD_BUDGET,
+    }
+
+
 def incremental_training_sets(n_suffixes: int = 24,
                               per_suffix: int = 40,
                               perturb_fraction: float = 0.05):
@@ -975,7 +1154,8 @@ def write_report(path: str = "BENCH_learner.json",
                  obs: bool = True,
                  incremental: bool = True,
                  http: bool = True,
-                 shadow: bool = True) -> Dict[str, object]:
+                 shadow: bool = True,
+                 obs_window: bool = True) -> Dict[str, object]:
     """Run the suite and write ``path``; returns the payload."""
     report = run_bench(rounds=rounds, jobs=jobs)
     if pipeline:
@@ -990,6 +1170,8 @@ def write_report(path: str = "BENCH_learner.json",
         report["http"] = run_http_bench()
     if shadow:
         report["shadow"] = run_shadow_bench()
+    if obs_window:
+        report["obs_window"] = run_obs_window_bench()
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -1160,6 +1342,28 @@ def write_shadow_section(path: str = "BENCH_learner.json",
     return report
 
 
+def write_obs_window_section(path: str = "BENCH_learner.json",
+                             rounds: int = 3) -> Dict[str, object]:
+    """Refresh only the ``obs_window`` section of an existing report.
+
+    Reads ``path`` if present (starting fresh otherwise), replaces the
+    ``obs_window`` key, and writes the file back -- every other
+    section keeps its previous numbers.  Used by
+    ``make obs-window-bench``.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError):
+        report = {"version": BENCH_VERSION}
+    report["version"] = BENCH_VERSION
+    report["obs_window"] = run_obs_window_bench(rounds=rounds)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
 def render_incremental_section(section: Dict[str, object]) -> str:
     """Render an ``incremental`` section (delta-learning report)."""
     workload = section["workload"]
@@ -1202,6 +1406,30 @@ def render_obs_section(section: Dict[str, object]) -> str:
            100.0 * disabled["budget_fraction"]),
         "  tracing enabled  : %.3fs  overhead %.1f%% of run"
         % (enabled["seconds"], 100.0 * enabled["overhead_fraction"]),
+    ])
+
+
+def render_obs_window_section(section: Dict[str, object]) -> str:
+    """Render an ``obs_window`` section (windowed-telemetry report)."""
+    access = section["access_log"]
+    window = section["window"]
+    verdict = "OK" if section["within_budget"] else "OVER BUDGET"
+    return "\n".join([
+        "obs-window benchmark (request %.0fus baseline)"
+        % (1e6 * section["request_seconds"]),
+        "  access log line  : %.1fus enqueue (deferred %.1fus, sync "
+        "%.1fus)  %.3f%% of a request"
+        % (1e6 * access["line_seconds"],
+           1e6 * access.get("drain_line_seconds", 0.0),
+           1e6 * access.get("sync_line_seconds", 0.0),
+           100.0 * access["fraction_of_request"]),
+        "  window fold      : %.0fus/record  %.3f%% of each %.0fs "
+        "interval" % (1e6 * window["record_seconds"],
+                      100.0 * window["fraction_per_second"],
+                      section["workload"]["flush_interval_seconds"]),
+        "  combined         : %.3f%% of the hot path  [%s, budget "
+        "%.1f%%]" % (100.0 * section["overhead_fraction"], verdict,
+                     100.0 * section["budget_fraction"]),
     ])
 
 
@@ -1365,4 +1593,7 @@ def render_report(report: Dict[str, object]) -> str:
     shadow = report.get("shadow")
     if shadow:
         lines.append(render_shadow_section(shadow))
+    obs_window = report.get("obs_window")
+    if obs_window:
+        lines.append(render_obs_window_section(obs_window))
     return "\n".join(lines)

@@ -145,7 +145,7 @@ _EXPERIMENTS = {
 
 _WORKFLOWS = ("learn", "report", "apply", "annotate", "serve",
               "serve-http", "loadgen", "serve-stats", "shadow-report",
-              "bench", "cache", "run", "trace")
+              "watch", "slo-report", "bench", "cache", "run", "trace")
 
 #: ``--format`` values that are renderers, not streaming sinks.
 _RENDER_FORMATS = ("prom", "text")
@@ -296,7 +296,37 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace-out", metavar="FILE",
                         help="run/experiments: record a span trace "
                              "here (JSONL) and write a run manifest "
-                             "next to it")
+                             "next to it; serve-http: JSONL sink for "
+                             "--trace-sample request spans")
+    parser.add_argument("--access-log", metavar="PATH",
+                        help="serve-http: structured JSON access log, "
+                             "one line per request ('-' = stderr; "
+                             "default off)")
+    parser.add_argument("--trace-sample", type=int, default=0,
+                        metavar="N",
+                        help="serve-http: trace 1-in-N requests as "
+                             "spans to --trace-out (0 = off)")
+    parser.add_argument("--history", metavar="FILE",
+                        help="serve-http: append timestamped merged "
+                             "metrics snapshots here (JSONL; default "
+                             "<cache-dir>/history/serve-http.jsonl "
+                             "when a cache dir is configured); "
+                             "shadow-report/slo-report: read this "
+                             "history instead of a live server")
+    parser.add_argument("--history-interval", type=float, default=10.0,
+                        metavar="SECONDS",
+                        help="serve-http: seconds between history "
+                             "appends (default 10)")
+    parser.add_argument("--slo", metavar="FILE",
+                        help="slo-report: declarative SLO target JSON "
+                             "(see docs/OBSERVABILITY.md)")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        metavar="SECONDS",
+                        help="watch: refresh period (default 2)")
+    parser.add_argument("--iterations", type=int, default=0,
+                        metavar="N",
+                        help="watch: stop after N frames (0 = until "
+                             "interrupted)")
     parser.add_argument("--manifest-out", metavar="FILE",
                         help="override the manifest path (default: "
                              "<trace-out stem>.manifest.json)")
@@ -549,13 +579,25 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
         print("--memo-size must be >= 0, got %d" % args.memo_size,
               file=sys.stderr)
         return 2
+    history = args.history
+    if history is None and args.cache_dir and not args.no_cache:
+        # The tentpole default: persisted telemetry lives with the
+        # other durable artifacts, so successive lifetimes accumulate
+        # into one comparable history.
+        history = os.path.join(args.cache_dir, "history",
+                               "serve-http.jsonl")
     config = HttpConfig(host=args.host, port=args.port,
                         workers=args.workers,
                         drain_grace=args.drain_grace,
                         conventions=args.conventions,
                         shadow=args.shadow,
                         promote_threshold=args.promote_threshold,
-                        metrics_out=args.metrics_out)
+                        metrics_out=args.metrics_out,
+                        access_log=args.access_log,
+                        trace_sample=args.trace_sample,
+                        trace_out=args.trace_out,
+                        history=history,
+                        history_interval=args.history_interval)
     if args.max_body is not None:
         config.max_body = args.max_body
     if args.max_inflight is not None:
@@ -696,16 +738,20 @@ def _cmd_serve_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_shadow_report(args: argparse.Namespace) -> int:
-    """The shadow disagreement ledger, two ways: live from a running
+    """The shadow disagreement ledger, three ways: live from a running
     ``serve-http`` (``GET /admin/shadow/report`` on ``--host``/
-    ``--port``), or offline by merging saved ``--metrics`` snapshots
+    ``--port``), offline by merging saved ``--metrics`` snapshots
     (e.g. a pre-fork server's per-worker flushes, or the
-    ``--metrics-out`` file it writes at shutdown)."""
+    ``--metrics-out`` file it writes at shutdown), or across time from
+    the persisted ``--history`` file -- one report per entry, so
+    successive candidates compare across server lifetimes."""
     import json as _json
 
     from repro.serve.shadow import merge_shadow_reports, \
         render_shadow_report
 
+    if args.history:
+        return _render_shadow_history(args)
     if args.metrics:
         snapshots = []
         for path in args.metrics:
@@ -744,6 +790,167 @@ def _cmd_shadow_report(args: argparse.Namespace) -> int:
         return 0
     print(render_shadow_report(report, top=args.top))
     return 0
+
+
+def _render_shadow_history(args: argparse.Namespace) -> int:
+    """``shadow-report --history``: one ledger row per history entry."""
+    import json as _json
+    from datetime import datetime, timezone
+
+    from repro.obs.timeseries import HistoryStore
+    from repro.serve.shadow import shadow_report_from_snapshot
+
+    entries = HistoryStore(args.history).entries()
+    if not entries:
+        print("no history entries in %s" % args.history, file=sys.stderr)
+        return 1
+    reports = [dict(ts=entry.get("ts"),
+                    **shadow_report_from_snapshot(
+                        entry.get("snapshot") or {}))
+               for entry in entries]
+    if args.json:
+        print(_json.dumps(reports, indent=2, sort_keys=True))
+        return 0
+    lines = ["shadow history: %d entr%s from %s"
+             % (len(reports), "y" if len(reports) == 1 else "ies",
+                args.history),
+             "  %-20s %-8s %-10s %-9s %-9s %s"
+             % ("ts", "active", "requests", "disagree", "fraction",
+                "candidate")]
+    for report in reports:
+        ts = report.get("ts")
+        stamp = (datetime.fromtimestamp(ts, tz=timezone.utc)
+                 .strftime("%Y-%m-%dT%H:%M:%SZ") if ts else "-")
+        lines.append("  %-20s %-8s %-10d %-9d %-9s %s"
+                     % (stamp,
+                        "yes" if report.get("active") else "no",
+                        report.get("requests", 0),
+                        report.get("disagreements", 0),
+                        "%.2f%%" % (100.0
+                                    * report.get("disagreement_fraction",
+                                                 0.0)),
+                        report.get("candidate_suffixes")
+                        if report.get("candidate_suffixes") is not None
+                        else "-"))
+    print("\n".join(lines))
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """A refreshing terminal dashboard over ``GET /admin/status``.
+
+    Clears the screen between frames on a TTY; plain sequential frames
+    otherwise (so piping to a file keeps every sample)."""
+    import http.client
+    import json as _json
+
+    frame = 0
+    while True:
+        try:
+            conn = http.client.HTTPConnection(args.host, args.port,
+                                              timeout=5.0)
+            try:
+                conn.request("GET", "/admin/status")
+                response = conn.getresponse()
+                body = response.read()
+            finally:
+                conn.close()
+        except OSError as exc:
+            print("cannot reach http://%s:%d: %s (is serve-http "
+                  "running?)" % (args.host, args.port, exc),
+                  file=sys.stderr)
+            return 1
+        if response.status != 200:
+            print("GET /admin/status returned %d" % response.status,
+                  file=sys.stderr)
+            return 1
+        status = _json.loads(body.decode("utf-8"))
+        frame += 1
+        if sys.stdout.isatty():
+            sys.stdout.write("\x1b[2J\x1b[H")
+        print(_render_watch_frame(status, args.host, args.port, frame,
+                                  args.interval))
+        sys.stdout.flush()
+        if args.iterations and frame >= args.iterations:
+            return 0
+        time.sleep(max(args.interval, 0.1))
+
+
+def _render_watch_frame(status: dict, host: str, port: int,
+                        frame: int, interval: float) -> str:
+    window = status.get("window") or {}
+    latency = window.get("latency") or {}
+    ages = status.get("snapshot_age_seconds") or {}
+    lines = [
+        "repro-hoiho watch -- http://%s:%d  (frame %d, %.1fs refresh)"
+        % (host, port, frame, interval),
+        "  state %-9s uptime %-9s workers %-3d answering-worker %-3s "
+        "inflight %d"
+        % (status.get("status", "?"),
+           "%.0fs" % status.get("uptime_seconds", 0.0),
+           status.get("workers", 1),
+           status.get("worker", "?"),
+           status.get("inflight", 0)),
+        "  window %.0fs of %.0fs x %d: %d requests  %.1f req/s  "
+        "errors %d (%.2f%%)"
+        % (window.get("covered_seconds", 0.0),
+           window.get("width_seconds", 0.0),
+           window.get("count", 0),
+           window.get("requests", 0),
+           window.get("requests_per_second", 0.0),
+           window.get("errors", 0),
+           100.0 * window.get("error_rate", 0.0)),
+    ]
+    if latency:
+        lines.append("  latency " + "  ".join(
+            "%s %.3fms" % (key, latency[key] * 1e3)
+            for key in sorted(latency)))
+    else:
+        lines.append("  latency (no samples in window)")
+    if ages:
+        lines.append("  snapshot age " + "  ".join(
+            "w%s %.1fs" % (worker, ages[worker])
+            for worker in sorted(ages, key=int)))
+    return "\n".join(lines)
+
+
+def _cmd_slo_report(args: argparse.Namespace) -> int:
+    """Evaluate a declarative SLO target against a persisted history;
+    exit 0 when every check holds, 1 on breach (CI-gateable)."""
+    import json as _json
+
+    from repro.obs.slo import SloTarget, evaluate_history, \
+        render_slo_report
+    from repro.obs.timeseries import HistoryStore
+
+    history = args.history
+    if history is None and args.cache_dir and not args.no_cache:
+        history = os.path.join(args.cache_dir, "history",
+                               "serve-http.jsonl")
+    if not history:
+        print("slo-report requires --history FILE (or a --cache-dir "
+              "with a serving history)", file=sys.stderr)
+        return 2
+    if not args.slo:
+        print("slo-report requires --slo FILE (the target JSON)",
+              file=sys.stderr)
+        return 2
+    try:
+        target = SloTarget.from_file(args.slo)
+    except (OSError, ValueError, TypeError) as exc:
+        print("cannot load SLO target %s: %s" % (args.slo, exc),
+              file=sys.stderr)
+        return 2
+    entries = HistoryStore(history).entries()
+    if not entries:
+        print("no history entries in %s" % history, file=sys.stderr)
+        return 2
+    report = evaluate_history(entries, target)
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_slo_report(report))
+    return 0 if report["ok"] else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -894,6 +1101,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve_stats(args)
     if args.command == "shadow-report":
         return _cmd_shadow_report(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
+    if args.command == "slo-report":
+        return _cmd_slo_report(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "cache":

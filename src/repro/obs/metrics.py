@@ -204,6 +204,46 @@ class Histogram:
             return self.maximum
         return estimate
 
+    @classmethod
+    def from_delta(cls, name: str, bounds: Sequence[float],
+                   buckets: Sequence[int], overflow: int = 0,
+                   count: Optional[int] = None, total: float = 0.0,
+                   minimum: Optional[float] = None,
+                   maximum: Optional[float] = None) -> "Histogram":
+        """Rebuild a histogram from pre-counted buckets.
+
+        The windowed-telemetry constructor: ``repro.obs.timeseries``
+        folds per-window bucket *deltas* and needs percentiles over
+        them with exactly the semantics :meth:`percentile` hardened
+        (upper-inclusive edges, overflow reporting the observed max,
+        clamping to ``[min, max]``, the one-sample and empty cases) --
+        so it rebuilds a real histogram instead of reimplementing the
+        interpolation.  ``count`` defaults to the bucket total;
+        ``minimum``/``maximum`` are optional clamp bounds (a window
+        delta carries the cumulative extremes, which bracket every
+        windowed sample).
+        """
+        hist = cls(name, bounds)
+        if len(buckets) != len(hist.buckets):
+            raise ValueError(
+                "histogram %r delta has %d buckets for %d bounds"
+                % (name, len(buckets), len(hist.buckets)))
+        if overflow < 0 or any(b < 0 for b in buckets):
+            raise ValueError(
+                "histogram %r delta has negative bucket counts" % name)
+        hist.buckets = [int(b) for b in buckets]
+        hist.overflow = int(overflow)
+        observed = sum(hist.buckets) + hist.overflow
+        hist.count = observed if count is None else int(count)
+        if hist.count != observed:
+            raise ValueError(
+                "histogram %r delta count %d != bucket total %d"
+                % (name, hist.count, observed))
+        hist.total = float(total)
+        hist.minimum = minimum
+        hist.maximum = maximum
+        return hist
+
     def __repr__(self) -> str:
         return "Histogram(%s, n=%d, mean=%.6f)" % (self.name, self.count,
                                                    self.mean)

@@ -1,0 +1,223 @@
+"""Declarative SLO targets evaluated over a metrics history.
+
+An SLO file is a small JSON object::
+
+    {
+        "availability": 0.999,
+        "latency_threshold_seconds": 0.050,
+        "latency_fraction": 0.99,
+        "burn_rate_max": 14.4,
+        "burn_window_seconds": 3600
+    }
+
+read as: at least 99.9% of requests answer without a 5xx, at least 99%
+of requests finish within 50 ms, and over the trailing hour the error
+budget (the allowed 0.1%) must not burn faster than 14.4x its steady
+rate -- the classic fast-burn page threshold.  ``latency_*`` and
+``burn_*`` are optional; availability alone is a valid target.
+
+:func:`evaluate_history` runs a target against the JSONL history the
+HTTP server persists (``--history``, written via
+``repro.obs.timeseries.HistoryStore``).  Entries are cumulative
+snapshots, possibly spanning several server lifetimes;
+``history_deltas`` turns them into per-interval deltas (a lifetime's
+first entry counts from zero), so restarts neither double-count nor
+hide traffic.  The latency check is deliberately conservative: with
+upper-inclusive buckets only samples in buckets whose bound is <= the
+threshold are *known* fast, so a threshold between bounds rounds
+against the SLO, never in its favour.
+
+``repro-hoiho slo-report`` renders the result and exits nonzero on
+breach, which makes any smoke run CI-gateable.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import history_deltas
+
+#: Counter / family / histogram names the serving stack emits.
+REQUESTS_COUNTER = "http_requests"
+RESPONSES_FAMILY = "http_responses"
+LATENCY_HISTOGRAM = "http_request_seconds"
+
+
+@dataclass(frozen=True)
+class SloTarget:
+    """One service-level objective, parsed from a JSON file."""
+
+    availability: float = 0.999
+    latency_threshold_seconds: Optional[float] = None
+    latency_fraction: float = 0.99
+    burn_rate_max: Optional[float] = None
+    burn_window_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.availability <= 1.0:
+            raise ValueError("availability must be in (0, 1], got %r"
+                             % (self.availability,))
+        if self.latency_threshold_seconds is not None \
+                and self.latency_threshold_seconds <= 0:
+            raise ValueError("latency_threshold_seconds must be > 0")
+        if not 0.0 < self.latency_fraction <= 1.0:
+            raise ValueError("latency_fraction must be in (0, 1], got %r"
+                             % (self.latency_fraction,))
+        if self.burn_rate_max is not None and self.burn_rate_max <= 0:
+            raise ValueError("burn_rate_max must be > 0")
+        if self.burn_window_seconds <= 0:
+            raise ValueError("burn_window_seconds must be > 0")
+        if self.burn_rate_max is not None and self.availability >= 1.0:
+            raise ValueError(
+                "burn rate needs an error budget: availability must be "
+                "< 1.0 when burn_rate_max is set")
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SloTarget":
+        known = {"availability", "latency_threshold_seconds",
+                 "latency_fraction", "burn_rate_max",
+                 "burn_window_seconds"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError("unknown SLO keys: %s (known: %s)"
+                             % (", ".join(unknown),
+                                ", ".join(sorted(known))))
+        return cls(**{key: payload[key] for key in payload})
+
+    @classmethod
+    def from_file(cls, path: str) -> "SloTarget":
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict):
+            raise ValueError("SLO file %s must hold a JSON object"
+                             % path)
+        return cls.from_dict(payload)
+
+
+def _fold_rows(rows: Iterable[Mapping]) -> Dict[str, object]:
+    """Requests / 5xx errors / latency histogram over delta rows."""
+    merged = MetricsRegistry()
+    for row in rows:
+        merged.merge_snapshot(row["delta"])
+    snapshot = merged.snapshot()
+    requests = (snapshot.get("counters") or {}).get(REQUESTS_COUNTER, 0)
+    by_status = (snapshot.get("labelled") or {}).get(RESPONSES_FAMILY, {})
+    errors = sum(count for status, count in by_status.items()
+                 if str(status).startswith("5"))
+    return {"requests": requests, "errors": errors,
+            "latency": (snapshot.get("histograms")
+                        or {}).get(LATENCY_HISTOGRAM)}
+
+
+def _fast_fraction(latency: Optional[Mapping],
+                   threshold: float) -> Optional[float]:
+    """Fraction of samples provably <= ``threshold`` (None when empty).
+
+    Buckets are upper-inclusive, so every sample in a bucket whose
+    bound is <= the threshold is fast for sure; the bucket straddling
+    the threshold counts against the SLO.
+    """
+    if not latency or not latency.get("count"):
+        return None
+    bounds = list(latency.get("bounds") or [])
+    buckets = list(latency.get("buckets") or [])
+    known_fast = sum(buckets[:bisect.bisect_right(bounds, threshold)])
+    return known_fast / latency["count"]
+
+
+def evaluate_history(entries: Iterable[Mapping], target: SloTarget,
+                     now: Optional[float] = None) -> Dict[str, object]:
+    """Evaluate ``target`` over history entries; never raises on data.
+
+    Returns ``{"ok", "requests", "errors", "availability", "checks"}``
+    where each check is ``{"name", "ok", "value", "limit", "detail"}``.
+    An empty history (or one with zero requests) passes vacuously but
+    says so in the detail, so a broken pipeline is visible even though
+    it cannot breach.  ``now`` anchors the burn window and defaults to
+    the newest entry's timestamp.
+    """
+    entries = list(entries)
+    rows = history_deltas(entries)
+    totals = _fold_rows(rows)
+    requests = totals["requests"]
+    errors = totals["errors"]
+    availability = 1.0 - errors / requests if requests else None
+    checks: List[Dict[str, object]] = []
+
+    checks.append({
+        "name": "availability",
+        "ok": availability is None or availability >= target.availability,
+        "value": availability,
+        "limit": target.availability,
+        "detail": ("no requests in history" if availability is None else
+                   "%d/%d requests answered 5xx"
+                   % (errors, requests)),
+    })
+
+    if target.latency_threshold_seconds is not None:
+        fast = _fast_fraction(totals["latency"],
+                              target.latency_threshold_seconds)
+        checks.append({
+            "name": "latency",
+            "ok": fast is None or fast >= target.latency_fraction,
+            "value": fast,
+            "limit": target.latency_fraction,
+            "detail": ("no latency samples in history" if fast is None
+                       else "fraction <= %gs"
+                       % target.latency_threshold_seconds),
+        })
+
+    if target.burn_rate_max is not None:
+        if now is None:
+            stamps = [e.get("ts") for e in entries
+                      if e.get("ts") is not None]
+            now = max(stamps) if stamps else 0.0
+        since = now - target.burn_window_seconds
+        recent = [row for row in rows
+                  if row.get("ts") is not None and row["ts"] >= since]
+        window = _fold_rows(recent)
+        budget = 1.0 - target.availability
+        if window["requests"]:
+            error_rate = window["errors"] / window["requests"]
+            burn = error_rate / budget
+        else:
+            burn = None
+        checks.append({
+            "name": "burn_rate",
+            "ok": burn is None or burn <= target.burn_rate_max,
+            "value": burn,
+            "limit": target.burn_rate_max,
+            "detail": ("no requests in burn window" if burn is None else
+                       "%d/%d errors over trailing %gs"
+                       % (window["errors"], window["requests"],
+                          target.burn_window_seconds)),
+        })
+
+    return {
+        "ok": all(check["ok"] for check in checks),
+        "entries": len(entries),
+        "requests": requests,
+        "errors": errors,
+        "availability": availability,
+        "checks": checks,
+    }
+
+
+def render_slo_report(report: Mapping) -> str:
+    """One-screen text rendering of an :func:`evaluate_history` result."""
+    lines = ["slo report: %s" % ("OK" if report["ok"] else "BREACH")]
+    lines.append("  history entries          %d" % report["entries"])
+    lines.append("  requests                 %d" % report["requests"])
+    lines.append("  errors (5xx)             %d" % report["errors"])
+    for check in report["checks"]:
+        value = check["value"]
+        shown = "n/a" if value is None else "%.6f" % value
+        lines.append("  %-8s %-7s value=%s limit=%.6f  (%s)"
+                     % (check["name"],
+                        "ok" if check["ok"] else "BREACH",
+                        shown, check["limit"], check["detail"]))
+    return "\n".join(lines)

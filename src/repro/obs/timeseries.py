@@ -1,0 +1,462 @@
+"""The time axis of ``repro.obs``: snapshot deltas, rolling windows,
+and a persisted metrics history.
+
+Everything the registry emits is cumulative-since-boot, which answers
+"how much ever" but never "how much lately".  This module adds the
+three pieces that turn cumulative snapshots into time series:
+
+* :func:`diff_snapshot` -- the additive inverse of
+  :meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot`: exact
+  per-counter / per-label / per-bucket deltas between two snapshots of
+  the same registry.  The delta payload has the same shape as a
+  snapshot, so it merges back through ``merge_snapshot`` unchanged --
+  ``merge_snapshot(a, diff_snapshot(a, cur))`` reproduces ``cur``
+  exactly (property-tested in ``tests/props/test_snapshot_algebra.py``).
+* :class:`RollingWindows` -- a ring buffer of aligned time windows
+  (e.g. 10 s x 60).  Feed it periodic cumulative snapshots; it folds
+  the deltas into the window each sample lands in and answers windowed
+  questions: request rate over the covered span, windowed histogram
+  percentiles (via :meth:`~repro.obs.metrics.Histogram.from_delta`, so
+  the edge-case-hardened percentile code is reused, not reimplemented).
+* :class:`HistoryStore` -- timestamped snapshots appended as JSONL
+  with size/age retention, so successive server lifetimes (and the
+  shadow ledgers they carried) can be compared across days, not just
+  within one process.
+
+Delta semantics worth knowing:
+
+* Counters, labelled counters, histogram buckets/overflow/count/sum
+  subtract exactly; a *negative* delta anywhere raises ``ValueError``
+  ("cur is not a successor of prev" -- a worker restart or a ledger
+  epoch clear).  :meth:`RollingWindows.record` treats that as a reset
+  and re-baselines instead of raising.
+* Zero deltas are omitted (a counter that did not move does not appear
+  in the delta), so an idle interval diffs to an empty payload.
+* Histogram ``min``/``max`` are not additively invertible; the delta
+  carries the *current* observed extremes, which bracket every sample
+  in the window (exact whenever the window saw the extreme) and keep
+  ``merge_snapshot`` round trips exact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+#: Default rolling-window geometry: 10 s x 60 = a ten-minute horizon.
+DEFAULT_WINDOW_SECONDS = 10.0
+DEFAULT_WINDOW_COUNT = 60
+
+#: Default history retention: 16 MiB of JSONL, entries kept 14 days.
+DEFAULT_HISTORY_MAX_BYTES = 16 * 1024 * 1024
+DEFAULT_HISTORY_MAX_AGE = 14 * 24 * 3600.0
+
+
+def _diff_counters(prev: Mapping, cur: Mapping, what: str) -> Dict[str, int]:
+    """Exact name->delta map; raises when ``cur`` regressed."""
+    deltas: Dict[str, int] = {}
+    for name, value in cur.items():
+        delta = int(value) - int(prev.get(name, 0))
+        if delta < 0:
+            raise ValueError(
+                "%s %r shrank from %s to %s: cur is not a successor "
+                "of prev" % (what, name, prev.get(name), value))
+        if delta:
+            deltas[name] = delta
+    for name in prev:
+        if name not in cur:
+            raise ValueError(
+                "%s %r vanished from cur: not a successor of prev"
+                % (what, name))
+    return deltas
+
+
+def diff_snapshot(prev: Mapping, cur: Mapping) -> Dict[str, object]:
+    """The exact additive delta taking ``prev`` to ``cur``.
+
+    Both arguments are :meth:`MetricsRegistry.snapshot` payloads of the
+    *same* registry at two points in time (``prev`` earlier).  The
+    result has snapshot shape -- ``counters``/``labelled``/
+    ``histograms`` maps carrying only the instruments that moved -- so
+    it feeds straight back into ``merge_snapshot``:
+    ``merge_snapshot(prev, diff_snapshot(prev, cur)) == cur``.
+
+    Raises ``ValueError`` when ``cur`` is not a successor of ``prev``
+    (any counter, label, bucket, or histogram count went backwards, or
+    an instrument disappeared) -- the signature of a process restart
+    or an epoch clear, which callers must treat as a new baseline
+    rather than a delta.  Extra snapshot keys (``memo``, ``shadow``,
+    ``ts``...) are ignored, exactly as ``merge_snapshot`` ignores them.
+    """
+    delta: Dict[str, object] = {
+        "counters": _diff_counters(prev.get("counters") or {},
+                                   cur.get("counters") or {}, "counter"),
+        "labelled": {},
+        "histograms": {},
+    }
+    prev_labelled = prev.get("labelled") or {}
+    for name, family in (cur.get("labelled") or {}).items():
+        family_delta = _diff_counters(prev_labelled.get(name) or {},
+                                      family, "label %r of" % name)
+        if family_delta:
+            delta["labelled"][name] = family_delta
+    for name in prev_labelled:
+        if name not in (cur.get("labelled") or {}):
+            raise ValueError("labelled family %r vanished from cur"
+                             % name)
+
+    prev_hists = prev.get("histograms") or {}
+    for name, payload in (cur.get("histograms") or {}).items():
+        before = prev_hists.get(name) or {}
+        bounds = list(payload.get("bounds") or [])
+        if before and list(before.get("bounds") or []) != bounds:
+            raise ValueError(
+                "histogram %r changed bounds between snapshots" % name)
+        cur_buckets = list(payload.get("buckets") or [0] * len(bounds))
+        prev_buckets = list(before.get("buckets")
+                            or [0] * len(cur_buckets))
+        if len(prev_buckets) != len(cur_buckets):
+            raise ValueError(
+                "histogram %r changed bucket count between snapshots"
+                % name)
+        buckets = []
+        for index, count in enumerate(cur_buckets):
+            bucket_delta = count - prev_buckets[index]
+            if bucket_delta < 0:
+                raise ValueError(
+                    "histogram %r bucket %d shrank: cur is not a "
+                    "successor of prev" % (name, index))
+            buckets.append(bucket_delta)
+        overflow = payload.get("overflow", 0) - before.get("overflow", 0)
+        count = payload.get("count", 0) - before.get("count", 0)
+        if overflow < 0 or count < 0:
+            raise ValueError(
+                "histogram %r count shrank: cur is not a successor of "
+                "prev" % name)
+        if count == 0 and not any(buckets) and not overflow:
+            continue
+        total = payload.get("sum", 0.0) - before.get("sum", 0.0)
+        hist = Histogram.from_delta(name, bounds, buckets,
+                                    overflow=overflow, count=count,
+                                    total=total,
+                                    minimum=payload.get("min"),
+                                    maximum=payload.get("max"))
+        delta["histograms"][name] = {
+            "count": hist.count,
+            "mean": hist.mean,
+            # The window's extremes are not additively recoverable;
+            # carry the cumulative ones, which bracket every windowed
+            # sample and keep merge round trips exact.
+            "min": payload.get("min"),
+            "max": payload.get("max"),
+            "sum": total,
+            "bounds": bounds,
+            "buckets": buckets,
+            "overflow": overflow,
+            "percentiles": {
+                "p%02d" % round(f * 100): hist.percentile(f)
+                for f in (0.50, 0.90, 0.99)} if hist.count else {},
+        }
+    for name in prev_hists:
+        if name not in (cur.get("histograms") or {}):
+            raise ValueError("histogram %r vanished from cur" % name)
+    return delta
+
+
+def is_empty_delta(delta: Mapping) -> bool:
+    """Whether a :func:`diff_snapshot` payload carries no change."""
+    return not (delta.get("counters") or delta.get("labelled")
+                or delta.get("histograms"))
+
+
+class RollingWindows:
+    """Aligned time windows folding periodic snapshot deltas.
+
+    Feed :meth:`record` the registry's cumulative snapshot on a steady
+    cadence (the HTTP workers do it from their flush loop); each call
+    diffs against the previous snapshot and merges the delta into the
+    window its timestamp lands in.  Windows are aligned to multiples
+    of ``width_seconds`` since the epoch, and only the newest ``count``
+    are kept -- a 10 s x 60 geometry answers "over the last ten
+    minutes" with 10-second resolution.
+
+    A non-successor snapshot (worker restart, shadow-ledger epoch
+    clear) re-baselines silently: the interval that contained the
+    reset contributes nothing, every later one diffs normally.
+
+    Thread-safe: the serving path and the flush loop may both call in.
+    """
+
+    def __init__(self, width_seconds: float = DEFAULT_WINDOW_SECONDS,
+                 count: int = DEFAULT_WINDOW_COUNT) -> None:
+        if width_seconds <= 0:
+            raise ValueError("window width must be > 0 seconds, got %r"
+                             % width_seconds)
+        if count < 1:
+            raise ValueError("window count must be >= 1, got %d" % count)
+        self.width_seconds = float(width_seconds)
+        self.count = count
+        self._lock = threading.Lock()
+        self._slots: Dict[int, MetricsRegistry] = {}
+        self._last: Optional[Mapping] = None
+        self._first_ts: Optional[float] = None
+        self._resets = 0
+
+    @property
+    def resets(self) -> int:
+        """How many samples re-baselined instead of diffing."""
+        return self._resets
+
+    def record(self, snapshot: Mapping, ts: Optional[float] = None) -> bool:
+        """Fold one cumulative snapshot in; returns whether it diffed.
+
+        The first sample (and any non-successor sample) only sets the
+        baseline and returns ``False``; every later one contributes its
+        delta to the aligned window and returns ``True``.
+        """
+        now = time.time() if ts is None else ts
+        with self._lock:
+            if self._first_ts is None:
+                self._first_ts = now
+            if self._last is None:
+                self._last = snapshot
+                return False
+            try:
+                delta = diff_snapshot(self._last, snapshot)
+            except ValueError:
+                self._last = snapshot
+                self._first_ts = now  # rates restart with the baseline
+                self._slots.clear()
+                self._resets += 1
+                return False
+            self._last = snapshot
+            if not is_empty_delta(delta):
+                slot = int(now // self.width_seconds)
+                registry = self._slots.get(slot)
+                if registry is None:
+                    registry = self._slots[slot] = MetricsRegistry()
+                registry.merge_snapshot(delta)
+            self._evict(now)
+            return True
+
+    def _evict(self, now: float) -> None:
+        floor = int(now // self.width_seconds) - self.count + 1
+        for slot in [s for s in self._slots if s < floor]:
+            del self._slots[slot]
+
+    def covered_seconds(self, now: Optional[float] = None) -> float:
+        """The span of wall time the live windows describe."""
+        now = time.time() if now is None else now
+        with self._lock:
+            if self._first_ts is None:
+                return 0.0
+        horizon = self.width_seconds * self.count
+        return max(0.0, min(now - self._first_ts, horizon))
+
+    def window_snapshot(self, now: Optional[float] = None,
+                        ) -> Dict[str, object]:
+        """One merged delta snapshot over every live window."""
+        now = time.time() if now is None else now
+        merged = MetricsRegistry()
+        with self._lock:
+            self._evict(now)
+            for slot in sorted(self._slots):
+                merged.merge_snapshot(self._slots[slot].snapshot())
+        return merged.snapshot()
+
+    def rate(self, counter: str, now: Optional[float] = None) -> float:
+        """Windowed per-second rate of ``counter`` (0 when uncovered)."""
+        now = time.time() if now is None else now
+        covered = self.covered_seconds(now)
+        if covered <= 0:
+            return 0.0
+        counters = self.window_snapshot(now).get("counters") or {}
+        return counters.get(counter, 0) / covered
+
+    def percentiles(self, histogram: str,
+                    fractions: Iterable[float] = (0.50, 0.90, 0.99),
+                    now: Optional[float] = None,
+                    ) -> Dict[str, float]:
+        """Windowed percentiles of ``histogram`` (empty when no samples).
+
+        Rebuilds a real :class:`Histogram` from the windowed bucket
+        deltas via :meth:`Histogram.from_delta` so the interpolation
+        and clamping behaviour is byte-for-byte the cumulative one.
+        """
+        payload = (self.window_snapshot(now).get("histograms")
+                   or {}).get(histogram)
+        if not payload or not payload.get("count"):
+            return {}
+        hist = Histogram.from_delta(
+            histogram, payload.get("bounds") or [],
+            payload.get("buckets") or [],
+            overflow=payload.get("overflow", 0),
+            count=payload.get("count", 0),
+            total=payload.get("sum", 0.0),
+            minimum=payload.get("min"), maximum=payload.get("max"))
+        return {"p%02d" % round(fraction * 100): hist.percentile(fraction)
+                for fraction in fractions}
+
+
+class HistoryStore:
+    """Timestamped snapshots on disk: one JSON line per append.
+
+    Each line is ``{"ts": <epoch seconds>, "snapshot": {...}}`` plus
+    any extra metadata the caller attached -- the serving history keeps
+    the ``shadow`` ledger extra inside the snapshot, so candidates can
+    be compared across server lifetimes (the ROADMAP's persisted-ledger
+    item).  Appends are atomic-per-line (one ``write`` call) and
+    retention is enforced on append: entries older than ``max_age``
+    drop, and the file is trimmed oldest-first while it exceeds
+    ``max_bytes`` (rewritten via temp file + ``os.replace``, so a
+    concurrent reader never sees a torn file).
+    """
+
+    def __init__(self, path: str,
+                 max_bytes: int = DEFAULT_HISTORY_MAX_BYTES,
+                 max_age_seconds: Optional[float] = DEFAULT_HISTORY_MAX_AGE,
+                 ) -> None:
+        if max_bytes < 1:
+            raise ValueError("history max_bytes must be >= 1, got %d"
+                             % max_bytes)
+        self.path = path
+        self.max_bytes = max_bytes
+        self.max_age_seconds = max_age_seconds
+        self._lock = threading.Lock()
+
+    def append(self, snapshot: Mapping, ts: Optional[float] = None,
+               **extra: object) -> Dict[str, object]:
+        """Append one timestamped snapshot; returns the stored entry."""
+        entry: Dict[str, object] = {"ts": time.time() if ts is None
+                                    else ts}
+        entry.update(extra)
+        entry["snapshot"] = snapshot
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        with self._lock:
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line)
+            self._prune_locked(entry["ts"])
+        return entry
+
+    def entries(self, since: Optional[float] = None,
+                ) -> List[Dict[str, object]]:
+        """Every retained entry, oldest first (optionally ts-filtered).
+
+        Corrupt or foreign lines are skipped, not fatal -- a torn tail
+        from a crashed writer must not make the history unreadable.
+        """
+        entries: List[Dict[str, object]] = []
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except ValueError:
+                        continue
+                    if not isinstance(entry, dict) or "ts" not in entry:
+                        continue
+                    if since is not None and entry["ts"] < since:
+                        continue
+                    entries.append(entry)
+        except OSError:
+            return []
+        entries.sort(key=lambda e: e["ts"])
+        return entries
+
+    def prune(self, now: Optional[float] = None) -> None:
+        """Apply retention without appending."""
+        with self._lock:
+            self._prune_locked(time.time() if now is None else now)
+
+    def _prune_locked(self, now: float) -> None:
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return
+        needs_age = self.max_age_seconds is not None
+        if size <= self.max_bytes and not needs_age:
+            return
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError:
+            return
+        kept: List[Tuple[float, str]] = []
+        for line in lines:
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                entry = json.loads(stripped)
+                entry_ts = float(entry["ts"])
+            except (ValueError, KeyError, TypeError):
+                continue
+            if (self.max_age_seconds is not None
+                    and now - entry_ts > self.max_age_seconds):
+                continue
+            kept.append((entry_ts, stripped + "\n"))
+        kept.sort(key=lambda pair: pair[0])
+        while kept and sum(len(line) for _, line in kept) > self.max_bytes:
+            kept.pop(0)
+        if len(kept) == len(lines) \
+                and all(old == new for old, (_, new) in zip(lines, kept)):
+            return
+        parent = os.path.dirname(self.path) or "."
+        fd, tmp = tempfile.mkstemp(prefix=".history.", dir=parent)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.writelines(line for _, line in kept)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+def history_deltas(entries: Iterable[Mapping],
+                   ) -> List[Dict[str, object]]:
+    """Per-interval deltas from a history's cumulative entries.
+
+    Entries within one server lifetime diff exactly; the first entry of
+    a lifetime (no predecessor, or a predecessor it is not a successor
+    of -- counters restarted from zero) *is* its own delta, because a
+    fresh registry accumulates from zero.  The result is a list of
+    ``{"ts", "seconds", "delta"}`` rows, where ``seconds`` is the
+    interval the delta covers (``None`` for a lifetime's first entry),
+    ready for SLO evaluation over any trailing window.
+    """
+    rows: List[Dict[str, object]] = []
+    prev: Optional[Mapping] = None
+    prev_ts: Optional[float] = None
+    for entry in entries:
+        snapshot = entry.get("snapshot") or {}
+        ts = entry.get("ts")
+        if prev is None:
+            delta: Mapping = snapshot
+            seconds: Optional[float] = None
+        else:
+            try:
+                delta = diff_snapshot(prev, snapshot)
+                seconds = (ts - prev_ts
+                           if ts is not None and prev_ts is not None
+                           else None)
+            except ValueError:
+                delta = snapshot  # new lifetime: cumulative == delta
+                seconds = None
+        rows.append({"ts": ts, "seconds": seconds, "delta": delta})
+        prev, prev_ts = snapshot, ts
+    return rows

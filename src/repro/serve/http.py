@@ -20,6 +20,10 @@ Endpoints (JSON in/out, HTTP/1.1 keep-alive):
   including while draining;
 * ``GET /readyz`` -- readiness: 200 while accepting new work, 503 once
   draining (the load-balancer signal);
+* ``GET /admin/status`` -- uptime, inflight, and *windowed* health
+  (req/s, error rate, p50/p90/p99 over the rolling windows of
+  :mod:`repro.obs.timeseries`, fleet-merged) -- what ``repro-hoiho
+  watch`` renders;
 * ``POST /admin/reload`` -- re-read the configured conventions file and
   atomically hot-swap every worker's convention set via the service's
   ``reload_*`` machinery (in-flight requests keep the old index);
@@ -96,11 +100,15 @@ from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, Iterator, List, Optional
 
+from repro.obs.logjson import JsonLogger, NULL_LOG, new_request_id, \
+    open_json_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.prom import to_prometheus
+from repro.obs.timeseries import HistoryStore, RollingWindows
+from repro.obs.trace import Tracer
 from repro.serve.service import AnnotationService
 from repro.serve.shadow import ShadowService, merge_shadow_reports, \
-    shadow_report_from_snapshot
+    merge_shadow_snapshots, shadow_report_from_snapshot
 
 #: Default request-body ceiling (bytes): 8 MiB fits ~100k hostnames.
 DEFAULT_MAX_BODY = 8 * 1024 * 1024
@@ -153,6 +161,23 @@ class HttpConfig:
     #: Force/forbid per-worker ``SO_REUSEPORT`` sockets (None = auto).
     reuse_port: Optional[bool] = None
     backlog: int = 128
+    #: Structured JSON access log: a path (workers append; O_APPEND +
+    #: one-write-per-line keeps lines whole across processes), ``"-"``
+    #: for stderr, ``None`` to disable.
+    access_log: Optional[str] = None
+    #: Trace 1-in-N requests as spans to ``trace_out`` (0 = off).
+    trace_sample: int = 0
+    #: JSONL sink for sampled request spans.
+    trace_out: Optional[str] = None
+    #: JSONL history of merged snapshots (``HistoryStore``); the
+    #: parent appends every ``history_interval`` seconds and once at
+    #: shutdown, so even a short run leaves one comparable entry.
+    history: Optional[str] = None
+    history_interval: float = 10.0
+    #: Rolling-window geometry behind ``/admin/status`` (aligned
+    #: windows of ``window_seconds``, newest ``window_count`` kept).
+    window_seconds: float = 10.0
+    window_count: int = 60
 
     def validate(self) -> None:
         """Raise ``ValueError`` on nonsensical settings."""
@@ -173,6 +198,16 @@ class HttpConfig:
             raise ValueError(
                 "--promote-threshold is a fraction in [0, 1], got %r"
                 % self.promote_threshold)
+        if self.trace_sample < 0:
+            raise ValueError("--trace-sample must be >= 0, got %d"
+                             % self.trace_sample)
+        if self.trace_sample > 0 and not self.trace_out:
+            raise ValueError("--trace-sample needs --trace-out (the "
+                             "JSONL sink for sampled request spans)")
+        if self.history_interval <= 0:
+            raise ValueError("history interval must be > 0 seconds")
+        if self.window_seconds <= 0 or self.window_count < 1:
+            raise ValueError("window geometry must be positive")
 
 
 def create_listener(host: str, port: int, reuse_port: bool = False,
@@ -209,7 +244,10 @@ class MetricsDir:
     (temp file + ``os.replace``) so a concurrent reader never sees a
     torn snapshot.  Extra keys in a snapshot (``memo``, ``fused_plans``
     from ``AnnotationService.stats()``) ride along untouched;
-    ``merge_snapshot`` ignores them.
+    ``merge_snapshot`` ignores them.  ``flush`` stamps ``ts`` (epoch
+    seconds) and ``worker_id`` into every file, so scrape staleness is
+    observable (:meth:`ages`, the ``repro_snapshot_age_seconds`` gauge
+    on ``/metrics``) instead of inferred from ``flush_interval``.
     """
 
     def __init__(self, path: str) -> None:
@@ -217,6 +255,9 @@ class MetricsDir:
 
     def flush(self, worker_id: int, snapshot: Dict[str, object]) -> None:
         """Atomically publish ``worker_id``'s current snapshot."""
+        snapshot = dict(snapshot)
+        snapshot["ts"] = time.time()
+        snapshot["worker_id"] = worker_id
         target = os.path.join(self.path, "worker-%d.json" % worker_id)
         fd, tmp = tempfile.mkstemp(prefix=".worker-%d." % worker_id,
                                    dir=self.path)
@@ -254,6 +295,31 @@ class MetricsDir:
             registry.merge_snapshot(snapshot)
         return registry.snapshot()
 
+    def merged_with_shadow(self) -> Dict[str, object]:
+        """The merged snapshot with the folded ``shadow`` extra attached.
+
+        What the serving history persists: counters *and* the ledger
+        meta, so ``shadow-report --history`` can compare candidates
+        across server lifetimes.
+        """
+        return merge_shadow_snapshots(self.snapshots())
+
+    def ages(self, now: Optional[float] = None) -> Dict[int, float]:
+        """Per-worker snapshot age in seconds, from the stamped ``ts``.
+
+        Workers whose files predate the stamp (or are unreadable) are
+        omitted rather than reported with a made-up age.
+        """
+        now = time.time() if now is None else now
+        ages: Dict[int, float] = {}
+        for snapshot in self.snapshots():
+            ts = snapshot.get("ts")
+            worker_id = snapshot.get("worker_id")
+            if ts is None or worker_id is None:
+                continue
+            ages[int(worker_id)] = max(0.0, now - float(ts))
+        return ages
+
 
 class AnnotationHTTPServer(ThreadingHTTPServer):
     """A :class:`ThreadingHTTPServer` bound to one annotation service.
@@ -282,6 +348,37 @@ class AnnotationHTTPServer(ThreadingHTTPServer):
         self._inflight = 0
         self._inflight_lock = threading.Lock()
         self._last_flush = 0.0
+        self.started_monotonic = time.monotonic()
+        self.started_ts = time.time()
+        #: Windowed telemetry behind ``/admin/status``; fed the fleet's
+        #: merged snapshot (or the live stats when single-process) by
+        #: the flush loop and on-demand by the status endpoint.
+        self.windows = RollingWindows(config.window_seconds,
+                                      config.window_count)
+        # Baseline at boot: the first real sample then diffs against
+        # zero, so requests served before the first flush-loop pass
+        # still land in a window (http_* counters start at 0 here).
+        self.windows.record({})
+        #: Structured diagnostics (replaces print-to-stderr); each
+        #: forked worker rebuilds it with its own ``worker_id``.
+        self.log = JsonLogger(worker_id=worker_id)
+        # Buffered: the per-request cost is an enqueue; a drainer
+        # thread batches the JSON lines out (see repro.obs.logjson).
+        self.access_log = open_json_logger(config.access_log,
+                                           worker_id=worker_id,
+                                           buffered=True)
+        self._tracer: Optional[Tracer] = None
+        self._trace_lock = threading.Lock()
+        self._trace_seq = 0
+        if config.trace_sample > 0 and config.trace_out:
+            # Append mode: in pre-fork mode every worker writes spans
+            # to the same file, and one-write-per-record keeps the
+            # JSONL whole (same discipline as the access log).
+            self._tracer = Tracer(
+                stream=open(config.trace_out, "a", encoding="utf-8"))
+        #: HistoryStore in single-process mode (the pre-fork parent
+        #: owns the history instead -- see ``_serve_prefork``).
+        self.history: Optional[HistoryStore] = None
         address = (config.host, config.port)
         super().__init__(address, AnnotationHandler,
                          bind_and_activate=False)
@@ -330,11 +427,120 @@ class AnnotationHTTPServer(ThreadingHTTPServer):
             self.flush_metrics()
 
     def merged_metrics(self) -> str:
-        """Prometheus exposition of the whole fleet's counters."""
+        """Prometheus exposition of the whole fleet's counters.
+
+        Pre-fork, the text ends with a hand-rendered
+        ``repro_snapshot_age_seconds`` gauge (one sample per worker,
+        from the ``ts`` stamped into each flushed file) --
+        ``to_prometheus`` only knows the three registry instrument
+        kinds, and a gauge that *should* go down is exactly what they
+        are not.
+        """
         if self.metrics_dir is None:
             return to_prometheus(self.service.stats())
         self.flush_metrics()  # the merge must include this worker, live
-        return to_prometheus(self.metrics_dir.merged())
+        text = to_prometheus(self.metrics_dir.merged())
+        ages = self.metrics_dir.ages()
+        if ages:
+            lines = ["# HELP repro_snapshot_age_seconds Age of each "
+                     "worker's flushed metrics snapshot.",
+                     "# TYPE repro_snapshot_age_seconds gauge"]
+            lines += ["repro_snapshot_age_seconds{worker=\"%d\"} %.6f"
+                      % (worker, age)
+                      for worker, age in sorted(ages.items())]
+            text += "\n".join(lines) + "\n"
+        return text
+
+    # -- windowed telemetry ------------------------------------------------
+
+    def telemetry_snapshot(self) -> Dict[str, object]:
+        """The cumulative snapshot the time axis samples.
+
+        Fleet-wide when a metrics dir exists (any worker can then
+        answer ``/admin/status`` for the whole fleet), this worker's
+        live ``stats()`` otherwise.
+        """
+        if self.metrics_dir is not None:
+            return self.metrics_dir.merged()
+        return self.service.stats()
+
+    def record_windows(self, ts: Optional[float] = None) -> None:
+        """Fold the current cumulative snapshot into the windows."""
+        self.windows.record(self.telemetry_snapshot(), ts)
+
+    def status_payload(self) -> Dict[str, object]:
+        """The ``GET /admin/status`` body: uptime + windowed health."""
+        if self.metrics_dir is not None:
+            self.flush_metrics()  # the window must see this worker, live
+        self.record_windows()
+        now = time.time()
+        window = self.windows.window_snapshot(now)
+        counters = window.get("counters") or {}
+        requests = counters.get("http_requests", 0)
+        by_status = (window.get("labelled") or {}).get(
+            "http_responses", {})
+        errors = sum(count for status, count in by_status.items()
+                     if str(status).startswith("5"))
+        covered = self.windows.covered_seconds(now)
+        payload: Dict[str, object] = {
+            "status": "draining" if self.draining.is_set() else "ok",
+            "worker": self.worker_id,
+            "workers": self.config.workers,
+            "uptime_seconds": time.monotonic() - self.started_monotonic,
+            "started_ts": self.started_ts,
+            "inflight": self.inflight,
+            "window": {
+                "covered_seconds": covered,
+                "width_seconds": self.windows.width_seconds,
+                "count": self.windows.count,
+                "requests": requests,
+                "requests_per_second": (requests / covered
+                                        if covered else 0.0),
+                "errors": errors,
+                "error_rate": errors / requests if requests else 0.0,
+                "latency": self.windows.percentiles(
+                    "http_request_seconds", now=now),
+            },
+        }
+        if self.metrics_dir is not None:
+            payload["snapshot_age_seconds"] = {
+                str(worker): age for worker, age
+                in sorted(self.metrics_dir.ages(now).items())}
+        return payload
+
+    # -- request trace sampling --------------------------------------------
+
+    def sample_span(self, method: str, path: str) -> Optional["object"]:
+        """A span for this request if it is 1-in-N sampled, else None.
+
+        The tracer is single-threaded by design, so span creation is
+        locked and the new span is immediately popped off the tracer's
+        stack -- concurrent sampled requests must emit as independent
+        top-level spans, not accidentally nested ones.
+        """
+        if self._tracer is None:
+            return None
+        with self._trace_lock:
+            self._trace_seq += 1
+            if self._trace_seq % self.config.trace_sample != 0:
+                return None
+            span = self._tracer.span("http.request", method=method,
+                                     path=path, worker=self.worker_id)
+            try:
+                self._tracer._stack.remove(span)
+            except ValueError:
+                pass
+            return span
+
+    def finish_span(self, span: "object", **attrs: object) -> None:
+        """Stamp final attrs and emit a sampled request span."""
+        with self._trace_lock:
+            span.set(**attrs)  # type: ignore[attr-defined]
+            span.finish()  # type: ignore[attr-defined]
+            # The tracer also accumulates records in memory for
+            # programmatic use; a long-lived server only needs the
+            # JSONL sink, so drop them as they emit.
+            self._tracer.records.clear()
 
     def start_flush_loop(self) -> None:
         """Keep the published snapshot fresh even with zero traffic.
@@ -349,6 +555,10 @@ class AnnotationHTTPServer(ThreadingHTTPServer):
         file fresh.  The sleep is floored: ``flush_interval=0.0``
         means flush-per-request on the serving path, not a busy-spin
         here that would starve the request threads.
+
+        The same cadence feeds the rolling windows: each pass records
+        the merged (or live) cumulative snapshot, so ``/admin/status``
+        answers from fresh windows even on an idle server.
         """
         delay = max(self.config.flush_interval, 0.05)
 
@@ -357,10 +567,36 @@ class AnnotationHTTPServer(ThreadingHTTPServer):
                 time.sleep(delay)
                 try:
                     self.maybe_flush()
+                    self.record_windows()
                 except OSError:
                     pass  # the final drain-time flush will retry
 
         threading.Thread(target=_loop, daemon=True).start()
+
+    def start_history_loop(self) -> None:
+        """Append the cumulative snapshot to the history periodically.
+
+        Single-process mode only (the pre-fork parent runs its own
+        loop over the metrics dir); a final append happens at drain
+        time so even a short-lived run leaves one comparable entry.
+        """
+        if self.history is None:
+            return
+        delay = max(self.config.history_interval, 0.05)
+
+        def _loop() -> None:
+            while not self.draining.wait(delay):
+                try:
+                    self.history.append(self.service.stats())
+                except OSError:
+                    pass
+
+        threading.Thread(target=_loop, daemon=True).start()
+
+    def server_close(self) -> None:
+        """Close the socket, then drain the buffered access log."""
+        super().server_close()
+        self.access_log.close()
 
     # -- reload ------------------------------------------------------------
 
@@ -383,8 +619,8 @@ class AnnotationHTTPServer(ThreadingHTTPServer):
             self.reload_inline()
         except Exception as exc:
             self.service.metrics.counter("reload_errors").inc()
-            print("# reload failed in worker %d: %s"
-                  % (self.worker_id, exc), file=sys.stderr)
+            self.log.log("reload_failed", level="error", error=str(exc),
+                         conventions=self.config.conventions)
 
     # -- shadow ------------------------------------------------------------
 
@@ -417,8 +653,8 @@ class AnnotationHTTPServer(ThreadingHTTPServer):
             self.shadow_load_inline()
         except Exception as exc:
             self.service.metrics.counter("shadow_load_errors").inc()
-            print("# shadow load failed in worker %d: %s"
-                  % (self.worker_id, exc), file=sys.stderr)
+            self.log.log("shadow_load_failed", level="error",
+                         error=str(exc), candidate=self.config.shadow)
         else:
             if self.metrics_dir is not None:
                 self.flush_metrics()  # publish the cleared ledger now
@@ -440,8 +676,8 @@ class AnnotationHTTPServer(ThreadingHTTPServer):
             self.promote_inline()
         except Exception as exc:
             self.service.metrics.counter("shadow_promote_errors").inc()
-            print("# shadow promote failed in worker %d: %s"
-                  % (self.worker_id, exc), file=sys.stderr)
+            self.log.log("shadow_promote_failed", level="error",
+                         error=str(exc))
         else:
             if self.metrics_dir is not None:
                 self.flush_metrics()  # publish the cleared ledger now
@@ -506,7 +742,15 @@ class AnnotationHandler(BaseHTTPRequestHandler):
         registry = self.server.service.metrics
         started = time.perf_counter()
         self._last_status: Optional[int] = None
+        self._bytes_sent = 0
+        # Honour a caller-supplied id (so a proxy's id threads through
+        # our logs) or mint one; either way it is echoed in the
+        # ``X-Request-Id`` response header and stamped on the access
+        # line and any sampled span.
+        self._request_id = (self.headers.get("X-Request-Id")
+                            or new_request_id())
         path = self.path.split("?", 1)[0]
+        span = self.server.sample_span(method, path)
         try:
             by_method = _ROUTES.get(path)
             if by_method is None:
@@ -530,12 +774,22 @@ class AnnotationHandler(BaseHTTPRequestHandler):
             except OSError:
                 self.close_connection = True
         finally:
+            elapsed = time.perf_counter() - started
             registry.counter("http_requests").inc()
             if self._last_status is not None:
                 registry.labelled("http_responses").inc(
                     str(self._last_status))
-            registry.histogram("http_request_seconds").observe(
-                time.perf_counter() - started)
+            registry.histogram("http_request_seconds").observe(elapsed)
+            self.server.access_log.log(
+                "access", method=method, path=path,
+                status=self._last_status, bytes=self._bytes_sent,
+                latency_seconds=round(elapsed, 9),
+                request_id=self._request_id)
+            if span is not None:
+                self.server.finish_span(
+                    span, status=self._last_status,
+                    bytes=self._bytes_sent,
+                    request_id=self._request_id)
             self.server.maybe_flush()
 
     # -- response plumbing -------------------------------------------------
@@ -543,9 +797,13 @@ class AnnotationHandler(BaseHTTPRequestHandler):
     def _send_bytes(self, status: int, body: bytes, content_type: str,
                     headers: Optional[Dict[str, str]] = None) -> None:
         self._last_status = status
+        self._bytes_sent = len(body)
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Request-Id",
+                         getattr(self, "_request_id", None)
+                         or new_request_id())
         if headers:
             for name, value in headers.items():
                 self.send_header(name, value)
@@ -622,6 +880,10 @@ class AnnotationHandler(BaseHTTPRequestHandler):
     def _ep_metrics(self) -> None:
         self._send_bytes(200, self.server.merged_metrics().encode("utf-8"),
                          PROM_CONTENT_TYPE)
+
+    def _ep_status(self) -> None:
+        """GET /admin/status: uptime, inflight, windowed health."""
+        self._send_json(200, self.server.status_payload())
 
     def _ep_annotate(self) -> None:
         server = self.server
@@ -802,6 +1064,7 @@ _ROUTES: Dict[str, Dict[str, Callable[[AnnotationHandler], None]]] = {
     "/metrics": {"GET": AnnotationHandler._ep_metrics},
     "/annotate": {"POST": AnnotationHandler._ep_annotate},
     "/annotate/batch": {"POST": AnnotationHandler._ep_annotate_batch},
+    "/admin/status": {"GET": AnnotationHandler._ep_status},
     "/admin/reload": {"POST": AnnotationHandler._ep_reload},
     "/admin/shadow": {"POST": AnnotationHandler._ep_shadow},
     "/admin/shadow/report": {"GET": AnnotationHandler._ep_shadow_report},
@@ -856,13 +1119,21 @@ def _serve_single(service: AnnotationService, config: HttpConfig,
     sock = create_listener(config.host, config.port,
                            backlog=config.backlog)
     server = AnnotationHTTPServer(service, config, sock=sock)
+    if config.history:
+        server.history = HistoryStore(config.history)
     _install_worker_signals(server)
+    server.start_flush_loop()  # no metrics dir: feeds the windows only
+    server.start_history_loop()
     if ready is not None:
         ready(server.server_port)
     try:
         server.serve_forever(poll_interval=0.05)
     finally:
         server.server_close()
+    if server.history is not None:
+        # Final entry: even a run shorter than history_interval leaves
+        # one snapshot to compare against the next lifetime's.
+        server.history.append(service.stats())
     if config.metrics_out:
         _write_metrics_out(config.metrics_out, service.stats())
     return 0
@@ -919,6 +1190,7 @@ def _serve_prefork(service: AnnotationService, config: HttpConfig,
         port = shared.getsockname()[1]
 
     parent_pid = os.getpid()
+    parent_log = JsonLogger()  # supervisor diagnostics on stderr
     pids: List[int] = []
     ready_fds: List[int] = []
     for worker_id in range(config.workers):
@@ -941,7 +1213,7 @@ def _serve_prefork(service: AnnotationService, config: HttpConfig,
     for pid, read_fd in zip(pids, ready_fds):
         if os.read(read_fd, 1) != b"1":
             failures += 1
-            print("# worker %d failed to start" % pid, file=sys.stderr)
+            parent_log.log("worker_start_failed", level="error", pid=pid)
         os.close(read_fd)
 
     def _forward(signum: int, frame: object) -> None:
@@ -961,6 +1233,21 @@ def _serve_prefork(service: AnnotationService, config: HttpConfig,
     if ready is not None:
         ready(port)
 
+    history: Optional[HistoryStore] = None
+    history_stop = threading.Event()
+    if config.history:
+        history = HistoryStore(config.history)
+
+        def _history_loop() -> None:
+            delay = max(config.history_interval, 0.05)
+            while not history_stop.wait(delay):
+                try:
+                    history.append(metrics_dir.merged_with_shadow())
+                except OSError:
+                    pass
+
+        threading.Thread(target=_history_loop, daemon=True).start()
+
     status = 1 if failures else 0
     remaining = set(pids)
     while remaining:
@@ -970,8 +1257,15 @@ def _serve_prefork(service: AnnotationService, config: HttpConfig,
             code = os.waitstatus_to_exitcode(wait_status)
             if code != 0:
                 status = 1
-                print("# worker %d exited with %d" % (pid, code),
-                      file=sys.stderr)
+            parent_log.log("worker_exit",
+                           level="error" if code != 0 else "info",
+                           pid=pid, exit_code=code)
+
+    history_stop.set()
+    if history is not None:
+        # Final fleet-wide entry (ledger included): short smoke runs
+        # still leave one snapshot for slo-report / shadow-report.
+        history.append(metrics_dir.merged_with_shadow())
 
     merged = metrics_dir.merged()
     if config.metrics_out:

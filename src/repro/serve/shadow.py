@@ -479,14 +479,19 @@ def shadow_report_from_snapshot(snapshot: Mapping) -> dict:
     }
 
 
-def merge_shadow_reports(snapshots: Iterable[Mapping]) -> dict:
-    """One fleet-wide report from many per-worker ``stats()`` snapshots.
+def merge_shadow_snapshots(snapshots: Iterable[Mapping]) -> dict:
+    """Fold per-worker ``stats()`` snapshots into one, ``shadow`` extra
+    included.
 
     Counts merge through ``MetricsRegistry.merge_snapshot`` (the same
     primitive ``/metrics`` uses); the ``shadow`` extras -- which the
     registry merge ignores by design -- fold here: ``active`` is OR'd,
     the candidate size is taken from any active worker, and example
-    lists concatenate up to :data:`EXAMPLE_CAP` per class.
+    lists concatenate up to :data:`EXAMPLE_CAP` per class.  The result
+    is what the serving history persists per interval
+    (``repro.obs.timeseries.HistoryStore``): a fleet-wide snapshot that
+    still carries the ledger, so candidates compare across server
+    lifetimes, not just within one.
     """
     registry = MetricsRegistry()
     examples: Dict[str, List[str]] = {
@@ -511,7 +516,12 @@ def merge_shadow_reports(snapshots: Iterable[Mapping]) -> dict:
     merged["shadow"] = {"active": active,
                         "candidate_suffixes": candidate_suffixes,
                         "examples": examples}
-    return shadow_report_from_snapshot(merged)
+    return merged
+
+
+def merge_shadow_reports(snapshots: Iterable[Mapping]) -> dict:
+    """One fleet-wide report from many per-worker ``stats()`` snapshots."""
+    return shadow_report_from_snapshot(merge_shadow_snapshots(snapshots))
 
 
 def render_shadow_report(report: Mapping, top: int = 10) -> str:

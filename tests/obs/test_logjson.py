@@ -1,0 +1,185 @@
+"""Unit tests for the structured JSON line logger."""
+
+import io
+import json
+import time
+
+import pytest
+
+from repro.obs.logjson import (
+    NULL_LOG,
+    JsonLogger,
+    new_request_id,
+    open_json_logger,
+)
+
+
+def lines_of(stream: io.StringIO):
+    return [json.loads(line) for line in
+            stream.getvalue().splitlines()]
+
+
+class TestSynchronousLogger:
+    def test_record_shape_and_key_order(self):
+        stream = io.StringIO()
+        logger = JsonLogger(stream=stream, worker_id=2,
+                            clock=lambda: 123.4567891)
+        logger.log("reload_failed", level="error", path="/tmp/x",
+                   error="boom")
+        (record,) = lines_of(stream)
+        assert record == {"event": "reload_failed", "ts": 123.456789,
+                          "level": "error", "worker_id": 2,
+                          "path": "/tmp/x", "error": "boom"}
+        # Stable key order: event first, then envelope, then attrs.
+        assert list(record) == ["event", "ts", "level", "worker_id",
+                                "path", "error"]
+
+    def test_default_level_is_info_and_none_worker(self):
+        stream = io.StringIO()
+        JsonLogger(stream=stream).log("started")
+        (record,) = lines_of(stream)
+        assert record["level"] == "info"
+        assert record["worker_id"] is None
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            JsonLogger(stream=io.StringIO()).log("x", level="fatal")
+
+    def test_unserialisable_attr_degrades_to_str(self):
+        stream = io.StringIO()
+        JsonLogger(stream=stream).log("oops", error=ValueError("bad"))
+        (record,) = lines_of(stream)
+        assert record["error"] == "bad"
+
+    def test_every_write_is_a_whole_line(self):
+        stream = io.StringIO()
+        logger = JsonLogger(stream=stream)
+        for index in range(5):
+            logger.log("tick", n=index)
+        raw = stream.getvalue()
+        assert raw.endswith("\n")
+        assert [json.loads(line)["n"] for line in raw.splitlines()] \
+            == [0, 1, 2, 3, 4]
+
+    def test_closed_stream_never_raises(self):
+        stream = io.StringIO()
+        logger = JsonLogger(stream=stream)
+        stream.close()
+        logger.log("after_close")  # must not propagate ValueError
+
+    def test_file_target_appends_binary_lines(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        logger = JsonLogger(path=str(path), worker_id=7)
+        logger.log("a")
+        logger.log("b")
+        logger.close()
+        records = [json.loads(line) for line in
+                   path.read_text().splitlines()]
+        assert [r["event"] for r in records] == ["a", "b"]
+        assert all(r["worker_id"] == 7 for r in records)
+
+    def test_stream_and_path_are_exclusive(self, tmp_path):
+        with pytest.raises(ValueError, match="not both"):
+            JsonLogger(stream=io.StringIO(),
+                       path=str(tmp_path / "x.jsonl"))
+
+
+class TestBufferedLogger:
+    def test_lines_come_out_on_close(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        logger = JsonLogger(path=str(path), worker_id=1, buffered=True,
+                            flush_seconds=3600.0, drain_batch=10 ** 6)
+        for index in range(100):
+            logger.log("access", n=index)
+        logger.close()
+        records = [json.loads(line) for line in
+                   path.read_text().splitlines()]
+        assert [r["n"] for r in records] == list(range(100))
+        assert all(r["worker_id"] == 1 for r in records)
+
+    def test_flush_drains_synchronously(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        logger = JsonLogger(path=str(path), buffered=True,
+                            flush_seconds=3600.0, drain_batch=10 ** 6)
+        logger.log("one")
+        logger.flush()
+        assert len(path.read_text().splitlines()) == 1
+        logger.close()
+
+    def test_drainer_flushes_without_help(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        logger = JsonLogger(path=str(path), buffered=True,
+                            flush_seconds=0.01)
+        logger.log("one")
+        deadline = time.time() + 2.0
+        while time.time() < deadline:
+            if path.exists() and path.read_text().endswith("\n"):
+                break
+            time.sleep(0.01)
+        assert json.loads(path.read_text())["event"] == "one"
+        logger.close()
+
+    def test_overflow_drops_and_reports(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        logger = JsonLogger(path=str(path), buffered=True,
+                            flush_seconds=3600.0, buffer_records=10,
+                            drain_batch=10 ** 6)
+        for index in range(25):
+            logger.log("access", n=index)
+        assert logger.dropped == 15
+        logger.close()
+        records = [json.loads(line) for line in
+                   path.read_text().splitlines()]
+        assert [r["n"] for r in records[:10]] == list(range(10))
+        assert records[-1]["event"] == "log_dropped"
+        assert records[-1]["dropped"] == 15
+        assert records[-1]["level"] == "warning"
+
+    def test_close_is_idempotent(self, tmp_path):
+        logger = JsonLogger(path=str(tmp_path / "log.jsonl"),
+                            buffered=True)
+        logger.log("x")
+        logger.close()
+        logger.close()
+
+
+class TestNullLogger:
+    def test_null_log_accepts_and_discards(self):
+        assert NULL_LOG.log("anything", level="error") == {}
+        assert NULL_LOG.enabled is False
+
+    def test_real_logger_reports_enabled(self):
+        assert JsonLogger(stream=io.StringIO()).enabled is True
+
+
+class TestOpenJsonLogger:
+    def test_none_disables(self):
+        assert open_json_logger(None) is NULL_LOG
+
+    def test_dash_targets_stderr(self, capsys):
+        logger = open_json_logger("-", worker_id=3)
+        logger.log("hello")
+        record = json.loads(capsys.readouterr().err.strip())
+        assert record["event"] == "hello"
+        assert record["worker_id"] == 3
+
+    def test_path_appends_to_file(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        logger = open_json_logger(str(path), worker_id=0)
+        logger.log("access")
+        logger.close()
+        assert json.loads(path.read_text())["event"] == "access"
+
+    def test_buffered_flag_passes_through(self, tmp_path):
+        logger = open_json_logger(str(tmp_path / "a.jsonl"),
+                                  buffered=True)
+        assert logger._pending is not None
+        logger.close()
+
+
+def test_new_request_id_shape_and_uniqueness():
+    ids = {new_request_id() for _ in range(64)}
+    assert len(ids) == 64
+    for request_id in ids:
+        assert len(request_id) == 16
+        int(request_id, 16)  # hex

@@ -1,0 +1,255 @@
+"""Unit tests for declarative SLO targets and the slo-report CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    SloTarget,
+    evaluate_history,
+    render_slo_report,
+)
+from repro.obs.timeseries import HistoryStore
+
+BOUNDS = [0.001, 0.01, 0.1, 1.0]
+
+
+class Traffic:
+    """A cumulative serving registry that emits history entries."""
+
+    def __init__(self):
+        self.registry = MetricsRegistry()
+
+    def serve(self, ok=0, errors=0, fast=0, slow=0):
+        """Accumulate requests; fast=4 ms samples, slow=40 ms."""
+        self.registry.counter("http_requests").inc(ok + errors)
+        if ok:
+            self.registry.labelled("http_responses").inc("200", ok)
+        if errors:
+            self.registry.labelled("http_responses").inc("500", errors)
+        hist = self.registry.histogram("http_request_seconds", BOUNDS)
+        hist.observe_many(0.004, fast)
+        hist.observe_many(0.040, slow)
+
+    def entry(self, ts):
+        return {"ts": ts, "snapshot": self.registry.snapshot()}
+
+
+class TestSloTarget:
+    def test_defaults(self):
+        target = SloTarget()
+        assert target.availability == 0.999
+        assert target.latency_threshold_seconds is None
+        assert target.burn_rate_max is None
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown SLO keys: burn"):
+            SloTarget.from_dict({"availability": 0.99, "burn": 14.4})
+
+    def test_from_file_roundtrip(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({"availability": 0.95,
+                                    "latency_threshold_seconds": 0.01,
+                                    "latency_fraction": 0.9}))
+        target = SloTarget.from_file(str(path))
+        assert target.availability == 0.95
+        assert target.latency_threshold_seconds == 0.01
+
+    def test_from_file_rejects_non_object(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError, match="JSON object"):
+            SloTarget.from_file(str(path))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="availability"):
+            SloTarget(availability=0.0)
+        with pytest.raises(ValueError, match="latency_threshold"):
+            SloTarget(latency_threshold_seconds=0.0)
+        with pytest.raises(ValueError, match="latency_fraction"):
+            SloTarget(latency_fraction=1.5)
+        with pytest.raises(ValueError, match="burn_rate_max"):
+            SloTarget(availability=0.9, burn_rate_max=-1.0)
+        with pytest.raises(ValueError, match="error budget"):
+            SloTarget(availability=1.0, burn_rate_max=14.4)
+
+
+class TestEvaluateHistory:
+    def test_clean_history_passes(self):
+        traffic = Traffic()
+        traffic.serve(ok=500, fast=500)
+        entries = [traffic.entry(100.0)]
+        traffic.serve(ok=500, fast=500)
+        entries.append(traffic.entry(200.0))
+        report = evaluate_history(entries, SloTarget(availability=0.99))
+        assert report["ok"] is True
+        assert report["requests"] == 1000
+        assert report["errors"] == 0
+        assert report["availability"] == 1.0
+
+    def test_availability_breach(self):
+        traffic = Traffic()
+        traffic.serve(ok=90, errors=10, fast=100)
+        report = evaluate_history([traffic.entry(100.0)],
+                                  SloTarget(availability=0.95))
+        assert report["ok"] is False
+        (check,) = [c for c in report["checks"]
+                    if c["name"] == "availability"]
+        assert check["ok"] is False
+        assert check["value"] == pytest.approx(0.9)
+        assert "10/100" in check["detail"]
+
+    def test_latency_check_is_conservative(self):
+        # 90 samples at 4 ms, 10 at 40 ms; every one is under the
+        # 50 ms threshold, but 0.05 falls inside the (0.01, 0.1]
+        # bucket, so only the 90 provably-fast samples count.
+        traffic = Traffic()
+        traffic.serve(ok=100, fast=90, slow=10)
+        target = SloTarget(availability=0.5,
+                           latency_threshold_seconds=0.05,
+                           latency_fraction=0.95)
+        report = evaluate_history([traffic.entry(100.0)], target)
+        (check,) = [c for c in report["checks"]
+                    if c["name"] == "latency"]
+        assert check["ok"] is False
+        assert check["value"] == pytest.approx(0.9)
+
+    def test_latency_passes_on_aligned_threshold(self):
+        traffic = Traffic()
+        traffic.serve(ok=100, fast=90, slow=10)
+        target = SloTarget(availability=0.5,
+                           latency_threshold_seconds=0.01,
+                           latency_fraction=0.85)
+        report = evaluate_history([traffic.entry(100.0)], target)
+        assert report["ok"] is True
+
+    def test_burn_rate_breach_on_recent_errors(self):
+        # Old traffic is clean; the trailing hour serves 50% errors.
+        # Overall availability (0.954) still beats the 0.9 target, so
+        # only the burn-rate check fires.
+        traffic = Traffic()
+        traffic.serve(ok=1000, fast=1000)
+        entries = [traffic.entry(0.0)]
+        traffic.serve(ok=50, errors=50, fast=100)
+        entries.append(traffic.entry(10000.0))
+        target = SloTarget(availability=0.9, burn_rate_max=2.0,
+                           burn_window_seconds=3600.0)
+        report = evaluate_history(entries, target)
+        assert report["ok"] is False
+        checks = {c["name"]: c for c in report["checks"]}
+        assert checks["availability"]["ok"] is True
+        assert checks["burn_rate"]["ok"] is False
+        # 0.5 error rate against a 0.1 budget burns at 5x.
+        assert checks["burn_rate"]["value"] == pytest.approx(5.0)
+
+    def test_burn_rate_ok_when_errors_are_old(self):
+        traffic = Traffic()
+        traffic.serve(ok=50, errors=50, fast=100)
+        entries = [traffic.entry(0.0)]
+        traffic.serve(ok=1000, fast=1000)
+        entries.append(traffic.entry(10000.0))
+        target = SloTarget(availability=0.9, burn_rate_max=2.0,
+                           burn_window_seconds=3600.0)
+        checks = {c["name"]: c
+                  for c in evaluate_history(entries, target)["checks"]}
+        assert checks["burn_rate"]["ok"] is True
+        assert checks["burn_rate"]["value"] == pytest.approx(0.0)
+
+    def test_empty_history_passes_vacuously(self):
+        report = evaluate_history([], SloTarget(
+            availability=0.999, latency_threshold_seconds=0.05,
+            burn_rate_max=14.4))
+        assert report["ok"] is True
+        assert report["requests"] == 0
+        assert all("no " in c["detail"] for c in report["checks"])
+
+    def test_restart_traffic_still_counts(self):
+        first = Traffic()
+        first.serve(ok=90, errors=10, fast=100)
+        second = Traffic()  # the server restarted from zero
+        second.serve(ok=45, errors=5, fast=50)  # counters went down
+        report = evaluate_history(
+            [first.entry(100.0), second.entry(200.0)],
+            SloTarget(availability=0.95))
+        assert report["requests"] == 150
+        assert report["errors"] == 15
+        assert report["ok"] is False
+
+
+class TestRenderSloReport:
+    def test_render_mentions_every_check(self):
+        traffic = Traffic()
+        traffic.serve(ok=99, errors=1, fast=100)
+        target = SloTarget(availability=0.999,
+                           latency_threshold_seconds=0.01,
+                           burn_rate_max=14.4)
+        text = render_slo_report(
+            evaluate_history([traffic.entry(100.0)], target))
+        assert text.startswith("slo report: BREACH")
+        for name in ("availability", "latency", "burn_rate"):
+            assert name in text
+        assert "requests" in text
+
+
+class TestSloReportCli:
+    def write_history(self, tmp_path, errors):
+        traffic = Traffic()
+        traffic.serve(ok=100 - errors, errors=errors, fast=100)
+        store = HistoryStore(str(tmp_path / "history.jsonl"))
+        store.append(traffic.registry.snapshot(), ts=100.0)
+        return store.path
+
+    def write_slo(self, tmp_path, **payload):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_clean_history_exits_zero(self, tmp_path, capsys):
+        history = self.write_history(tmp_path, errors=0)
+        slo = self.write_slo(tmp_path, availability=0.99)
+        assert main(["slo-report", "--history", history,
+                     "--slo", slo]) == 0
+        assert "slo report: OK" in capsys.readouterr().out
+
+    def test_breach_exits_one(self, tmp_path, capsys):
+        history = self.write_history(tmp_path, errors=10)
+        slo = self.write_slo(tmp_path, availability=0.95)
+        assert main(["slo-report", "--history", history,
+                     "--slo", slo]) == 1
+        assert "slo report: BREACH" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        history = self.write_history(tmp_path, errors=0)
+        slo = self.write_slo(tmp_path, availability=0.99)
+        assert main(["slo-report", "--history", history,
+                     "--slo", slo, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["requests"] == 100
+
+    def test_missing_slo_exits_two(self, tmp_path, capsys):
+        history = self.write_history(tmp_path, errors=0)
+        assert main(["slo-report", "--history", history]) == 2
+        assert "--slo" in capsys.readouterr().err
+
+    def test_missing_history_exits_two(self, tmp_path, capsys):
+        slo = self.write_slo(tmp_path, availability=0.99)
+        assert main(["slo-report", "--slo", slo, "--no-cache"]) == 2
+        assert "--history" in capsys.readouterr().err
+
+    def test_empty_history_exits_two(self, tmp_path, capsys):
+        slo = self.write_slo(tmp_path, availability=0.99)
+        empty = tmp_path / "absent.jsonl"
+        assert main(["slo-report", "--history", str(empty),
+                     "--slo", slo]) == 2
+        assert "no history entries" in capsys.readouterr().err
+
+    def test_bad_slo_file_exits_two(self, tmp_path, capsys):
+        history = self.write_history(tmp_path, errors=0)
+        slo = self.write_slo(tmp_path, availability=0.99,
+                             burn=14.4)  # unknown key
+        assert main(["slo-report", "--history", history,
+                     "--slo", slo]) == 2
+        assert "cannot load SLO target" in capsys.readouterr().err

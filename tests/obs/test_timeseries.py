@@ -1,0 +1,294 @@
+"""Unit tests for the time axis: diffs, rolling windows, history."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import (
+    HistoryStore,
+    RollingWindows,
+    diff_snapshot,
+    history_deltas,
+    is_empty_delta,
+)
+
+BOUNDS = [0.001, 0.01, 0.1, 1.0]
+
+
+def busy_registry():
+    """A registry with every instrument kind exercised."""
+    registry = MetricsRegistry()
+    registry.counter("http_requests").inc(5)
+    registry.labelled("http_responses").inc("200", 4)
+    registry.labelled("http_responses").inc("500", 1)
+    hist = registry.histogram("http_request_seconds", BOUNDS)
+    for value in (0.0005, 0.004, 0.04, 0.4):
+        hist.observe(value)
+    return registry
+
+
+class TestDiffSnapshot:
+    def test_merge_of_diff_reproduces_cur_exactly(self):
+        registry = busy_registry()
+        prev = registry.snapshot()
+        registry.counter("http_requests").inc(3)
+        registry.labelled("http_responses").inc("200", 3)
+        registry.histogram("http_request_seconds", BOUNDS).observe(0.002)
+        cur = registry.snapshot()
+
+        delta = diff_snapshot(prev, cur)
+        replay = MetricsRegistry()
+        replay.merge_snapshot(prev)
+        replay.merge_snapshot(delta)
+        assert replay.snapshot() == cur
+
+    def test_zero_deltas_are_omitted(self):
+        registry = busy_registry()
+        prev = registry.snapshot()
+        registry.counter("http_requests").inc(1)
+        delta = diff_snapshot(prev, registry.snapshot())
+        assert delta["counters"] == {"http_requests": 1}
+        assert delta["labelled"] == {}
+        assert delta["histograms"] == {}
+
+    def test_identical_snapshots_diff_to_empty(self):
+        snapshot = busy_registry().snapshot()
+        delta = diff_snapshot(snapshot, snapshot)
+        assert is_empty_delta(delta)
+
+    def test_counter_regression_raises(self):
+        registry = busy_registry()
+        cur = registry.snapshot()
+        registry.counter("http_requests").inc(2)
+        prev = registry.snapshot()
+        with pytest.raises(ValueError, match="not a successor"):
+            diff_snapshot(prev, cur)
+
+    def test_vanished_counter_raises(self):
+        prev = {"counters": {"a": 1, "b": 2}}
+        cur = {"counters": {"a": 1}}
+        with pytest.raises(ValueError, match="vanished"):
+            diff_snapshot(prev, cur)
+
+    def test_label_regression_raises(self):
+        prev = {"labelled": {"http_responses": {"500": 3}}}
+        cur = {"labelled": {"http_responses": {"500": 1}}}
+        with pytest.raises(ValueError, match="not a successor"):
+            diff_snapshot(prev, cur)
+
+    def test_bucket_regression_raises(self):
+        registry = busy_registry()
+        cur = registry.snapshot()
+        registry.histogram("http_request_seconds", BOUNDS).observe(0.002)
+        prev = registry.snapshot()
+        with pytest.raises(ValueError, match="not a successor"):
+            diff_snapshot(prev, cur)
+
+    def test_changed_bounds_raise(self):
+        a = MetricsRegistry()
+        a.histogram("h", [1.0]).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h", [2.0]).observe(0.5)
+        with pytest.raises(ValueError, match="bounds"):
+            diff_snapshot(a.snapshot(), b.snapshot())
+
+    def test_extra_snapshot_keys_are_ignored(self):
+        registry = busy_registry()
+        prev = dict(registry.snapshot(), ts=1.0, worker_id=3,
+                    shadow={"active": True})
+        registry.counter("http_requests").inc(1)
+        cur = dict(registry.snapshot(), ts=2.0, worker_id=3,
+                   memo={"hits": 9})
+        delta = diff_snapshot(prev, cur)
+        assert delta["counters"] == {"http_requests": 1}
+        assert "ts" not in delta and "shadow" not in delta
+
+    def test_histogram_delta_carries_windowed_percentiles(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", BOUNDS)
+        hist.observe(0.0005)
+        prev = registry.snapshot()
+        for _ in range(10):
+            hist.observe(0.05)
+        delta = diff_snapshot(prev, registry.snapshot())
+        payload = delta["histograms"]["h"]
+        assert payload["count"] == 10
+        assert sum(payload["buckets"]) == 10
+        # All 10 new samples sit in the (0.01, 0.1] bucket.
+        assert payload["percentiles"]["p50"] <= 0.1
+
+
+class TestRollingWindows:
+    def test_first_sample_is_baseline_only(self):
+        windows = RollingWindows(10.0, 6)
+        assert windows.record(busy_registry().snapshot(), ts=100.0) \
+            is False
+        assert windows.window_snapshot(now=100.0).get("counters") == {}
+
+    def test_deltas_fold_into_windows(self):
+        windows = RollingWindows(10.0, 6)
+        registry = busy_registry()
+        windows.record({}, ts=100.0)  # empty baseline, as the server does
+        windows.record(registry.snapshot(), ts=101.0)
+        registry.counter("http_requests").inc(7)
+        windows.record(registry.snapshot(), ts=105.0)
+        counters = windows.window_snapshot(now=105.0)["counters"]
+        assert counters["http_requests"] == 12  # 5 from boot + 7
+
+    def test_windows_evict_beyond_horizon(self):
+        windows = RollingWindows(width_seconds=1.0, count=2)
+        registry = MetricsRegistry()
+        windows.record({}, ts=100.0)
+        registry.counter("c").inc(1)
+        windows.record(registry.snapshot(), ts=100.5)
+        registry.counter("c").inc(1)
+        windows.record(registry.snapshot(), ts=110.0)
+        counters = windows.window_snapshot(now=110.0).get("counters", {})
+        assert counters.get("c", 0) == 1  # the 100.5 sample aged out
+
+    def test_non_successor_rebaselines_instead_of_raising(self):
+        windows = RollingWindows(10.0, 6)
+        big = MetricsRegistry()
+        big.counter("c").inc(9)
+        windows.record(big.snapshot(), ts=100.0)
+        fresh = MetricsRegistry()  # the worker restarted
+        fresh.counter("c").inc(1)
+        assert windows.record(fresh.snapshot(), ts=105.0) is False
+        assert windows.resets == 1
+        fresh.counter("c").inc(2)
+        assert windows.record(fresh.snapshot(), ts=106.0) is True
+        assert windows.window_snapshot(now=106.0)["counters"]["c"] == 2
+
+    def test_rate_uses_covered_seconds(self):
+        windows = RollingWindows(10.0, 6)
+        registry = MetricsRegistry()
+        windows.record({}, ts=100.0)
+        registry.counter("http_requests").inc(40)
+        windows.record(registry.snapshot(), ts=104.0)
+        assert windows.rate("http_requests", now=104.0) == \
+            pytest.approx(10.0)
+
+    def test_percentiles_reuse_histogram_from_delta(self):
+        windows = RollingWindows(10.0, 6)
+        registry = MetricsRegistry()
+        windows.record({}, ts=100.0)
+        hist = registry.histogram("http_request_seconds", BOUNDS)
+        for _ in range(100):
+            hist.observe(0.004)
+        windows.record(registry.snapshot(), ts=105.0)
+        percentiles = windows.percentiles("http_request_seconds",
+                                          now=105.0)
+        assert set(percentiles) == {"p50", "p90", "p99"}
+        assert percentiles["p50"] == pytest.approx(0.004)
+
+    def test_percentiles_empty_without_samples(self):
+        windows = RollingWindows(10.0, 6)
+        assert windows.percentiles("http_request_seconds",
+                                   now=100.0) == {}
+
+    def test_bad_geometry_raises(self):
+        with pytest.raises(ValueError):
+            RollingWindows(0.0, 6)
+        with pytest.raises(ValueError):
+            RollingWindows(10.0, 0)
+
+
+class TestHistoryStore:
+    def test_append_and_entries_roundtrip(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "h.jsonl"))
+        snapshot = busy_registry().snapshot()
+        store.append(snapshot, ts=100.0)
+        store.append(snapshot, ts=200.0, shadow_active=True)
+        entries = store.entries()
+        assert [entry["ts"] for entry in entries] == [100.0, 200.0]
+        assert entries[0]["snapshot"] == snapshot
+        assert entries[1]["shadow_active"] is True
+
+    def test_entries_since_filters(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "h.jsonl"))
+        for ts in (100.0, 200.0, 300.0):
+            store.append({}, ts=ts)
+        assert [e["ts"] for e in store.entries(since=150.0)] == \
+            [200.0, 300.0]
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        store = HistoryStore(str(path))
+        store.append({}, ts=100.0)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("{torn json\n")
+        store.append({}, ts=200.0)
+        assert [e["ts"] for e in store.entries()] == [100.0, 200.0]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert HistoryStore(str(tmp_path / "absent.jsonl")).entries() \
+            == []
+
+    def test_size_retention_drops_oldest_first(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        store = HistoryStore(str(path), max_bytes=300,
+                             max_age_seconds=None)
+        for ts in range(100, 110):
+            store.append({"counters": {"c": ts}}, ts=float(ts))
+        entries = store.entries()
+        assert entries  # trimmed, not emptied
+        assert os.path.getsize(path) <= 300
+        assert entries[-1]["ts"] == 109.0  # newest survives
+
+    def test_age_retention_drops_stale_entries(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "h.jsonl"),
+                             max_age_seconds=50.0)
+        store.append({}, ts=100.0)
+        store.append({}, ts=200.0)
+        assert [e["ts"] for e in store.entries()] == [200.0]
+
+    def test_append_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "down" / "h.jsonl"
+        HistoryStore(str(path)).append({}, ts=1.0)
+        assert path.is_file()
+
+
+class TestHistoryDeltas:
+    def test_within_one_lifetime_diffs_exactly(self):
+        registry = MetricsRegistry()
+        registry.counter("http_requests").inc(4)
+        first = {"ts": 100.0, "snapshot": registry.snapshot()}
+        registry.counter("http_requests").inc(6)
+        second = {"ts": 110.0, "snapshot": registry.snapshot()}
+        rows = history_deltas([first, second])
+        assert rows[0]["delta"]["counters"]["http_requests"] == 4
+        assert rows[0]["seconds"] is None
+        assert rows[1]["delta"]["counters"]["http_requests"] == 6
+        assert rows[1]["seconds"] == pytest.approx(10.0)
+
+    def test_restart_counts_fresh_lifetime_from_zero(self):
+        old = MetricsRegistry()
+        old.counter("http_requests").inc(100)
+        fresh = MetricsRegistry()
+        fresh.counter("http_requests").inc(3)
+        rows = history_deltas([
+            {"ts": 100.0, "snapshot": old.snapshot()},
+            {"ts": 200.0, "snapshot": fresh.snapshot()},
+        ])
+        total = sum(row["delta"].get("counters", {})
+                    .get("http_requests", 0) for row in rows)
+        assert total == 103  # neither double-counted nor hidden
+        assert rows[1]["seconds"] is None
+
+    def test_time_is_wall_clock_not_call_time(self, tmp_path):
+        # The store stamps ts when appending without one.
+        store = HistoryStore(str(tmp_path / "h.jsonl"))
+        before = time.time()
+        entry = store.append({})
+        assert before <= entry["ts"] <= time.time()
+
+    def test_entries_feed_json_roundtrip(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        HistoryStore(str(path)).append(
+            busy_registry().snapshot(), ts=1.0, shadow={"active": False})
+        with open(path, encoding="utf-8") as handle:
+            line = handle.readline()
+        assert json.loads(line)["shadow"]["active"] is False

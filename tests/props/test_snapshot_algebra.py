@@ -1,0 +1,153 @@
+"""Property tests for the snapshot algebra behind windowed telemetry.
+
+``diff_snapshot`` claims to be the exact additive inverse of
+``merge_snapshot``, and ``RollingWindows`` claims that folding the
+per-interval deltas loses nothing.  Both claims are algebraic, so they
+get generative tests: random operation batches drive a real registry,
+and the laws must hold on the resulting snapshots.
+
+Histogram sample values are dyadic rationals (multiples of 1/1024), so
+every partial sum is exactly representable in binary floating point
+and the float-sum round trips are *equalities*, not approximations.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import RollingWindows, diff_snapshot
+
+BOUNDS = (0.25, 1.0, 4.0)
+COUNTERS = ("requests", "reloads")
+LABELS = ("200", "500")
+HISTOGRAMS = ("latency",)
+
+#: Dyadic sample values in [0, 8]: n / 1024 sums exactly.
+dyadic = st.integers(min_value=0, max_value=8192).map(
+    lambda n: n / 1024.0)
+
+operation = st.one_of(
+    st.tuples(st.just("counter"), st.sampled_from(COUNTERS),
+              st.integers(min_value=1, max_value=9)),
+    st.tuples(st.just("label"), st.sampled_from(COUNTERS),
+              st.sampled_from(LABELS),
+              st.integers(min_value=1, max_value=9)),
+    st.tuples(st.just("hist"), st.sampled_from(HISTOGRAMS), dyadic),
+)
+operations = st.lists(operation, max_size=25)
+
+
+def apply_operations(registry, ops):
+    for op in ops:
+        if op[0] == "counter":
+            registry.counter(op[1]).inc(op[2])
+        elif op[0] == "label":
+            registry.labelled(op[1]).inc(op[2], op[3])
+        else:
+            registry.histogram(op[1], BOUNDS).observe(op[2])
+
+
+def canonical(snapshot):
+    """The additive content of a snapshot: zero entries dropped,
+    derived fields (mean, percentiles, extremes) ignored."""
+    counters = {name: value for name, value
+                in (snapshot.get("counters") or {}).items() if value}
+    labelled = {}
+    for name, family in (snapshot.get("labelled") or {}).items():
+        kept = {label: count for label, count in family.items()
+                if count}
+        if kept:
+            labelled[name] = kept
+    histograms = {}
+    for name, payload in (snapshot.get("histograms") or {}).items():
+        if not payload.get("count"):
+            continue
+        histograms[name] = {
+            "bounds": list(payload.get("bounds") or []),
+            "buckets": list(payload.get("buckets") or []),
+            "overflow": payload.get("overflow", 0),
+            "count": payload.get("count", 0),
+            "sum": payload.get("sum", 0.0),
+        }
+    return {"counters": counters, "labelled": labelled,
+            "histograms": histograms}
+
+
+@settings(deadline=None)
+@given(first=operations, second=operations)
+def test_merge_of_diff_reproduces_cur_exactly(first, second):
+    """merge_snapshot(prev, diff_snapshot(prev, cur)) == cur, exactly
+    -- including means, extremes, and percentiles."""
+    registry = MetricsRegistry()
+    apply_operations(registry, first)
+    prev = registry.snapshot()
+    apply_operations(registry, second)
+    cur = registry.snapshot()
+
+    replay = MetricsRegistry()
+    replay.merge_snapshot(prev)
+    replay.merge_snapshot(diff_snapshot(prev, cur))
+    assert replay.snapshot() == cur
+
+
+@settings(deadline=None)
+@given(first=operations, second=operations)
+def test_diff_recovers_the_second_batch(first, second):
+    """diff_snapshot(a, a (+) b) == b on the additive content."""
+    registry = MetricsRegistry()
+    apply_operations(registry, first)
+    snap_a = registry.snapshot()
+    apply_operations(registry, second)
+    snap_ab = registry.snapshot()
+
+    alone = MetricsRegistry()
+    apply_operations(alone, second)
+
+    delta = diff_snapshot(snap_a, snap_ab)
+    assert canonical(delta) == canonical(alone.snapshot())
+
+
+@settings(deadline=None)
+@given(first=operations)
+def test_self_diff_is_empty(first):
+    registry = MetricsRegistry()
+    apply_operations(registry, first)
+    snapshot = registry.snapshot()
+    assert canonical(diff_snapshot(snapshot, snapshot)) == \
+        canonical({})
+
+
+@settings(deadline=None)
+@given(batches=st.lists(operations, max_size=6))
+def test_window_fold_reproduces_cumulative_exactly(batches):
+    """Folding every interval delta through the rolling windows (no
+    eviction) rebuilds the cumulative snapshot byte for byte."""
+    registry = MetricsRegistry()
+    windows = RollingWindows(width_seconds=60.0, count=100)
+    windows.record({}, ts=1000.0)  # the server's boot baseline
+    for index, batch in enumerate(batches):
+        apply_operations(registry, batch)
+        windows.record(registry.snapshot(), ts=1000.0 + index)
+    now = 1000.0 + len(batches)
+    assert windows.window_snapshot(now=now) == registry.snapshot()
+
+
+@settings(deadline=None)
+@given(batches=st.lists(operations, min_size=1, max_size=4),
+       stray=operations)
+def test_rebaseline_then_fold_stays_exact(batches, stray):
+    """A restart mid-stream re-baselines; post-restart deltas still
+    fold exactly to the new lifetime's cumulative state."""
+    windows = RollingWindows(width_seconds=60.0, count=100)
+    old = MetricsRegistry()
+    apply_operations(old, stray)
+    old.counter("requests").inc(1000)  # guarantee a non-successor
+    windows.record(old.snapshot(), ts=1000.0)
+
+    fresh = MetricsRegistry()
+    windows.record(fresh.snapshot(), ts=1001.0)  # restart: baseline
+    for index, batch in enumerate(batches):
+        apply_operations(fresh, batch)
+        windows.record(fresh.snapshot(), ts=1002.0 + index)
+    now = 1002.0 + len(batches)
+    assert windows.window_snapshot(now=now) == fresh.snapshot()

@@ -556,3 +556,80 @@ class TestShadowSection:
     def test_divergence_case_rejects_ragged_n(self):
         with pytest.raises(ValueError):
             bench.shadow_divergence_case(n=55)
+
+
+FAKE_OBS_WINDOW = {
+    "workload": {"http_requests": 300, "log_lines": 20000,
+                 "window_records": 201, "rounds": 3,
+                 "flush_interval_seconds": 1.0,
+                 "window_seconds": 10.0, "window_count": 60},
+    "request_seconds": 0.0002,
+    "access_log": {"line_seconds": 2.1e-06,
+                   "drain_line_seconds": 5.5e-06,
+                   "sync_line_seconds": 7.4e-06,
+                   "fraction_of_request": 0.0105},
+    "window": {"record_seconds": 2.2e-05,
+               "fraction_per_second": 2.2e-05},
+    "overhead_fraction": 0.0105,
+    "budget_fraction": 0.03,
+    "within_budget": True,
+}
+
+
+class TestObsWindowSection:
+    def test_write_obs_window_section_preserves_other_sections(
+            self, tmp_path, monkeypatch):
+        path = tmp_path / "BENCH.json"
+        existing = {"version": bench.BENCH_VERSION,
+                    "serve": FAKE_SERVE,
+                    "shadow": FAKE_SHADOW,
+                    "obs_window": {"stale": True}}
+        path.write_text(json.dumps(existing), encoding="utf-8")
+        monkeypatch.setattr(bench, "run_obs_window_bench",
+                            lambda rounds=3: FAKE_OBS_WINDOW)
+        report = bench.write_obs_window_section(str(path))
+        assert report["serve"] == FAKE_SERVE
+        assert report["shadow"] == FAKE_SHADOW
+        assert report["obs_window"] == FAKE_OBS_WINDOW
+        on_disk = json.loads(path.read_text(encoding="utf-8"))
+        assert on_disk["obs_window"]["within_budget"] is True
+
+    def test_write_obs_window_section_from_scratch(self, tmp_path,
+                                                   monkeypatch):
+        path = tmp_path / "BENCH.json"
+        monkeypatch.setattr(bench, "run_obs_window_bench",
+                            lambda rounds=3: FAKE_OBS_WINDOW)
+        report = bench.write_obs_window_section(str(path))
+        assert report["version"] == bench.BENCH_VERSION
+        assert path.is_file()
+
+    def test_render_obs_window_section(self):
+        text = bench.render_obs_window_section(FAKE_OBS_WINDOW)
+        assert "obs-window benchmark" in text
+        assert "access log line" in text
+        assert "window fold" in text
+        assert "[OK, budget 3.0%]" in text
+
+    def test_render_obs_window_section_flags_budget_breach(self):
+        over = json.loads(json.dumps(FAKE_OBS_WINDOW))
+        over["within_budget"] = False
+        assert "OVER BUDGET" in bench.render_obs_window_section(over)
+
+    def test_render_report_with_obs_window(self):
+        text = bench.render_report({"version": bench.BENCH_VERSION,
+                                    "obs_window": FAKE_OBS_WINDOW})
+        assert "obs-window benchmark" in text
+
+    def test_run_obs_window_bench_meets_budget(self):
+        # The real measurement, small rounds: the acceptance gate
+        # that the per-request access-log enqueue plus the amortised
+        # window fold stays under the 3% serving budget.
+        section = bench.run_obs_window_bench(rounds=1)
+        assert section["within_budget"] is True
+        assert section["overhead_fraction"] < \
+            bench.OBS_WINDOW_OVERHEAD_BUDGET
+        access = section["access_log"]
+        # The enqueue must beat the synchronous write it replaces.
+        assert access["line_seconds"] < access["sync_line_seconds"]
+        assert section["window"]["record_seconds"] > 0.0
+        assert section["request_seconds"] > 0.0
